@@ -1,0 +1,426 @@
+package repro
+
+// One benchmark per table/figure of the paper plus the ablation studies
+// called out in DESIGN.md. The profile benchmarks run the reduced-scale
+// datasets (use cmd/minio-bench -scale paper for paper-scale numbers) and
+// report, beyond ns/op, the headline quantities of each figure as custom
+// metrics so that `go test -bench` output doubles as the reproduction
+// record:
+//
+//   frac_within_5pct_<alg>   fraction of instances within 5% of the best
+//   mean_overhead_<alg>      mean overhead over the best method, percent
+//   io_...                   raw I/O volumes for the worked examples
+//
+// Shapes to expect (Section 6): POSTORDERMINIO far behind on SYNTH,
+// RECEXPAND ≤ OPTMINMEM nearly everywhere, FULLRECEXPAND ≈ RECEXPAND, all
+// methods close on TREES, gaps widening at M1=LB and vanishing at
+// M2=Peak−1.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expand"
+	"repro/internal/experiments"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/oocexec"
+	"repro/internal/postorder"
+	"repro/internal/randtree"
+	"repro/internal/search"
+	"repro/internal/sparse"
+	"repro/internal/tree"
+)
+
+// --- Figure 2: adversarial families ---------------------------------------
+
+func BenchmarkFig2aPostorderGap(b *testing.B) {
+	M := int64(20)
+	tr, good, err := experiments.Fig2a(4, M)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gio, pio int64
+	for i := 0; i < b.N; i++ {
+		gio, err = memsim.IOOf(tr, M, good)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, pio, _ = postorder.MinIO(tr, M)
+	}
+	b.ReportMetric(float64(gio), "io_optimal")
+	b.ReportMetric(float64(pio), "io_postorderminio")
+}
+
+func BenchmarkFig2bExample(b *testing.B) {
+	tr, chain := experiments.Fig2b()
+	M := experiments.Fig2bM
+	var oio, cio int64
+	for i := 0; i < b.N; i++ {
+		sched, _ := liu.MinMem(tr)
+		var err error
+		oio, err = memsim.IOOf(tr, M, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cio, err = memsim.IOOf(tr, M, chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(oio), "io_optminmem")
+	b.ReportMetric(float64(cio), "io_chain")
+}
+
+func BenchmarkFig2cOptMinMemGap(b *testing.B) {
+	k := int64(8)
+	tr, chain, M, err := experiments.Fig2c(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var oio, cio int64
+	for i := 0; i < b.N; i++ {
+		sched, _ := liu.MinMem(tr)
+		oio, err = memsim.IOOf(tr, M, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cio, err = memsim.IOOf(tr, M, chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(oio), "io_optminmem")
+	b.ReportMetric(float64(cio), "io_chain")
+}
+
+// --- Figures 6 and 7: worked examples --------------------------------------
+
+func BenchmarkFig6FullRecExpand(b *testing.B) {
+	tr, _, _ := experiments.Fig6()
+	var full *expand.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		full, err = expand.FullRecExpand(tr, experiments.Fig6M)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(full.IO), "io_fullrecexpand")
+}
+
+func BenchmarkFig7PostOrder(b *testing.B) {
+	tr, _, _, _ := experiments.Fig7()
+	var pio int64
+	for i := 0; i < b.N; i++ {
+		_, pio, _ = postorder.MinIO(tr, experiments.Fig7M)
+	}
+	b.ReportMetric(float64(pio), "io_postorderminio")
+}
+
+// --- Figures 4, 5, 8, 9, 10, 11: performance profiles ----------------------
+
+func profileBench(b *testing.B, dataset string, bound core.Bound) {
+	var instances []*core.Instance
+	var algs []core.Algorithm
+	switch dataset {
+	case "synth":
+		instances = experiments.Synth(experiments.SmallSynth)
+		algs = core.PaperAlgorithms
+	case "trees":
+		instances = experiments.Trees(experiments.SmallTrees)
+		algs = core.FastAlgorithms
+	}
+	if len(instances) == 0 {
+		b.Fatal("empty dataset")
+	}
+	var run *experiments.RunResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err = experiments.Run(instances, algs, bound, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	profs, err := run.Profiles(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := run.PerformanceTable()
+	ov, err := tab.Overheads()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for m, p := range profs {
+		b.ReportMetric(p.FractionWithin(5), "frac_within_5pct_"+shortName(algs[m]))
+		var mean float64
+		for _, v := range ov[m] {
+			mean += v
+		}
+		b.ReportMetric(mean/float64(len(ov[m])), "mean_overhead_"+shortName(algs[m]))
+	}
+	b.ReportMetric(float64(len(instances)), "instances")
+}
+
+func shortName(a core.Algorithm) string {
+	switch a {
+	case core.OptMinMem:
+		return "optminmem"
+	case core.PostOrderMinIO:
+		return "pominio"
+	case core.RecExpand:
+		return "recexpand"
+	case core.FullRecExpand:
+		return "fullrec"
+	default:
+		return string(a)
+	}
+}
+
+func BenchmarkFig4SynthProfiles(b *testing.B) { profileBench(b, "synth", core.BoundMid) }
+func BenchmarkFig5TreesProfiles(b *testing.B) { profileBench(b, "trees", core.BoundMid) }
+func BenchmarkFig8SynthLB(b *testing.B)       { profileBench(b, "synth", core.BoundLB) }
+func BenchmarkFig9TreesLB(b *testing.B)       { profileBench(b, "trees", core.BoundLB) }
+func BenchmarkFig10SynthPeak(b *testing.B)    { profileBench(b, "synth", core.BoundPeakMinus1) }
+func BenchmarkFig11TreesPeak(b *testing.B)    { profileBench(b, "trees", core.BoundPeakMinus1) }
+
+// --- Ablations (DESIGN.md Section 4) ---------------------------------------
+
+// BenchmarkAblationEvictionPolicy demonstrates Theorem 1 empirically: total
+// I/O across the reduced SYNTH dataset for FiF versus the NiF and
+// largest-first eviction rules, all on the OPTMINMEM schedule.
+func BenchmarkAblationEvictionPolicy(b *testing.B) {
+	instances := experiments.Synth(experiments.SmallSynth)
+	var totals [3]int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totals = [3]int64{}
+		for _, in := range instances {
+			M := in.M(core.BoundMid)
+			sched, _ := liu.MinMem(in.Tree)
+			for pi, pol := range []memsim.EvictionPolicy{memsim.FiF, memsim.NiF, memsim.LargestFirst} {
+				res, err := memsim.Run(in.Tree, M, sched, pol)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totals[pi] += res.IO
+			}
+		}
+	}
+	b.ReportMetric(float64(totals[0]), "io_fif")
+	b.ReportMetric(float64(totals[1]), "io_nif")
+	b.ReportMetric(float64(totals[2]), "io_largestfirst")
+}
+
+// BenchmarkAblationVictimChoice compares the paper's latest-parent victim
+// rule for RECEXPAND against earliest-parent and largest-τ.
+func BenchmarkAblationVictimChoice(b *testing.B) {
+	instances := experiments.Synth(experiments.SmallSynth)
+	var totals [3]int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totals = [3]int64{}
+		for _, in := range instances {
+			M := in.M(core.BoundMid)
+			for pi, pol := range []expand.VictimPolicy{expand.LatestParent, expand.EarliestParent, expand.LargestTau} {
+				res, err := expand.RecExpand(in.Tree, M, expand.Options{MaxPerNode: 2, Victim: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totals[pi] += res.IO
+			}
+		}
+	}
+	b.ReportMetric(float64(totals[0]), "io_latestparent")
+	b.ReportMetric(float64(totals[1]), "io_earliestparent")
+	b.ReportMetric(float64(totals[2]), "io_largesttau")
+}
+
+// BenchmarkAblationRecExpandBudget sweeps the per-node expansion budget
+// (the paper fixes 2; 0 means unbounded = FULLRECEXPAND).
+func BenchmarkAblationRecExpandBudget(b *testing.B) {
+	instances := experiments.Synth(experiments.SmallSynth)
+	budgets := []int{1, 2, 4, 8, 0}
+	totals := make([]int64, len(budgets))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range totals {
+			totals[j] = 0
+		}
+		for _, in := range instances {
+			M := in.M(core.BoundMid)
+			for j, budget := range budgets {
+				res, err := expand.RecExpand(in.Tree, M, expand.Options{MaxPerNode: budget})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totals[j] += res.IO
+			}
+		}
+	}
+	for j, budget := range budgets {
+		name := fmt.Sprintf("io_budget_%d", budget)
+		if budget == 0 {
+			name = "io_budget_unbounded"
+		}
+		b.ReportMetric(float64(totals[j]), name)
+	}
+}
+
+// --- Component micro-benchmarks --------------------------------------------
+
+func synthTree(n int, seed int64) *tree.Tree {
+	return randtree.Synth(n, rand.New(rand.NewSource(seed)))
+}
+
+func BenchmarkOptMinMem3000(b *testing.B) {
+	tr := synthTree(3000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		liu.MinMem(tr)
+	}
+}
+
+func BenchmarkPostOrderMinIO3000(b *testing.B) {
+	tr := synthTree(3000, 1)
+	in := core.NewInstance("x", tr)
+	M := in.M(core.BoundMid)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postorder.MinIO(tr, M)
+	}
+}
+
+func BenchmarkRecExpand3000(b *testing.B) {
+	tr := synthTree(3000, 1)
+	in := core.NewInstance("x", tr)
+	M := in.M(core.BoundMid)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expand.RecExpandDefault(tr, M); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFiFSimulator3000(b *testing.B) {
+	tr := synthTree(3000, 1)
+	in := core.NewInstance("x", tr)
+	M := in.M(core.BoundMid)
+	sched, _ := liu.MinMem(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := memsim.Run(tr, M, sched, memsim.FiF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEtreeAnalysis(b *testing.B) {
+	pat := sparse.Grid2D(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parent := sparse.Etree(pat)
+		post := sparse.EtreePostorder(parent)
+		counts := sparse.ColCounts(pat, parent)
+		sparse.Amalgamate(parent, post, counts, 0)
+	}
+}
+
+func BenchmarkUniformBinaryTree3000(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		randtree.Remy(3000, rng)
+	}
+}
+
+// --- Extensions beyond the paper --------------------------------------------
+
+// BenchmarkLocalSearchHeadroom measures how much I/O a schedule-space local
+// search can still shave off RECEXPAND's result on small instances, against
+// the provable lower bound max(0, Peak − M).
+func BenchmarkLocalSearchHeadroom(b *testing.B) {
+	instances := experiments.Synth(experiments.SynthConfig{Count: 10, Nodes: 120, Seed: 2})
+	var recTotal, searchTotal, lbTotal int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recTotal, searchTotal, lbTotal = 0, 0, 0
+		for _, in := range instances {
+			M := in.M(core.BoundMid)
+			res, err := expand.RecExpandDefault(in.Tree, M)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := search.Improve(in.Tree, M, res.Schedule, search.Options{Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			recTotal += res.IO
+			searchTotal += s.IO
+			lbTotal += core.IOLowerBound(in.Tree, M)
+		}
+	}
+	b.ReportMetric(float64(recTotal), "io_recexpand")
+	b.ReportMetric(float64(searchTotal), "io_after_search")
+	b.ReportMetric(float64(lbTotal), "io_lower_bound")
+}
+
+// BenchmarkOutOfCoreExecute runs the real byte-level executor on a SYNTH
+// instance at the mid bound and reports the realized spill volume.
+func BenchmarkOutOfCoreExecute(b *testing.B) {
+	tr := synthTree(300, 4)
+	in := core.NewInstance("x", tr)
+	M := in.M(core.BoundMid)
+	sched, _ := liu.MinMem(tr)
+	f := func(node int, inputs map[int][]byte) ([]byte, error) {
+		out := make([]byte, tr.Weight(node)*64)
+		for i := range out {
+			out[i] = byte(node + i)
+		}
+		return out, nil
+	}
+	var spilled int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := oocexec.Execute(tr, M, sched, oocexec.Config{UnitSize: 64}, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spilled = st.UnitsWritten
+	}
+	b.ReportMetric(float64(spilled), "units_spilled")
+}
+
+// BenchmarkParallelExecuteWorkers sweeps the worker count of the
+// tree-parallel executor under a shared memory budget.
+func BenchmarkParallelExecuteWorkers(b *testing.B) {
+	tr := synthTree(300, 4)
+	in := core.NewInstance("x", tr)
+	M := in.M(core.BoundMid)
+	sched, _ := liu.MinMem(tr)
+	f := func(node int, inputs map[int][]byte) ([]byte, error) {
+		out := make([]byte, tr.Weight(node)*64)
+		for i := range out {
+			out[i] = byte(node + i)
+		}
+		return out, nil
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var spilled int64
+			for i := 0; i < b.N; i++ {
+				_, st, err := oocexec.ExecuteParallel(tr, M, sched, workers, oocexec.Config{UnitSize: 64}, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spilled = st.UnitsWritten
+			}
+			b.ReportMetric(float64(spilled), "units_spilled")
+		})
+	}
+}

@@ -1,0 +1,288 @@
+// Command minio-bench regenerates the data behind every figure of the
+// paper's evaluation: the adversarial families of Section 4 (Figure 2),
+// the worked examples of Appendix A (Figures 6–7), and the performance
+// profiles of Section 6 / Appendix B (Figures 4, 5, 8, 9, 10, 11).
+//
+// Usage:
+//
+//	minio-bench -fig 4                 # SYNTH profiles, reduced scale
+//	minio-bench -fig 5 -scale paper    # TREES profiles at paper scale
+//	minio-bench -fig 2c                # adversarial family table
+//	minio-bench -fig all               # everything
+//	minio-bench -fig 4 -csv fig4.csv   # also dump the profile as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/expand"
+	"repro/internal/experiments"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/postorder"
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2a, 2b, 2c, 4, 5, 6, 7, 8, 9, 10, 11, all")
+	scale := flag.String("scale", "small", "dataset scale: small or paper")
+	seed := flag.Int64("seed", 9025, "dataset seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	csv := flag.String("csv", "", "write the profile of the selected figure as CSV to this file")
+	flag.Parse()
+
+	if err := dispatch(*fig, *scale, *seed, *workers, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "minio-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(fig, scale string, seed int64, workers int, csv string) error {
+	all := fig == "all"
+	did := false
+	runFig := func(name string, f func() error) error {
+		if !all && fig != name {
+			return nil
+		}
+		did = true
+		fmt.Printf("=== Figure %s ===\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("figure %s: %w", name, err)
+		}
+		fmt.Println()
+		return nil
+	}
+	steps := []struct {
+		name string
+		f    func() error
+	}{
+		{"2a", fig2a},
+		{"2b", fig2b},
+		{"2c", fig2c},
+		{"6", fig6},
+		{"7", fig7},
+		{"4", func() error { return profileFigure("4", "synth", core.BoundMid, scale, seed, workers, csv, false) }},
+		{"5", func() error { return profileFigure("5", "trees", core.BoundMid, scale, seed, workers, csv, true) }},
+		{"8", func() error { return profileFigure("8", "synth", core.BoundLB, scale, seed, workers, csv, false) }},
+		{"9", func() error { return profileFigure("9", "trees", core.BoundLB, scale, seed, workers, csv, true) }},
+		{"10", func() error {
+			return profileFigure("10", "synth", core.BoundPeakMinus1, scale, seed, workers, csv, false)
+		}},
+		{"11", func() error {
+			return profileFigure("11", "trees", core.BoundPeakMinus1, scale, seed, workers, csv, true)
+		}},
+	}
+	for _, s := range steps {
+		if err := runFig(s.name, s.f); err != nil {
+			return err
+		}
+	}
+	if !did {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func fig2a() error {
+	M := int64(20)
+	tab := stats.NewTable("levels", "n", "leaves", "good_schedule_IO", "postorderminio_IO")
+	for levels := 0; levels <= 6; levels++ {
+		tr, good, err := experiments.Fig2a(levels, M)
+		if err != nil {
+			return err
+		}
+		gio, err := memsim.IOOf(tr, M, good)
+		if err != nil {
+			return err
+		}
+		_, pio, _ := postorder.MinIO(tr, M)
+		tab.AddRowf("%d %d %d %d %d", levels, tr.N(), 2+levels, gio, pio)
+	}
+	fmt.Printf("M = %d; the good traversal pays 1 I/O regardless of size, every postorder Ω(n·M):\n", M)
+	return tab.Write(os.Stdout)
+}
+
+func fig2b() error {
+	tr, chain := experiments.Fig2b()
+	M := experiments.Fig2bM
+	sched, peak := liu.MinMem(tr)
+	oio, err := memsim.IOOf(tr, M, sched)
+	if err != nil {
+		return err
+	}
+	cio, err := memsim.IOOf(tr, M, chain)
+	if err != nil {
+		return err
+	}
+	cpeak, err := memsim.Peak(tr, chain)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("M = %d\n", M)
+	fmt.Printf("OPTMINMEM:        peak %d, I/O %d (paper: peak 8, I/O 4)\n", peak, oio)
+	fmt.Printf("chain-after-chain: peak %d, I/O %d (paper: peak 9, I/O 3)\n", cpeak, cio)
+	return nil
+}
+
+func fig2c() error {
+	tab := stats.NewTable("k", "M", "optminmem_peak", "optminmem_IO", "chain_IO", "paper_optminmem_IO")
+	for k := int64(2); k <= 12; k += 2 {
+		tr, chain, M, err := experiments.Fig2c(k)
+		if err != nil {
+			return err
+		}
+		sched, peak := liu.MinMem(tr)
+		oio, err := memsim.IOOf(tr, M, sched)
+		if err != nil {
+			return err
+		}
+		cio, err := memsim.IOOf(tr, M, chain)
+		if err != nil {
+			return err
+		}
+		tab.AddRowf("%d %d %d %d %d %d", k, M, peak, oio, cio, k*(k+1))
+	}
+	fmt.Println("OPTMINMEM pays Θ(k²) I/Os where 2k suffice:")
+	return tab.Write(os.Stdout)
+}
+
+func fig6() error {
+	tr, a, b := experiments.Fig6()
+	M := experiments.Fig6M
+	sched, peak := liu.MinMem(tr)
+	res, err := memsim.Run(tr, M, sched, memsim.FiF)
+	if err != nil {
+		return err
+	}
+	full, err := expand.FullRecExpand(tr, M)
+	if err != nil {
+		return err
+	}
+	_, pio, _ := postorder.MinIO(tr, M)
+	fmt.Printf("M = %d\n", M)
+	fmt.Printf("OPTMINMEM:      peak %d, I/O %d (τ(a)=%d on node %d, τ(b)=%d on node %d)\n",
+		peak, res.IO, res.Tau[a], a, res.Tau[b], b)
+	fmt.Printf("FULLRECEXPAND:  I/O %d after %d expansions (optimal: 3)\n", full.IO, full.Expansions)
+	fmt.Printf("POSTORDERMINIO: I/O %d\n", pio)
+	return nil
+}
+
+func fig7() error {
+	tr, c, _, _ := experiments.Fig7()
+	M := experiments.Fig7M
+	sched, pio, _ := postorder.MinIO(tr, M)
+	res, err := memsim.Run(tr, M, sched, memsim.FiF)
+	if err != nil {
+		return err
+	}
+	oSched, _ := liu.MinMem(tr)
+	oio, err := memsim.IOOf(tr, M, oSched)
+	if err != nil {
+		return err
+	}
+	full, err := expand.FullRecExpand(tr, M)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("M = %d\n", M)
+	fmt.Printf("POSTORDERMINIO: I/O %d, all on node c=%d (τ(c)=%d)\n", pio, c, res.Tau[c])
+	fmt.Printf("OPTMINMEM:      I/O %d   FULLRECEXPAND: I/O %d\n", oio, full.IO)
+	fmt.Println("(the paper's tie-breaking makes its OPTMINMEM pay 4 here; see EXPERIMENTS.md)")
+	return nil
+}
+
+func profileFigure(name, dataset string, bound core.Bound, scale string, seed int64, workers int, csv string, restrict bool) error {
+	var instances []*core.Instance
+	var algs []core.Algorithm
+	switch dataset {
+	case "synth":
+		cfg := experiments.SmallSynth
+		if scale == "paper" {
+			cfg = experiments.PaperSynth
+		}
+		cfg.Seed = seed
+		instances = experiments.Synth(cfg)
+		algs = core.PaperAlgorithms
+		if scale == "paper" {
+			// FULLRECEXPAND at 3000 nodes is very slow; the paper also
+			// runs it only on SYNTH, so keep it but warn.
+			fmt.Println("note: FULLRECEXPAND at paper scale can take a long time")
+		}
+	case "trees":
+		cfg := experiments.SmallTrees
+		if scale == "paper" {
+			cfg = experiments.PaperTrees
+		}
+		cfg.Seed = seed
+		instances = experiments.Trees(cfg)
+		algs = core.FastAlgorithms
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	fmt.Printf("%s dataset: %d instances (Peak > LB), bound %s\n", dataset, len(instances), bound)
+	run, err := experiments.Run(instances, algs, bound, workers)
+	if err != nil {
+		return err
+	}
+	if err := report(run); err != nil {
+		return err
+	}
+	if restrict {
+		diff := run.DifferingInstances()
+		fmt.Printf("\nrestricted to the %d instances where the heuristics differ:\n", len(diff.Instances))
+		if len(diff.Instances) > 0 {
+			if err := report(diff); err != nil {
+				return err
+			}
+		}
+	}
+	if csv != "" {
+		profs, err := run.Profiles(nil)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(csv)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := profile.WriteCSV(f, profs); err != nil {
+			return err
+		}
+		fmt.Println("CSV written to", csv)
+	}
+	return nil
+}
+
+func report(run *experiments.RunResult) error {
+	profs, err := run.Profiles(nil)
+	if err != nil {
+		return err
+	}
+	if err := profile.Render(os.Stdout, profs, 60, 12); err != nil {
+		return err
+	}
+	wins := run.WinLossCounts()
+	tab := stats.NewTable(append([]string{"wins_vs"}, algNames(run)...)...)
+	for a, alg := range run.Algorithms {
+		row := []string{string(alg)}
+		for b := range run.Algorithms {
+			row = append(row, fmt.Sprint(wins[a][b]))
+		}
+		tab.AddRow(row...)
+	}
+	fmt.Println("\npairwise strict wins (row beats column):")
+	return tab.Write(os.Stdout)
+}
+
+func algNames(run *experiments.RunResult) []string {
+	out := make([]string, len(run.Algorithms))
+	for i, a := range run.Algorithms {
+		out[i] = string(a)
+	}
+	return out
+}

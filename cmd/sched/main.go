@@ -1,0 +1,133 @@
+// Command sched runs a MinIO scheduling algorithm on a task tree (JSON, as
+// produced by treegen) and reports the traversal, its I/O volume and
+// optionally the step-by-step memory trace or a Graphviz rendering.
+//
+// Usage:
+//
+//	sched -tree tree.json -M 5000 -alg RecExpand
+//	sched -tree tree.json -mid -alg all -trace
+//	sched -tree tree.json -M 5000 -alg OptMinMem -dot out.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/search"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+func main() {
+	treePath := flag.String("tree", "", "task tree JSON file")
+	M := flag.Int64("M", 0, "memory bound (units)")
+	mid := flag.Bool("mid", false, "use the paper's mid bound (LB+Peak-1)/2 instead of -M")
+	alg := flag.String("alg", "RecExpand", "algorithm: OptMinMem, PostOrderMinIO, PostOrderMinMem, NaturalPostOrder, RecExpand, FullRecExpand, or all")
+	trace := flag.Bool("trace", false, "print the step-by-step memory trace")
+	dot := flag.String("dot", "", "write a Graphviz rendering (tree + schedule steps) to this file")
+	doSearch := flag.Bool("search", false, "post-optimize each schedule with local search")
+	out := flag.String("o", "", "write the last algorithm's full traversal (σ, τ) as JSON to this file")
+	flag.Parse()
+
+	if err := run(*treePath, *M, *mid, *alg, *trace, *dot, *doSearch, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "sched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(treePath string, M int64, mid bool, alg string, trace bool, dot string, doSearch bool, out string) error {
+	if treePath == "" {
+		return fmt.Errorf("-tree is required")
+	}
+	f, err := os.Open(treePath)
+	if err != nil {
+		return err
+	}
+	t, err := tree.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	in := core.NewInstance(treePath, t)
+	fmt.Printf("%s  LB=%d Peak_incore=%d\n", t.String(), in.LB, in.Peak)
+	if mid {
+		M = in.M(core.BoundMid)
+		if M < in.LB {
+			M = in.LB // Peak == LB: the tree never needs I/O
+		}
+		fmt.Printf("using mid bound M=%d\n", M)
+	}
+	if M <= 0 {
+		return fmt.Errorf("need -M > 0 or -mid")
+	}
+
+	algs := []core.Algorithm{core.Algorithm(alg)}
+	if alg == "all" {
+		algs = append(append([]core.Algorithm(nil), core.PaperAlgorithms...), core.PostOrderMinMem, core.NaturalPostOrder)
+	}
+	header := []string{"algorithm", "IO", "performance", "peak_incore"}
+	if doSearch {
+		header = append(header, "IO_after_search")
+	}
+	tab := stats.NewTable(header...)
+	var lastSched tree.Schedule
+	for _, a := range algs {
+		res, err := core.Run(a, t, M)
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%s %d %.4f %d", a, res.IO, res.Performance(M), res.Peak)
+		lastSched = res.Schedule
+		if doSearch {
+			s, err := search.Improve(t, M, res.Schedule, search.Options{Seed: 1})
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %d", s.IO)
+			lastSched = s.Schedule
+		}
+		tab.AddRowf("%s", row)
+	}
+	if err := tab.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	if trace && lastSched != nil {
+		res, err := memsim.RunTraced(t, M, lastSched, memsim.FiF)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace of %s (last algorithm):\n", algs[len(algs)-1])
+		fmt.Print(memsim.RenderTrace(res, 60))
+	}
+	if dot != "" && lastSched != nil {
+		f, err := os.Create(dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := t.WriteDOT(f, lastSched); err != nil {
+			return err
+		}
+		fmt.Println("DOT written to", dot)
+	}
+	if out != "" && lastSched != nil {
+		tv, err := core.NewTraversal(t, M, lastSched, algs[len(algs)-1])
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tv.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("traversal (IO=%d) written to %s\n", tv.IO(), out)
+	}
+	return nil
+}

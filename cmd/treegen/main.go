@@ -1,0 +1,136 @@
+// Command treegen generates task trees (to JSON on stdout or a file) from
+// the dataset substrates of the reproduction: uniform random binary trees
+// (SYNTH), elimination task trees of synthetic sparse matrices (TREES), or
+// elimination task trees of a user-supplied Matrix Market file.
+//
+// Usage:
+//
+//	treegen -kind synth -n 3000 -seed 1 > tree.json
+//	treegen -kind grid2d -n 24 -o grid.json
+//	treegen -kind grid3d -n 6
+//	treegen -kind rand -n 500 -deg 6
+//	treegen -kind band -n 300 -bw 4
+//	treegen -kind mm -in matrix.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/randtree"
+	"repro/internal/sparse"
+	"repro/internal/tree"
+)
+
+func main() {
+	kind := flag.String("kind", "synth", "synth, grid2d, grid3d, rand, band, mm")
+	n := flag.Int("n", 3000, "size parameter (nodes for synth/rand/band, grid side for grid2d/grid3d)")
+	deg := flag.Int("deg", 6, "average degree for -kind rand")
+	bw := flag.Int("bw", 4, "half bandwidth for -kind band")
+	seed := flag.Int64("seed", 1, "random seed")
+	relax := flag.Int64("relax", 0, "supernode amalgamation relaxation")
+	nd := flag.Bool("nd", false, "apply nested dissection (grid2d/grid3d; shorthand for -ord nd)")
+	ord := flag.String("ord", "natural", "fill-reducing ordering: natural, nd (grids), md (minimum degree), rcm")
+	in := flag.String("in", "", "input Matrix Market file for -kind mm")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if *nd {
+		*ord = "nd"
+	}
+
+	t, err := build(*kind, *n, *deg, *bw, *seed, *relax, *ord, *in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treegen:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := t.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "treegen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, t.String())
+}
+
+func build(kind string, n, deg, bw int, seed, relax int64, ord, in string) (*tree.Tree, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var p *sparse.Pattern
+	switch kind {
+	case "synth":
+		return randtree.Synth(n, rng), nil
+	case "grid2d":
+		p = sparse.Grid2D(n, n)
+		if ord == "nd" {
+			perm := sparse.NestedDissection2D(n, n, 8)
+			var err error
+			p, err = p.Permute(perm)
+			if err != nil {
+				return nil, err
+			}
+			ord = "natural"
+		}
+	case "grid3d":
+		p = sparse.Grid3D(n, n, n)
+		if ord == "nd" {
+			perm := sparse.NestedDissection3D(n, n, n, 8)
+			var err error
+			p, err = p.Permute(perm)
+			if err != nil {
+				return nil, err
+			}
+			ord = "natural"
+		}
+	case "rand":
+		p = sparse.RandomSymmetric(n, deg, rng)
+	case "band":
+		p = sparse.Band(n, bw)
+	case "mm":
+		if in == "" {
+			return nil, fmt.Errorf("-kind mm needs -in file.mtx")
+		}
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		p, err = sparse.ReadMatrixMarket(f)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+	switch ord {
+	case "natural", "":
+	case "md":
+		perm := sparse.MinimumDegree(p)
+		var err error
+		p, err = p.Permute(perm)
+		if err != nil {
+			return nil, err
+		}
+	case "rcm":
+		perm := sparse.ReverseCuthillMcKee(p)
+		var err error
+		p, err = p.Permute(perm)
+		if err != nil {
+			return nil, err
+		}
+	case "nd":
+		return nil, fmt.Errorf("-ord nd is only available for grid kinds")
+	default:
+		return nil, fmt.Errorf("unknown ordering %q", ord)
+	}
+	return sparse.EliminationTaskTree(p, relax)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildKinds(t *testing.T) {
+	cases := []struct {
+		kind string
+		n    int
+		ord  string
+		min  int // minimum acceptable node count
+	}{
+		{"synth", 50, "natural", 50},
+		{"grid2d", 8, "natural", 8},
+		{"grid2d", 8, "nd", 8},
+		{"grid3d", 3, "natural", 3},
+		{"grid3d", 3, "nd", 3},
+		{"rand", 60, "natural", 5},
+		{"rand", 60, "md", 5},
+		{"rand", 60, "rcm", 5},
+		{"band", 40, "natural", 5},
+	}
+	for _, c := range cases {
+		tr, err := build(c.kind, c.n, 4, 3, 1, 0, c.ord, "")
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.kind, c.ord, err)
+		}
+		if tr.N() < c.min {
+			t.Errorf("%s/%s: only %d nodes", c.kind, c.ord, tr.N())
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("nope", 10, 4, 3, 1, 0, "natural", ""); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := build("rand", 10, 4, 3, 1, 0, "nd", ""); err == nil {
+		t.Error("nd on non-grid accepted")
+	}
+	if _, err := build("rand", 10, 4, 3, 1, 0, "quantum", ""); err == nil {
+		t.Error("unknown ordering accepted")
+	}
+	if _, err := build("mm", 10, 4, 3, 1, 0, "natural", ""); err == nil {
+		t.Error("mm without input accepted")
+	}
+	if _, err := build("mm", 10, 4, 3, 1, 0, "natural", "/nonexistent.mtx"); err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Errorf("mm with missing file: %v", err)
+	}
+}

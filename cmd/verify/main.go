@@ -1,0 +1,153 @@
+// Command verify checks an out-of-core traversal against the paper's
+// validity conditions: given a tree (JSON, as written by treegen), a
+// memory bound, and optionally a schedule and/or an I/O function, it
+// reports whether the traversal is valid and what it costs.
+//
+//   - With only -tree and -M: verifies that the tree is processable
+//     (M ≥ LB) and reports LB, Peak, and the I/O lower bound.
+//   - With -sched file: validates the schedule and reports its FiF I/O
+//     (Theorem 1 gives the best τ for it).
+//   - With -tau file: computes a schedule realizing τ if one exists
+//     (Theorem 2) and prints it.
+//   - With both: checks the explicit (σ, τ) traversal.
+//
+// Schedules and τ are JSON arrays of integers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/expand"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+func main() {
+	treePath := flag.String("tree", "", "task tree JSON file")
+	M := flag.Int64("M", 0, "memory bound (units)")
+	schedPath := flag.String("sched", "", "schedule JSON file (array of node ids)")
+	tauPath := flag.String("tau", "", "I/O function JSON file (array of volumes)")
+	traversalPath := flag.String("traversal", "", "traversal JSON file written by sched -o (overrides -M/-sched/-tau)")
+	flag.Parse()
+
+	if *traversalPath != "" {
+		if err := runTraversal(*treePath, *traversalPath); err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*treePath, *M, *schedPath, *tauPath); err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+}
+
+func runTraversal(treePath, traversalPath string) error {
+	if treePath == "" {
+		return fmt.Errorf("need -tree")
+	}
+	tf, err := os.Open(treePath)
+	if err != nil {
+		return err
+	}
+	t, err := tree.ReadJSON(tf)
+	tf.Close()
+	if err != nil {
+		return err
+	}
+	vf, err := os.Open(traversalPath)
+	if err != nil {
+		return err
+	}
+	tv, err := core.ReadTraversal(vf)
+	vf.Close()
+	if err != nil {
+		return err
+	}
+	if err := tv.Validate(t); err != nil {
+		return fmt.Errorf("traversal INVALID: %w", err)
+	}
+	fmt.Printf("traversal valid: M=%d, I/O volume %d (algorithm %s)\n", tv.M, tv.IO(), tv.Algorithm)
+	return nil
+}
+
+func run(treePath string, M int64, schedPath, tauPath string) error {
+	if treePath == "" || M <= 0 {
+		return fmt.Errorf("need -tree and -M > 0")
+	}
+	f, err := os.Open(treePath)
+	if err != nil {
+		return err
+	}
+	t, err := tree.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	lb := t.MaxWBar()
+	peak := liu.MinMemPeak(t)
+	fmt.Printf("%s\n", t.String())
+	fmt.Printf("LB=%d Peak_incore=%d M=%d I/O lower bound=%d\n", lb, peak, M, core.IOLowerBound(t, M))
+	if M < lb {
+		return fmt.Errorf("M=%d below LB=%d: the tree cannot be processed", M, lb)
+	}
+
+	var sched tree.Schedule
+	if schedPath != "" {
+		var raw []int
+		if err := readJSON(schedPath, &raw); err != nil {
+			return err
+		}
+		sched = tree.Schedule(raw)
+	}
+	var tau []int64
+	if tauPath != "" {
+		if err := readJSON(tauPath, &tau); err != nil {
+			return err
+		}
+	}
+	switch {
+	case sched != nil && tau != nil:
+		if err := memsim.Validate(t, M, sched, tau); err != nil {
+			return fmt.Errorf("traversal INVALID: %w", err)
+		}
+		var total int64
+		for _, ti := range tau {
+			total += ti
+		}
+		fmt.Printf("traversal valid; declared I/O volume %d\n", total)
+	case sched != nil:
+		res, err := memsim.Run(t, M, sched, memsim.FiF)
+		if err != nil {
+			return fmt.Errorf("schedule INVALID: %w", err)
+		}
+		fmt.Printf("schedule valid; FiF I/O volume %d (optimal for this schedule by Theorem 1)\n", res.IO)
+	case tau != nil:
+		sched, err := expand.ScheduleForIO(t, M, tau)
+		if err != nil {
+			return fmt.Errorf("no valid schedule for the given τ: %w", err)
+		}
+		out, err := json.Marshal(sched)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("τ is realizable (Theorem 2); one valid schedule:\n%s\n", out)
+	default:
+		fmt.Println("tree is processable at this bound")
+	}
+	return nil
+}
+
+func readJSON(path string, dst any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, dst)
+}

@@ -1,0 +1,61 @@
+// Adversarial: reproduces the two lower-bound families of Section 4 of the
+// paper, showing that both classical strategies can be arbitrarily far from
+// optimal — the reason the paper's expansion heuristic exists.
+//
+// Family (a) (Figure 2(a)) defeats the best postorder: one unit of I/O
+// suffices, yet every postorder pays about M/2 per leaf. Family (c)
+// (Figure 2(c)) defeats the optimal peak-memory traversal: 2k I/Os suffice,
+// yet OPTMINMEM pays Θ(k²).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println("--- Family (a): postorders are not competitive (M = 20) ---")
+	M := int64(20)
+	fmt.Printf("%8s %8s %14s %16s\n", "levels", "nodes", "optimal I/O", "postorder I/O")
+	for levels := 0; levels <= 6; levels += 2 {
+		t, good, err := experiments.Fig2a(levels, M)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gio, err := repro.IOVolume(t, M, good)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, pio := repro.BestPostorder(t, M)
+		fmt.Printf("%8d %8d %14d %16d\n", levels, t.N(), gio, pio)
+	}
+
+	fmt.Println()
+	fmt.Println("--- Family (c): OPTMINMEM is not competitive (M = 4k) ---")
+	fmt.Printf("%8s %8s %14s %16s %12s\n", "k", "M", "chain I/O", "OptMinMem I/O", "RecExpand")
+	for k := int64(2); k <= 10; k += 2 {
+		t, chain, M, err := experiments.Fig2c(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cio, err := repro.IOVolume(t, M, chain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := repro.Schedule(t, M, repro.OptMinMem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := repro.Schedule(t, M, repro.RecExpand)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %8d %14d %16d %12d\n", k, M, cio, opt.IO, rec.IO)
+	}
+	fmt.Println()
+	fmt.Println("RecExpand repairs OPTMINMEM by making the forced I/Os explicit in the")
+	fmt.Println("tree before rescheduling (Section 5 of the paper).")
+}

@@ -1,0 +1,49 @@
+// Paging: a close-up of the out-of-core machinery on the Figure 6 example.
+// It shows the step-by-step memory timeline of OPTMINMEM's schedule under
+// the Furthest-in-Future policy, then how FULLRECEXPAND transforms the tree
+// (expanding node b, then the middle link again) to reach the optimal three
+// units of I/O.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/expand"
+	"repro/internal/experiments"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+)
+
+func main() {
+	t, a, b := experiments.Fig6()
+	M := experiments.Fig6M
+	fmt.Printf("Figure 6 tree (%d tasks), M = %d, nodes a=%d b=%d\n", t.N(), M, a, b)
+	fmt.Printf("minimum memory %d, in-core peak %d\n\n", repro.MinMemory(t), repro.OptimalPeak(t))
+
+	// OPTMINMEM's schedule, traced step by step.
+	sched, peak := liu.MinMem(t)
+	fmt.Printf("OPTMINMEM schedule (in-core peak %d): %v\n", peak, sched)
+	res, err := memsim.RunTraced(t, M, sched, memsim.FiF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(memsim.RenderTrace(res, 48))
+	fmt.Printf("τ per node: %v\n\n", res.Tau)
+
+	// FULLRECEXPAND: expansion-by-expansion.
+	full, err := expand.FullRecExpand(t, M)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FULLRECEXPAND: %d expansions, declared I/O %d (optimal is 3)\n",
+		full.Expansions, full.IO)
+	fmt.Printf("final schedule on the original tree: %v\n", full.Schedule)
+
+	simIO, err := repro.IOVolume(t, M, full.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-simulating that schedule with FiF paging: %d units of I/O\n", simIO)
+}

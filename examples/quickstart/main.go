@@ -1,0 +1,61 @@
+// Quickstart: build a small task tree, ask how much memory it needs, then
+// schedule it out-of-core with every algorithm of the paper and compare the
+// I/O volumes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The Figure 2(b) tree of the paper: a unit root consuming two
+	// chains with output sizes 3, 5, 2, 6 (top-down).
+	//
+	//            root(1)
+	//           /       \
+	//         3           3
+	//         |           |
+	//         5           5
+	//         |           |
+	//         2           2
+	//         |           |
+	//         6           6
+	parents := []int{repro.None, 0, 1, 2, 3, 0, 5, 6, 7}
+	weights := []int64{1, 3, 5, 2, 6, 3, 5, 2, 6}
+	t, err := repro.NewTree(parents, weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lb := repro.MinMemory(t)     // cannot run at all below this
+	peak := repro.OptimalPeak(t) // no I/O needed at or above this
+	fmt.Printf("tree with %d tasks: minimum memory %d, in-core peak %d\n", t.N(), lb, peak)
+
+	M := int64(6) // the paper's bound for this example
+	fmt.Printf("scheduling with M = %d:\n", M)
+	for _, alg := range []repro.Algorithm{
+		repro.OptMinMem,
+		repro.PostOrderMinIO,
+		repro.RecExpand,
+		repro.FullRecExpand,
+	} {
+		res, err := repro.Schedule(t, M, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s I/O volume %d  (performance %.3f)\n",
+			alg, res.IO, res.Performance(M))
+	}
+
+	// Any topological order can be evaluated directly; Theorem 1 says
+	// the Furthest-in-Future policy used by IOVolume is optimal for it.
+	chainAfterChain := repro.TaskSchedule{4, 3, 2, 1, 8, 7, 6, 5, 0}
+	io, err := repro.IOVolume(t, M, chainAfterChain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hand-written chain-after-chain order: I/O volume %d (the optimum here)\n", io)
+}

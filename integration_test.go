@@ -1,0 +1,210 @@
+package repro
+
+// End-to-end integration tests spanning the whole stack: dataset substrate
+// → symbolic analysis → scheduling → validation → byte-level execution.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expand"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/oocexec"
+	"repro/internal/randtree"
+	"repro/internal/search"
+	"repro/internal/sparse"
+	"repro/internal/tree"
+)
+
+// TestPipelineSparseToExecution runs the full multifrontal scenario: build
+// a matrix, analyze it, schedule the assembly tree out-of-core with every
+// algorithm, verify each traversal, and execute the best one with real
+// byte buffers, checking the result against an in-core run.
+func TestPipelineSparseToExecution(t *testing.T) {
+	nx := 18
+	pat := sparse.Grid2D(nx, nx)
+	perm := sparse.NestedDissection2D(nx, nx, 8)
+	pat, err := pat.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := sparse.EliminationTaskTree(pat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.NewInstance("grid", tt)
+	if !in.NeedsIO() {
+		t.Fatalf("instance unexpectedly I/O-free (LB=%d Peak=%d)", in.LB, in.Peak)
+	}
+	M := in.M(core.BoundMid)
+	lbIO := core.IOLowerBound(tt, M)
+
+	var bestSched tree.Schedule
+	bestIO := int64(1) << 62
+	for _, alg := range core.PaperAlgorithms {
+		res, err := core.Run(alg, tt, M)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.IO < lbIO {
+			t.Fatalf("%s: IO %d below the provable lower bound %d", alg, res.IO, lbIO)
+		}
+		if err := tree.Validate(tt, res.Schedule); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.IO < bestIO {
+			bestIO, bestSched = res.IO, res.Schedule
+		}
+	}
+
+	// The FiF τ of the best schedule must be realizable via Theorem 2.
+	plan, err := memsim.Run(tt, M, bestSched, memsim.FiF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expand.ScheduleForIO(tt, M, plan.Tau); err != nil {
+		t.Fatal(err)
+	}
+
+	// Execute for real (unit = 4 bytes to keep buffers small).
+	f := func(node int, inputs map[int][]byte) ([]byte, error) {
+		var acc byte
+		for _, c := range tt.Children(node) {
+			buf, ok := inputs[c]
+			if !ok {
+				return nil, fmt.Errorf("missing input %d", c)
+			}
+			for _, b := range buf {
+				acc ^= b
+			}
+		}
+		out := make([]byte, tt.Weight(node)*4)
+		for i := range out {
+			out[i] = acc ^ byte(node+i)
+		}
+		return out, nil
+	}
+	want, _, err := oocexec.Execute(tt, in.Peak, bestSched, oocexec.Config{UnitSize: 4}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := oocexec.Execute(tt, M, bestSched, oocexec.Config{UnitSize: 4, SpillDir: t.TempDir()}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("out-of-core execution produced a different result")
+	}
+	if st.UnitsWritten != plan.IO {
+		t.Fatalf("executor spilled %d units, planner predicted %d", st.UnitsWritten, plan.IO)
+	}
+}
+
+// TestPipelineSynthSearchHeadroom checks the solver chain on SYNTH
+// instances: heuristics ≥ brute lower bound, local search never hurts, and
+// the paper's hierarchy holds in aggregate.
+func TestPipelineSynthSearchHeadroom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var sumOpt, sumRec, sumPO int64
+	for trial := 0; trial < 10; trial++ {
+		tr := randtree.Synth(200, rng)
+		in := core.NewInstance("s", tr)
+		if !in.NeedsIO() {
+			continue
+		}
+		M := in.M(core.BoundMid)
+		opt, err := core.Run(core.OptMinMem, tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := core.Run(core.RecExpand, tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		po, err := core.Run(core.PostOrderMinIO, tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumOpt += opt.IO
+		sumRec += rec.IO
+		sumPO += po.IO
+		recSchedIO, err := memsim.IOOf(tr, M, rec.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := search.Improve(tr, M, rec.Schedule, search.Options{Seed: int64(trial), MaxRounds: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.IO > recSchedIO {
+			t.Fatal("search made things worse")
+		}
+	}
+	if sumRec > sumOpt {
+		t.Errorf("RecExpand total %d above OptMinMem total %d", sumRec, sumOpt)
+	}
+	if sumPO < sumRec {
+		t.Errorf("PostOrderMinIO total %d below RecExpand total %d on SYNTH — unexpected", sumPO, sumRec)
+	}
+}
+
+// TestDeterminism: the whole pipeline is deterministic for a fixed seed.
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		tr := randtree.Synth(150, rand.New(rand.NewSource(5)))
+		in := core.NewInstance("d", tr)
+		M := in.M(core.BoundMid)
+		var out string
+		for _, alg := range core.PaperAlgorithms {
+			res, err := core.Run(alg, tr, M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out += fmt.Sprintf("%s=%d;", alg, res.IO)
+		}
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %s vs %s", a, b)
+	}
+}
+
+// TestDeepTreeStack exercises every algorithm on a 50k-node chain-heavy
+// tree (elimination trees of banded matrices are near-chains of this
+// size); nothing may recurse on the Go stack proportionally to depth.
+func TestDeepTreeStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep-tree stress")
+	}
+	n := 50_000
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = tree.None
+	weight[0] = 1
+	rng := rand.New(rand.NewSource(9))
+	for i := 1; i < n; i++ {
+		// Mostly a chain with occasional short branches.
+		if i > 10 && rng.Intn(20) == 0 {
+			parent[i] = i - 1 - rng.Intn(10)
+		} else {
+			parent[i] = i - 1
+		}
+		weight[i] = 1 + rng.Int63n(9)
+	}
+	tr := tree.MustNew(parent, weight)
+	in := core.NewInstance("deep", tr)
+	M := in.M(core.BoundMid)
+	if M < in.LB {
+		M = in.LB
+	}
+	for _, alg := range []core.Algorithm{core.OptMinMem, core.PostOrderMinIO, core.PostOrderMinMem, core.NaturalPostOrder} {
+		if _, err := core.Run(alg, tr, M); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+	_ = liu.MemProfile(tr)
+}

@@ -1,0 +1,161 @@
+// Package brute provides an exact exponential-time MinIO solver used as a
+// test oracle. By the paper's Theorem 1, for any fixed schedule σ the FiF
+// policy yields an optimal I/O function τ, so the global optimum is the
+// minimum of the FiF I/O volume over all topological orders of the tree.
+// The solver enumerates all linear extensions; it is intended for trees of
+// at most a dozen nodes.
+package brute
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+// MaxOrders bounds the number of topological orders the solver will visit
+// before giving up, as a guard against accidental use on large trees.
+const MaxOrders = 20_000_000
+
+// MinIO returns an optimal schedule and the optimal I/O volume for tree t
+// under memory bound M. It errors if M < LB or if the enumeration exceeds
+// MaxOrders.
+func MinIO(t *tree.Tree, M int64) (tree.Schedule, int64, error) {
+	if lb := t.MaxWBar(); M < lb {
+		return nil, 0, fmt.Errorf("brute: M=%d below LB=%d", M, lb)
+	}
+	n := t.N()
+	remaining := make([]int, n) // unprocessed children count
+	for i := 0; i < n; i++ {
+		remaining[i] = t.NumChildren(i)
+	}
+	avail := make([]bool, n)
+	for i := 0; i < n; i++ {
+		avail[i] = remaining[i] == 0
+	}
+	cur := make(tree.Schedule, 0, n)
+	best := tree.Schedule(nil)
+	bestIO := int64(math.MaxInt64)
+	visited := 0
+	var overflow bool
+
+	var rec func()
+	rec = func() {
+		if overflow || bestIO == 0 && best != nil {
+			return // cannot beat a zero-I/O schedule
+		}
+		if len(cur) == n {
+			visited++
+			if visited > MaxOrders {
+				overflow = true
+				return
+			}
+			res, err := memsim.Run(t, M, cur, memsim.FiF)
+			if err != nil {
+				panic("brute: generated invalid schedule: " + err.Error())
+			}
+			if res.IO < bestIO {
+				bestIO = res.IO
+				best = append(tree.Schedule(nil), cur...)
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if !avail[v] {
+				continue
+			}
+			avail[v] = false
+			cur = append(cur, v)
+			p := t.Parent(v)
+			if p != tree.None {
+				remaining[p]--
+				if remaining[p] == 0 {
+					avail[p] = true
+				}
+			}
+			rec()
+			if p != tree.None {
+				if remaining[p] == 0 {
+					avail[p] = false
+				}
+				remaining[p]++
+			}
+			cur = cur[:len(cur)-1]
+			avail[v] = true
+		}
+	}
+	rec()
+	if overflow {
+		return nil, 0, fmt.Errorf("brute: more than %d topological orders", MaxOrders)
+	}
+	return best, bestIO, nil
+}
+
+// OptimalPeak returns the minimum in-core peak memory over all topological
+// orders, by exhaustive enumeration (an oracle for Liu's MinMem).
+func OptimalPeak(t *tree.Tree) (int64, error) {
+	n := t.N()
+	remaining := make([]int, n)
+	for i := 0; i < n; i++ {
+		remaining[i] = t.NumChildren(i)
+	}
+	avail := make([]bool, n)
+	for i := 0; i < n; i++ {
+		avail[i] = remaining[i] == 0
+	}
+	cur := make(tree.Schedule, 0, n)
+	bestPeak := int64(math.MaxInt64)
+	visited := 0
+	var overflow bool
+
+	var rec func()
+	rec = func() {
+		if overflow {
+			return
+		}
+		if len(cur) == n {
+			visited++
+			if visited > MaxOrders {
+				overflow = true
+				return
+			}
+			p, err := memsim.Peak(t, cur)
+			if err != nil {
+				panic("brute: generated invalid schedule: " + err.Error())
+			}
+			if p < bestPeak {
+				bestPeak = p
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if !avail[v] {
+				continue
+			}
+			avail[v] = false
+			cur = append(cur, v)
+			p := t.Parent(v)
+			if p != tree.None {
+				remaining[p]--
+				if remaining[p] == 0 {
+					avail[p] = true
+				}
+			}
+			rec()
+			if p != tree.None {
+				if remaining[p] == 0 {
+					avail[p] = false
+				}
+				remaining[p]++
+			}
+			cur = cur[:len(cur)-1]
+			avail[v] = true
+		}
+	}
+	rec()
+	if overflow {
+		return 0, fmt.Errorf("brute: more than %d topological orders", MaxOrders)
+	}
+	return bestPeak, nil
+}

@@ -1,0 +1,109 @@
+package brute
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+func TestMinIOChainTrivial(t *testing.T) {
+	tr := tree.Chain(3, 5, 2)
+	sched, io, err := MinIO(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io != 0 {
+		t.Fatalf("chain needs no I/O at M=max w̄, got %d", io)
+	}
+	if !tree.IsTopological(tr, sched) {
+		t.Fatal("schedule invalid")
+	}
+}
+
+func TestMinIOBelowLB(t *testing.T) {
+	tr := tree.Star(1, 5, 5)
+	if _, _, err := MinIO(tr, 9); err == nil {
+		t.Fatal("M below LB accepted")
+	}
+	if _, err := OptimalPeak(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinIOKnownInstance(t *testing.T) {
+	// Figure 2(b): optimum 3 at M=6.
+	tr := tree.Graft(1, tree.Chain(3, 5, 2, 6), tree.Chain(3, 5, 2, 6))
+	sched, io, err := MinIO(tr, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io != 3 {
+		t.Fatalf("optimum %d, want 3", io)
+	}
+	got, err := memsim.IOOf(tr, 6, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != io {
+		t.Fatalf("declared %d but schedule simulates to %d", io, got)
+	}
+}
+
+func TestMinIOZeroShortCircuit(t *testing.T) {
+	// With M = optimal peak, the enumeration stops at the first
+	// zero-I/O schedule.
+	tr := tree.Star(2, 3, 4)
+	peak, err := OptimalPeak(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, io, err := MinIO(tr, peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io != 0 {
+		t.Fatalf("io=%d at M=peak", io)
+	}
+}
+
+func TestOptimalPeakMatchesKnown(t *testing.T) {
+	tr := tree.Graft(1, tree.Chain(3, 5, 2, 6), tree.Chain(3, 5, 2, 6))
+	p, err := OptimalPeak(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 8 {
+		t.Fatalf("peak %d, want 8 (paper Section 4.4)", p)
+	}
+}
+
+func TestMinIONeverAboveAnyHeuristicSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(7)
+		parent := make([]int, n)
+		weight := make([]int64, n)
+		parent[0] = tree.None
+		weight[0] = 1 + rng.Int63n(9)
+		for i := 1; i < n; i++ {
+			parent[i] = rng.Intn(i)
+			weight[i] = 1 + rng.Int63n(9)
+		}
+		tr := tree.MustNew(parent, weight)
+		lb := tr.MaxWBar()
+		M := lb + rng.Int63n(5)
+		_, opt, err := MinIO(tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io, err := memsim.IOOf(tr, M, tr.NaturalPostorder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt > io {
+			t.Fatalf("trial %d: optimum %d above a concrete schedule's %d", trial, opt, io)
+		}
+	}
+}

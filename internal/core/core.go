@@ -1,0 +1,198 @@
+// Package core is the solver facade of the reproduction: it exposes the
+// MinIO problem (minimize the I/O volume of an out-of-core task-tree
+// traversal under a memory bound M), a registry of the paper's algorithms,
+// the memory-bound selection rules of Section 6, and the performance metric
+// used by the evaluation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expand"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/postorder"
+	"repro/internal/tree"
+)
+
+// Algorithm identifies one scheduling strategy for MinIO.
+type Algorithm string
+
+const (
+	// OptMinMem schedules with Liu's optimal peak-memory traversal and
+	// pays FiF I/Os (Section 4.4).
+	OptMinMem Algorithm = "OptMinMem"
+	// PostOrderMinIO is Agullo's best postorder for the I/O volume
+	// (Section 4.1).
+	PostOrderMinIO Algorithm = "PostOrderMinIO"
+	// PostOrderMinMem is Liu's best postorder for peak memory, included
+	// as an additional baseline.
+	PostOrderMinMem Algorithm = "PostOrderMinMem"
+	// NaturalPostOrder processes children in construction order: the
+	// naive baseline.
+	NaturalPostOrder Algorithm = "NaturalPostOrder"
+	// RecExpand is the paper's novel heuristic with expansion budget 2
+	// per node (Section 5).
+	RecExpand Algorithm = "RecExpand"
+	// FullRecExpand is the unbounded variant (Algorithm 2).
+	FullRecExpand Algorithm = "FullRecExpand"
+)
+
+// PaperAlgorithms lists the four strategies compared in Section 6, in the
+// paper's plotting order.
+var PaperAlgorithms = []Algorithm{OptMinMem, RecExpand, PostOrderMinIO, FullRecExpand}
+
+// FastAlgorithms is PaperAlgorithms without FULLRECEXPAND, matching the
+// paper's TREES runs (FULLRECEXPAND is only run on the smaller dataset
+// "because of its high computational complexity").
+var FastAlgorithms = []Algorithm{OptMinMem, RecExpand, PostOrderMinIO}
+
+// Result reports a traversal produced by an algorithm.
+type Result struct {
+	Algorithm Algorithm
+	Schedule  tree.Schedule
+	// IO is the traversal's total I/O volume Σ τ(i) under memory bound M.
+	IO int64
+	// Peak is the in-core peak of the schedule (its memory need with
+	// unbounded memory).
+	Peak int64
+}
+
+// Performance returns the paper's Section 6 metric (M + IO) / M.
+func (r *Result) Performance(M int64) float64 {
+	return float64(M+r.IO) / float64(M)
+}
+
+// Run executes the given algorithm on t under memory bound M.
+func Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
+	if lb := t.MaxWBar(); M < lb {
+		return nil, fmt.Errorf("core: M=%d below LB=%d", M, lb)
+	}
+	var sched tree.Schedule
+	var io int64
+	switch alg {
+	case OptMinMem:
+		sched, _ = liu.MinMem(t)
+	case PostOrderMinIO:
+		sched, _, _ = postorder.MinIO(t, M)
+	case PostOrderMinMem:
+		sched, _ = liu.PostOrderMinMem(t)
+	case NaturalPostOrder:
+		sched = t.NaturalPostorder()
+	case RecExpand:
+		res, err := expand.RecExpandDefault(t, M)
+		if err != nil {
+			return nil, err
+		}
+		sched, io = res.Schedule, res.IO
+	case FullRecExpand:
+		res, err := expand.FullRecExpand(t, M)
+		if err != nil {
+			return nil, err
+		}
+		sched, io = res.Schedule, res.IO
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+	sim, err := memsim.Run(t, M, sched, memsim.FiF)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s produced an invalid schedule: %w", alg, err)
+	}
+	if alg != RecExpand && alg != FullRecExpand {
+		io = sim.IO
+	}
+	return &Result{Algorithm: alg, Schedule: sched, IO: io, Peak: sim.Peak}, nil
+}
+
+// RunAll runs every algorithm of algs on t under M, returning results in
+// the same order.
+func RunAll(algs []Algorithm, t *tree.Tree, M int64) ([]*Result, error) {
+	out := make([]*Result, len(algs))
+	for i, a := range algs {
+		r, err := Run(a, t, M)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// IOLowerBound returns a provable lower bound on the optimal I/O volume of
+// t under memory bound M: any traversal whose I/O function sums to k keeps
+// at most k units on disk at any instant, so its schedule's in-core peak is
+// at most M + k; since that peak is at least Peak_incore (Liu's optimum),
+// k ≥ Peak_incore − M.
+func IOLowerBound(t *tree.Tree, M int64) int64 {
+	if k := liu.MinMemPeak(t) - M; k > 0 {
+		return k
+	}
+	return 0
+}
+
+// Bound selects the memory limit for an instance, per Section 6 and
+// Appendix B.
+type Bound int
+
+const (
+	// BoundMid is M = (LB + Peak_incore − 1) / 2, the main experiments'
+	// setting.
+	BoundMid Bound = iota
+	// BoundLB is M1 = LB, the smallest bound for which the tree can be
+	// processed (Appendix B).
+	BoundLB
+	// BoundPeakMinus1 is M2 = Peak_incore − 1, the largest bound for
+	// which some I/O is required (Appendix B).
+	BoundPeakMinus1
+)
+
+// String names the bound.
+func (b Bound) String() string {
+	switch b {
+	case BoundMid:
+		return "Mid"
+	case BoundLB:
+		return "LB"
+	case BoundPeakMinus1:
+		return "PeakMinus1"
+	}
+	return fmt.Sprintf("Bound(%d)", int(b))
+}
+
+// Instance couples a tree with its precomputed memory characteristics.
+type Instance struct {
+	Name string
+	Tree *tree.Tree
+	// LB = max_i w̄(i): minimum feasible memory.
+	LB int64
+	// Peak is the optimal in-core peak memory (OPTMINMEM's peak).
+	Peak int64
+}
+
+// NewInstance analyzes t.
+func NewInstance(name string, t *tree.Tree) *Instance {
+	return &Instance{Name: name, Tree: t, LB: t.MaxWBar(), Peak: liu.MinMemPeak(t)}
+}
+
+// NeedsIO reports whether some memory bound in [LB, Peak−1] exists, i.e.
+// whether the instance can be made I/O-bound at all. Section 6 drops TREES
+// instances with Peak == LB.
+func (in *Instance) NeedsIO() bool { return in.Peak > in.LB }
+
+// M returns the memory bound selected by b for this instance.
+func (in *Instance) M(b Bound) int64 {
+	switch b {
+	case BoundLB:
+		return in.LB
+	case BoundPeakMinus1:
+		return in.Peak - 1
+	default:
+		return (in.LB + in.Peak - 1) / 2
+	}
+}
+
+// Sort orders instances by name (stable dataset presentation).
+func Sort(ins []*Instance) {
+	sort.Slice(ins, func(i, j int) bool { return ins[i].Name < ins[j].Name })
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/randtree"
+	"repro/internal/tree"
+)
+
+func fig2bTree() *tree.Tree {
+	return tree.Graft(1, tree.Chain(3, 5, 2, 6), tree.Chain(3, 5, 2, 6))
+}
+
+func TestRunAllAlgorithmsValid(t *testing.T) {
+	tr := fig2bTree()
+	in := NewInstance("fig2b", tr)
+	if in.LB != 6 || in.Peak != 8 {
+		t.Fatalf("LB=%d Peak=%d want 6/8", in.LB, in.Peak)
+	}
+	if !in.NeedsIO() {
+		t.Fatal("instance needs I/O")
+	}
+	algs := append(append([]Algorithm(nil), PaperAlgorithms...), PostOrderMinMem, NaturalPostOrder)
+	for _, M := range []int64{in.M(BoundLB), in.M(BoundMid), in.M(BoundPeakMinus1)} {
+		results, err := RunAll(algs, tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := brute.MinIO(tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if err := tree.Validate(tr, r.Schedule); err != nil {
+				t.Fatalf("%s: %v", r.Algorithm, err)
+			}
+			if r.IO < opt {
+				t.Fatalf("%s reports IO %d below optimum %d at M=%d", r.Algorithm, r.IO, opt, M)
+			}
+			if p := r.Performance(M); p < 1 {
+				t.Fatalf("%s: performance %f < 1", r.Algorithm, p)
+			}
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if _, err := Run(Algorithm("nope"), fig2bTree(), 8); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunBelowLB(t *testing.T) {
+	if _, err := Run(OptMinMem, fig2bTree(), 5); err == nil {
+		t.Fatal("M below LB accepted")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	in := NewInstance("x", fig2bTree())
+	if in.M(BoundLB) != 6 {
+		t.Errorf("M1=%d", in.M(BoundLB))
+	}
+	if in.M(BoundPeakMinus1) != 7 {
+		t.Errorf("M2=%d", in.M(BoundPeakMinus1))
+	}
+	if in.M(BoundMid) != (6+8-1)/2 {
+		t.Errorf("Mid=%d", in.M(BoundMid))
+	}
+	for _, b := range []Bound{BoundMid, BoundLB, BoundPeakMinus1} {
+		if b.String() == "" {
+			t.Error("empty bound name")
+		}
+	}
+	if Bound(9).String() == "" {
+		t.Error("unknown bound name empty")
+	}
+}
+
+func TestZeroIOAtPeak(t *testing.T) {
+	tr := fig2bTree()
+	in := NewInstance("x", tr)
+	// At M = Peak_incore only the algorithms that reach the optimal
+	// peak are I/O-free; postorders still pay (their own peak is 9).
+	for _, alg := range []Algorithm{OptMinMem, RecExpand, FullRecExpand} {
+		r, err := Run(alg, tr, in.Peak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.IO != 0 {
+			t.Errorf("%s pays %d at M=Peak", alg, r.IO)
+		}
+	}
+	r, err := Run(PostOrderMinIO, tr, in.Peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IO != 1 {
+		t.Errorf("PostOrderMinIO pays %d at M=Peak, want 1 (its own peak is 9)", r.IO)
+	}
+	// At M = best-postorder peak, every algorithm is I/O-free.
+	for _, alg := range PaperAlgorithms {
+		r, err := Run(alg, tr, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.IO != 0 {
+			t.Errorf("%s pays %d at M=9", alg, r.IO)
+		}
+	}
+}
+
+func TestResultsNeverBelowOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	trials := 40
+	if testing.Short() {
+		trials = 12
+	}
+	for trial := 0; trial < trials; trial++ {
+		tr := randtree.AssignWeights(randtree.Remy(2+rng.Intn(7), rng), 1, 9, rng)
+		in := NewInstance("t", tr)
+		if !in.NeedsIO() {
+			continue
+		}
+		M := in.M(BoundMid)
+		_, opt, err := brute.MinIO(tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range PaperAlgorithms {
+			r, err := Run(alg, tr, M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.IO < opt {
+				t.Fatalf("trial %d: %s IO %d below optimum %d (parents=%v weights=%v M=%d)",
+					trial, alg, r.IO, opt, tr.Parents(), tr.Weights(), M)
+			}
+		}
+	}
+}
+
+func TestSortInstances(t *testing.T) {
+	a := NewInstance("b", fig2bTree())
+	b := NewInstance("a", fig2bTree())
+	ins := []*Instance{a, b}
+	Sort(ins)
+	if ins[0].Name != "a" {
+		t.Fatal("not sorted")
+	}
+}

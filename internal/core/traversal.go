@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+// Traversal is the serializable form of a complete solution (σ, τ) for a
+// given memory bound: the artifact a planner hands to an execution engine.
+type Traversal struct {
+	// M is the memory bound the traversal was planned for.
+	M int64 `json:"m"`
+	// Schedule is σ: Schedule[t] is the node executed at step t.
+	Schedule tree.Schedule `json:"schedule"`
+	// Tau is τ: Tau[i] is the volume of node i's output written to disk.
+	Tau []int64 `json:"tau"`
+	// Algorithm records the producing strategy (informational).
+	Algorithm Algorithm `json:"algorithm,omitempty"`
+}
+
+// NewTraversal derives the full traversal of a schedule under M using the
+// FiF policy (optimal for the schedule, Theorem 1).
+func NewTraversal(t *tree.Tree, M int64, sched tree.Schedule, alg Algorithm) (*Traversal, error) {
+	res, err := memsim.Run(t, M, sched, memsim.FiF)
+	if err != nil {
+		return nil, err
+	}
+	return &Traversal{M: M, Schedule: res.Schedule, Tau: res.Tau, Algorithm: alg}, nil
+}
+
+// IO returns Σ τ(i).
+func (tv *Traversal) IO() int64 {
+	var s int64
+	for _, ti := range tv.Tau {
+		s += ti
+	}
+	return s
+}
+
+// Validate checks the traversal against the paper's validity conditions.
+func (tv *Traversal) Validate(t *tree.Tree) error {
+	return memsim.Validate(t, tv.M, tv.Schedule, tv.Tau)
+}
+
+// Write serializes the traversal as JSON.
+func (tv *Traversal) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(tv)
+}
+
+// ReadTraversal parses a traversal written by Write.
+func ReadTraversal(r io.Reader) (*Traversal, error) {
+	var tv Traversal
+	if err := json.NewDecoder(r).Decode(&tv); err != nil {
+		return nil, err
+	}
+	if tv.M <= 0 {
+		return nil, fmt.Errorf("core: traversal has non-positive M")
+	}
+	if len(tv.Schedule) != len(tv.Tau) {
+		return nil, fmt.Errorf("core: traversal has %d schedule steps but %d τ entries",
+			len(tv.Schedule), len(tv.Tau))
+	}
+	return &tv, nil
+}

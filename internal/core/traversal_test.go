@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestTraversalRoundTrip(t *testing.T) {
+	tr := fig2bTree()
+	sched := tree.Schedule{4, 3, 2, 1, 8, 7, 6, 5, 0}
+	tv, err := NewTraversal(tr, 6, sched, NaturalPostOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.IO() != 3 {
+		t.Fatalf("IO=%d", tv.IO())
+	}
+	if err := tv.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tv.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraversal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.IO() != 3 || back.M != 6 || back.Algorithm != NaturalPostOrder {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if err := back.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraversalErrors(t *testing.T) {
+	tr := fig2bTree()
+	if _, err := NewTraversal(tr, 5, tree.Schedule{4, 3, 2, 1, 8, 7, 6, 5, 0}, OptMinMem); err == nil {
+		t.Error("M below LB accepted")
+	}
+	if _, err := ReadTraversal(strings.NewReader(`{"m":0,"schedule":[],"tau":[]}`)); err == nil {
+		t.Error("zero M accepted")
+	}
+	if _, err := ReadTraversal(strings.NewReader(`{"m":6,"schedule":[0],"tau":[]}`)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ReadTraversal(strings.NewReader(`garbage`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	// A tampered traversal fails validation.
+	tv, err := NewTraversal(tr, 6, tree.Schedule{4, 3, 2, 1, 8, 7, 6, 5, 0}, OptMinMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv.Tau[1] = 0 // remove the mandatory eviction
+	if err := tv.Validate(tr); err == nil {
+		t.Error("tampered traversal validated")
+	}
+}

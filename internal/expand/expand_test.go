@@ -1,0 +1,370 @@
+package expand
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/randtree"
+	"repro/internal/tree"
+)
+
+func randomTree(n int, rng *rand.Rand) *tree.Tree {
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = tree.None
+	weight[0] = 1 + rng.Int63n(12)
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+		weight[i] = 1 + rng.Int63n(12)
+	}
+	return tree.MustNew(parent, weight)
+}
+
+func TestMutableExpandBasics(t *testing.T) {
+	tr := tree.Chain(3, 5, 2)
+	m := NewMutable(tr)
+	if m.N() != 3 || m.Root() != 0 {
+		t.Fatal("copy wrong")
+	}
+	i2, i3, err := m.Expand(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight(i2) != 3 || m.Weight(i3) != 5 {
+		t.Fatalf("weights %d %d", m.Weight(i2), m.Weight(i3))
+	}
+	if m.Orig(i2) != 1 || m.Orig(i3) != 1 {
+		t.Fatal("orig mapping")
+	}
+	if m.Role(i2) != RoleMiddle || m.Role(i3) != RoleRead || m.Role(1) != RolePrimary {
+		t.Fatal("roles")
+	}
+	if m.ExpansionIO() != 2 || m.Expansions() != 1 {
+		t.Fatal("accounting")
+	}
+	ft, toMut := m.Freeze()
+	if ft.N() != 5 {
+		t.Fatalf("frozen size %d", ft.N())
+	}
+	// Structure: 0 -> i3(5) -> i2(3) -> 1(5) -> 2(2)... chain order:
+	// node 2 is child of 1; 1 child of i2; i2 child of i3; i3 child of 0.
+	sched, _ := liu.MinMem(ft)
+	orig := m.Transpose(sched, toMut)
+	if len(orig) != 3 {
+		t.Fatalf("transposed length %d: %v", len(orig), orig)
+	}
+	if err := tree.Validate(tr, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Expanding the middle node again (re-expansion of a chain link).
+	if _, _, err := m.Expand(i2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExpansionIO() != 5 {
+		t.Fatal("accounting after re-expansion")
+	}
+	// Weight-0 middle nodes are allowed downstream.
+	ft2, _ := m.Freeze()
+	if ft2.N() != 7 {
+		t.Fatalf("size %d", ft2.N())
+	}
+}
+
+func TestMutableExpandErrors(t *testing.T) {
+	tr := tree.Chain(3, 5)
+	m := NewMutable(tr)
+	if _, _, err := m.Expand(9, 1); err == nil {
+		t.Error("out of range accepted")
+	}
+	if _, _, err := m.Expand(1, 0); err == nil {
+		t.Error("zero amount accepted")
+	}
+	if _, _, err := m.Expand(1, 6); err == nil {
+		t.Error("amount above weight accepted")
+	}
+}
+
+func TestExpandRoot(t *testing.T) {
+	tr := tree.Chain(3, 5)
+	m := NewMutable(tr)
+	_, i3, err := m.Expand(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Root() != i3 {
+		t.Fatal("root not replaced")
+	}
+	ft, _ := m.Freeze()
+	if ft.N() != 4 {
+		t.Fatal("freeze after root expansion")
+	}
+}
+
+func TestExpansionSemantics(t *testing.T) {
+	// The expansion mimics an I/O of τ: the expanded tree scheduled
+	// without I/O in memory M corresponds to a valid traversal of the
+	// original tree with I/O function τ (Figure 3 / Theorem 2).
+	// Star(1; 5, 5) with M = 6: executing the second leaf (5) requires
+	// evicting 4 units of the first, but the root then needs both
+	// children (w̄ = 10 > 6): infeasible for every τ, so LB = 10.
+	// Use Graft(1, Chain(3,5), Chain(3,5)) with M = 6 instead.
+	tr := tree.Graft(1, tree.Chain(3, 5), tree.Chain(3, 5))
+	M := int64(6)
+	_, peak := liu.MinMem(tr)
+	if peak <= M {
+		t.Fatalf("peak %d should exceed M", peak)
+	}
+	tau := []int64{0, 2, 0, 0, 0} // write 2 units of the first chain top
+	sched, err := ScheduleForIO(tr, M, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := memsim.Validate(tr, M, sched, tau); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleForIOErrors(t *testing.T) {
+	tr := tree.Graft(1, tree.Chain(3, 5), tree.Chain(3, 5))
+	if _, err := ScheduleForIO(tr, 6, []int64{0, 0}); err == nil {
+		t.Error("short tau accepted")
+	}
+	if _, err := ScheduleForIO(tr, 6, []int64{0, 9, 0, 0, 0}); err == nil {
+		t.Error("tau above weight accepted")
+	}
+	// τ = 0 everywhere cannot fit in M = 6 (peak is 8): Theorem 2 must
+	// report that no schedule exists.
+	if _, err := ScheduleForIO(tr, 6, []int64{0, 0, 0, 0, 0}); err == nil {
+		t.Error("infeasible tau accepted")
+	}
+}
+
+func TestScheduleForIOFromFiF(t *testing.T) {
+	// Property: the τ produced by FiF on any schedule admits a valid
+	// schedule (the original one), so Theorem 2 must succeed and its
+	// schedule must validate.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTree(2+rng.Intn(15), rng)
+		lb := tr.MaxWBar()
+		sched := tr.NaturalPostorder()
+		peak, err := memsim.Peak(tr, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak <= lb {
+			continue
+		}
+		M := (lb + peak) / 2
+		res, err := memsim.Run(tr, M, sched, memsim.FiF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ScheduleForIO(tr, M, res.Tau)
+		if err != nil {
+			t.Fatalf("trial %d: %v (tau=%v parents=%v weights=%v M=%d)",
+				trial, err, res.Tau, tr.Parents(), tr.Weights(), M)
+		}
+		if err := memsim.Validate(tr, M, got, res.Tau); err != nil {
+			t.Fatalf("trial %d: schedule invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestFullRecExpandReachesZeroResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		tr := randomTree(2+rng.Intn(25), rng)
+		lb := tr.MaxWBar()
+		_, peak := liu.MinMem(tr)
+		if peak <= lb {
+			continue
+		}
+		M := (lb + peak) / 2
+		res, err := FullRecExpand(tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CapHit {
+			t.Fatalf("trial %d: cap hit", trial)
+		}
+		if res.ResidualIO != 0 {
+			t.Fatalf("trial %d: FULLRECEXPAND left residual %d", trial, res.ResidualIO)
+		}
+		if res.FinalPeak > M {
+			t.Fatalf("trial %d: final peak %d > M=%d", trial, res.FinalPeak, M)
+		}
+		if res.IO != res.ExpansionIO {
+			t.Fatalf("trial %d: IO accounting", trial)
+		}
+		if err := tree.Validate(tr, res.Schedule); err != nil {
+			t.Fatal(err)
+		}
+		// Immediate writes dominate the delayed writes expansion
+		// encodes: the simulated FiF cost of the transposed schedule
+		// never exceeds the declared cost.
+		if res.SimulatedIO > res.IO {
+			t.Fatalf("trial %d: simulated %d > declared %d", trial, res.SimulatedIO, res.IO)
+		}
+	}
+}
+
+func TestRecExpandNeverWorseThanOptMinMemSchedule(t *testing.T) {
+	// Not a theorem, but the designed behaviour on the datasets: the
+	// declared cost of RecExpand should improve on OPTMINMEM on a
+	// fraction of realistic instances (Section 6 reports strict wins on
+	// 90% of SYNTH; the rate is much lower at these reduced sizes). We
+	// assert validity, the declared-vs-simulated relation, and that the
+	// heuristic wins somewhere without losing more than it wins.
+	rng := rand.New(rand.NewSource(43))
+	wins, losses := 0, 0
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		tr := randtree.Synth(400, rng)
+		lb := tr.MaxWBar()
+		sched, peak := liu.MinMem(tr)
+		if peak <= lb {
+			continue
+		}
+		M := (lb + peak) / 2
+		base, err := memsim.Run(tr, M, sched, memsim.FiF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RecExpandDefault(tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SimulatedIO > res.IO {
+			t.Fatalf("trial %d: simulated %d > declared %d", trial, res.SimulatedIO, res.IO)
+		}
+		if res.IO < base.IO {
+			wins++
+		}
+		if res.IO > base.IO {
+			losses++
+		}
+	}
+	if !testing.Short() && wins == 0 {
+		t.Error("RecExpand never beat OptMinMem on SYNTH-like instances")
+	}
+	if losses > wins {
+		t.Errorf("RecExpand lost to OptMinMem more often than it won: %d wins, %d losses", wins, losses)
+	}
+	t.Logf("RecExpand vs OptMinMem: %d wins, %d losses", wins, losses)
+}
+
+func TestRecExpandNeverBelowOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	trials := 100
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		tr := randomTree(2+rng.Intn(8), rng)
+		lb := tr.MaxWBar()
+		_, peak := liu.MinMem(tr)
+		if peak <= lb {
+			continue
+		}
+		M := (lb + peak) / 2
+		_, opt, err := brute.MinIO(tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []func(*tree.Tree, int64) (*Result, error){FullRecExpand, RecExpandDefault} {
+			res, err := f(tr, M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.IO < opt {
+				t.Fatalf("trial %d: heuristic IO %d below optimum %d — accounting bug "+
+					"(parents=%v weights=%v M=%d)", trial, res.IO, opt, tr.Parents(), tr.Weights(), M)
+			}
+			if res.SimulatedIO < opt {
+				t.Fatalf("trial %d: simulated IO %d below optimum %d", trial, res.SimulatedIO, opt)
+			}
+		}
+	}
+}
+
+func TestRecExpandBelowLBRejected(t *testing.T) {
+	tr := tree.Star(1, 5, 5)
+	if _, err := FullRecExpand(tr, 9); err == nil {
+		t.Error("M below LB accepted")
+	}
+}
+
+func TestRecExpandZeroIOWhenFits(t *testing.T) {
+	tr := tree.Graft(1, tree.Chain(3, 5), tree.Chain(3, 5))
+	_, peak := liu.MinMem(tr)
+	res, err := FullRecExpand(tr, peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO != 0 || res.Expansions != 0 {
+		t.Fatalf("IO=%d expansions=%d at M=peak", res.IO, res.Expansions)
+	}
+}
+
+func TestVictimPolicies(t *testing.T) {
+	for _, p := range []VictimPolicy{LatestParent, EarliestParent, LargestTau} {
+		if p.String() == "" {
+			t.Error("empty name")
+		}
+	}
+	if VictimPolicy(9).String() == "" {
+		t.Error("unknown name empty")
+	}
+	// All policies must produce valid results.
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		tr := randomTree(3+rng.Intn(15), rng)
+		lb := tr.MaxWBar()
+		_, peak := liu.MinMem(tr)
+		if peak <= lb {
+			continue
+		}
+		M := (lb + peak) / 2
+		for _, p := range []VictimPolicy{LatestParent, EarliestParent, LargestTau} {
+			res, err := RecExpand(tr, M, Options{MaxPerNode: 2, Victim: p})
+			if err != nil {
+				t.Fatalf("policy %s: %v", p, err)
+			}
+			if err := tree.Validate(tr, res.Schedule); err != nil {
+				t.Fatalf("policy %s: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestGlobalCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	tr := randomTree(30, rng)
+	lb := tr.MaxWBar()
+	_, peak := liu.MinMem(tr)
+	if peak <= lb {
+		t.Skip("instance needs no I/O")
+	}
+	M := (lb + peak) / 2
+	res, err := RecExpand(tr, M, Options{GlobalCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expansions > 1 {
+		t.Fatalf("cap ignored: %d expansions", res.Expansions)
+	}
+	// Even when capped, the result must be a complete valid traversal.
+	if err := tree.Validate(tr, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if res.IO != res.ExpansionIO+res.ResidualIO {
+		t.Fatal("IO accounting with cap")
+	}
+}

@@ -1,0 +1,76 @@
+package expand
+
+import (
+	"testing"
+
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+// TestFig6ExpansionNarrative replays Appendix A's Figure 6 walkthrough at
+// the level of individual expansions: FULLRECEXPAND first expands node b
+// by 2 (the FiF-evicted node whose parent is scheduled latest), then the
+// resulting middle link by 1, reaching a tree schedulable in M = 10 with
+// total expansion volume 3.
+func TestFig6ExpansionNarrative(t *testing.T) {
+	tr := tree.Graft(1, tree.Chain(4, 8, 2, 9), tree.Chain(6, 4, 10))
+	const b = 6 // the weight-4 node of the right branch
+	M := int64(10)
+
+	m := NewMutable(tr)
+	// Iteration 1: OPTMINMEM needs 12 > 10; FiF evicts a (2) and b (2);
+	// b's parent (the weight-6 node) is scheduled last among the two.
+	sub, toMut := m.Subtree(m.Root())
+	sched, peak := liu.MinMem(sub)
+	if peak != 12 {
+		t.Fatalf("initial peak %d", peak)
+	}
+	res, err := memsim.Run(sub, M, sched, memsim.FiF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := pickVictim(sub, sched, res.Tau, LatestParent)
+	if toMut[victim] != b {
+		t.Fatalf("first victim is node %d, want b=%d", toMut[victim], b)
+	}
+	if res.Tau[victim] != 2 {
+		t.Fatalf("first expansion amount %d, want 2", res.Tau[victim])
+	}
+	b2, _, err := m.Expand(toMut[victim], res.Tau[victim])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight(b2) != 2 {
+		t.Fatalf("b2 weight %d, want 2", m.Weight(b2))
+	}
+
+	// Iteration 2: the paper says the new schedule pays one more unit
+	// on b2; expanding it by 1 yields a tree fitting in M.
+	sub2, toMut2 := m.Subtree(m.Root())
+	sched2, peak2 := liu.MinMem(sub2)
+	if peak2 <= M {
+		t.Fatalf("peak already fits after one expansion: %d", peak2)
+	}
+	res2, err := memsim.Run(sub2, M, sched2, memsim.FiF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim2 := pickVictim(sub2, sched2, res2.Tau, LatestParent)
+	if toMut2[victim2] != b2 {
+		t.Fatalf("second victim is mutable node %d, want b2=%d", toMut2[victim2], b2)
+	}
+	if res2.Tau[victim2] != 1 {
+		t.Fatalf("second expansion amount %d, want 1", res2.Tau[victim2])
+	}
+	if _, _, err := m.Expand(toMut2[victim2], res2.Tau[victim2]); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := m.Freeze()
+	if _, peak3 := liu.MinMem(final); peak3 > M {
+		t.Fatalf("final peak %d > M", peak3)
+	}
+	if m.ExpansionIO() != 3 {
+		t.Fatalf("total expansion volume %d, want 3", m.ExpansionIO())
+	}
+}

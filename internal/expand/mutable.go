@@ -1,0 +1,191 @@
+// Package expand implements the node-expansion technique of Section 5 of
+// RR-9025 and the two heuristics built on it, FULLRECEXPAND and RECEXPAND,
+// as well as the constructive proof of Theorem 2 (computing a schedule for
+// a given I/O function).
+//
+// Expanding a node i under an I/O amount τ(i) replaces i by a chain
+// i1 → i2 → i3 of weights w_i, w_i − τ(i), w_i: the three weights model the
+// occupation of main memory when the data is produced, while part of it sits
+// on disk, and when it has been read back for the parent. A tree whose
+// optimal peak-memory traversal fits in M after a set of expansions yields a
+// valid traversal of the original tree whose I/O volume is the sum of the
+// expansion amounts.
+package expand
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Role distinguishes the three links of an expansion chain.
+type Role uint8
+
+const (
+	// RolePrimary marks a node that executes an original task (i1 keeps
+	// the identity of the expanded node).
+	RolePrimary Role = iota
+	// RoleMiddle marks the i2 link, whose reduced weight represents the
+	// period during which τ(i) units sit on disk.
+	RoleMiddle
+	// RoleRead marks the i3 link, modelling the read-back of the data
+	// just before the parent's execution.
+	RoleRead
+)
+
+// MutableTree is a growable task tree supporting node expansion while
+// remembering, for every node, which original task it stems from.
+type MutableTree struct {
+	parent   []int
+	children [][]int
+	weight   []int64
+	orig     []int
+	role     []Role
+	root     int
+
+	expansionIO int64
+	expansions  int
+}
+
+// NewMutable copies t into a fresh mutable tree. Node ids 0..t.N()-1 match
+// the original ids.
+func NewMutable(t *tree.Tree) *MutableTree {
+	n := t.N()
+	m := &MutableTree{
+		parent:   make([]int, n),
+		children: make([][]int, n),
+		weight:   make([]int64, n),
+		orig:     make([]int, n),
+		role:     make([]Role, n),
+		root:     t.Root(),
+	}
+	copy(m.parent, t.Parents())
+	copy(m.weight, t.Weights())
+	for i := 0; i < n; i++ {
+		m.children[i] = append([]int(nil), t.Children(i)...)
+		m.orig[i] = i
+		m.role[i] = RolePrimary
+	}
+	return m
+}
+
+// N returns the current number of nodes.
+func (m *MutableTree) N() int { return len(m.parent) }
+
+// Root returns the current root (a RoleRead node if the original root was
+// expanded, though the heuristics never expand a subtree root).
+func (m *MutableTree) Root() int { return m.root }
+
+// Weight returns the current weight of node i.
+func (m *MutableTree) Weight(i int) int64 { return m.weight[i] }
+
+// Orig returns the original task from which node i stems.
+func (m *MutableTree) Orig(i int) int { return m.orig[i] }
+
+// Role returns the expansion role of node i.
+func (m *MutableTree) Role(i int) Role { return m.role[i] }
+
+// Children returns node i's current children (owned by the tree).
+func (m *MutableTree) Children(i int) []int { return m.children[i] }
+
+// ExpansionIO returns the accumulated volume of all expansions so far.
+func (m *MutableTree) ExpansionIO() int64 { return m.expansionIO }
+
+// Expansions returns the number of Expand calls performed.
+func (m *MutableTree) Expansions() int { return m.expansions }
+
+// Expand replaces node i (current weight w) by the chain i → i2 → i3 with
+// weights w, w−amount, w, where i3 takes i's place below i's parent. The
+// expanded node may itself be a link of a previous expansion. It returns
+// the ids of the two new nodes.
+func (m *MutableTree) Expand(i int, amount int64) (i2, i3 int, err error) {
+	if i < 0 || i >= m.N() {
+		return 0, 0, fmt.Errorf("expand: node %d out of range", i)
+	}
+	w := m.weight[i]
+	if amount <= 0 || amount > w {
+		return 0, 0, fmt.Errorf("expand: amount %d out of (0, %d] for node %d", amount, w, i)
+	}
+	i2 = m.addNode(w-amount, m.orig[i], RoleMiddle)
+	i3 = m.addNode(w, m.orig[i], RoleRead)
+	p := m.parent[i]
+	if p == tree.None {
+		m.root = i3
+	} else {
+		cs := m.children[p]
+		for k, c := range cs {
+			if c == i {
+				cs[k] = i3
+				break
+			}
+		}
+	}
+	m.parent[i3] = p
+	m.children[i3] = append(m.children[i3], i2)
+	m.parent[i2] = i3
+	m.children[i2] = append(m.children[i2], i)
+	m.parent[i] = i2
+	m.expansionIO += amount
+	m.expansions++
+	return i2, i3, nil
+}
+
+func (m *MutableTree) addNode(w int64, orig int, role Role) int {
+	id := m.N()
+	m.parent = append(m.parent, tree.None)
+	m.children = append(m.children, nil)
+	m.weight = append(m.weight, w)
+	m.orig = append(m.orig, orig)
+	m.role = append(m.role, role)
+	return id
+}
+
+// SubtreeNodes returns the nodes of r's current subtree, r first.
+func (m *MutableTree) SubtreeNodes(r int) []int {
+	nodes := []int{r}
+	for head := 0; head < len(nodes); head++ {
+		nodes = append(nodes, m.children[nodes[head]]...)
+	}
+	return nodes
+}
+
+// Subtree extracts the current subtree rooted at r as an immutable tree
+// together with the mapping from new ids to mutable-tree ids.
+func (m *MutableTree) Subtree(r int) (*tree.Tree, []int) {
+	nodes := m.SubtreeNodes(r)
+	toNew := make(map[int]int, len(nodes))
+	for k, v := range nodes {
+		toNew[v] = k
+	}
+	parent := make([]int, len(nodes))
+	weight := make([]int64, len(nodes))
+	for k, v := range nodes {
+		weight[k] = m.weight[v]
+		if v == r {
+			parent[k] = tree.None
+		} else {
+			parent[k] = toNew[m.parent[v]]
+		}
+	}
+	return tree.MustNew(parent, weight), nodes
+}
+
+// Freeze extracts the whole current tree, as Subtree(Root()).
+func (m *MutableTree) Freeze() (*tree.Tree, []int) {
+	return m.Subtree(m.root)
+}
+
+// Transpose maps a schedule on an extracted copy of the mutable tree back
+// to the original tree: only RolePrimary nodes are kept, renamed to their
+// original ids. toMut maps extracted-tree ids to mutable-tree ids, as
+// returned by Subtree or Freeze.
+func (m *MutableTree) Transpose(sched tree.Schedule, toMut []int) tree.Schedule {
+	out := make(tree.Schedule, 0, len(sched))
+	for _, v := range sched {
+		mv := toMut[v]
+		if m.role[mv] == RolePrimary {
+			out = append(out, m.orig[mv])
+		}
+	}
+	return out
+}

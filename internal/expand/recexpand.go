@@ -1,0 +1,213 @@
+package expand
+
+import (
+	"fmt"
+
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+// VictimPolicy selects which node with positive FiF I/O gets expanded at
+// each iteration. The paper's choice is LatestParent; the others feed the
+// ablation benchmarks.
+type VictimPolicy int
+
+const (
+	// LatestParent expands the evicted node whose parent is scheduled
+	// the latest (the paper's Line 6).
+	LatestParent VictimPolicy = iota
+	// EarliestParent expands the evicted node whose parent is scheduled
+	// the earliest.
+	EarliestParent
+	// LargestTau expands the node with maximum FiF I/O volume.
+	LargestTau
+)
+
+// String names the policy.
+func (p VictimPolicy) String() string {
+	switch p {
+	case LatestParent:
+		return "LatestParent"
+	case EarliestParent:
+		return "EarliestParent"
+	case LargestTau:
+		return "LargestTau"
+	}
+	return fmt.Sprintf("VictimPolicy(%d)", int(p))
+}
+
+// Options tunes the recursive-expansion heuristics.
+type Options struct {
+	// MaxPerNode caps the number of expansion iterations of the while
+	// loop at every recursion node; 0 means unbounded (FULLRECEXPAND).
+	// The paper's RECEXPAND uses 2.
+	MaxPerNode int
+	// Victim selects the expansion victim; the default (zero value) is
+	// the paper's latest-scheduled-parent rule.
+	Victim VictimPolicy
+	// GlobalCap aborts the heuristic after this many expansions in
+	// total, as a safety net against the (super-polynomial) worst case
+	// of FULLRECEXPAND; 0 means 64·n + 1024.
+	GlobalCap int
+}
+
+// Result is the outcome of a recursive-expansion heuristic.
+type Result struct {
+	// Schedule is a topological schedule of the ORIGINAL tree (the
+	// expanded-tree OptMinMem schedule transposed to primary nodes).
+	Schedule tree.Schedule
+	// IO is the heuristic's declared I/O volume: ExpansionIO plus
+	// ResidualIO (the paper's accounting).
+	IO int64
+	// ExpansionIO is the sum of all expansion amounts.
+	ExpansionIO int64
+	// ResidualIO is the FiF I/O of the final expanded tree under M;
+	// zero for FULLRECEXPAND unless GlobalCap was hit.
+	ResidualIO int64
+	// SimulatedIO is the FiF I/O volume of Schedule on the original
+	// tree — never worse than IO, since immediate writes dominate the
+	// delayed writes that expansion encodes.
+	SimulatedIO int64
+	// Expansions is the number of expansion operations performed.
+	Expansions int
+	// CapHit reports that GlobalCap stopped the expansion loop early.
+	CapHit bool
+	// FinalPeak is the OptMinMem peak of the final expanded tree.
+	FinalPeak int64
+}
+
+// FullRecExpand runs the paper's FULLRECEXPAND heuristic (Algorithm 2):
+// recursively make every subtree schedulable without I/O by repeatedly
+// running OPTMINMEM and expanding one FiF-evicted node per iteration.
+func FullRecExpand(t *tree.Tree, M int64) (*Result, error) {
+	return RecExpand(t, M, Options{MaxPerNode: 0})
+}
+
+// RecExpandDefault runs the paper's RECEXPAND variant, whose per-node
+// expansion loop is cut after 2 iterations.
+func RecExpandDefault(t *tree.Tree, M int64) (*Result, error) {
+	return RecExpand(t, M, Options{MaxPerNode: 2})
+}
+
+// RecExpand runs the recursive-expansion heuristic with explicit options.
+func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
+	if lb := t.MaxWBar(); M < lb {
+		return nil, fmt.Errorf("expand: M=%d below LB=%d", M, lb)
+	}
+	cap := opts.GlobalCap
+	if cap == 0 {
+		cap = 64*t.N() + 1024
+	}
+	m := NewMutable(t)
+	capHit := false
+
+	// Expansions never increase a subtree's optimal peak (the inserted
+	// chain links only re-hold data the subtree already held), so nodes
+	// whose initial subtree peak fits in M can be skipped wholesale:
+	// their while loop would exit on its first check, but extracting
+	// and rescheduling every such subtree is what makes the recursion
+	// quadratic on deep trees.
+	initialPeaks := liu.AllSubtreePeaks(t)
+
+	// Post-order walk over the ORIGINAL nodes: the recursion of
+	// Algorithm 2 treats children before their parent, and expansions
+	// never change which node roots a processed subtree (the FiF never
+	// evicts a subtree's own root, as its output is produced last).
+	for _, r := range t.NaturalPostorder() {
+		if t.IsLeaf(r) {
+			continue // a single node never needs I/O (M ≥ LB ≥ w̄)
+		}
+		if initialPeaks[r] <= M {
+			continue
+		}
+		iter := 0
+		for {
+			if opts.MaxPerNode > 0 && iter >= opts.MaxPerNode {
+				break
+			}
+			if m.Expansions() >= cap {
+				capHit = true
+				break
+			}
+			sub, toMut := m.Subtree(r)
+			sched, peak := liu.MinMem(sub)
+			if peak <= M {
+				break
+			}
+			res, err := memsim.Run(sub, M, sched, memsim.FiF)
+			if err != nil {
+				return nil, fmt.Errorf("expand: simulating subtree of %d: %w", r, err)
+			}
+			victim := pickVictim(sub, sched, res.Tau, opts.Victim)
+			if victim < 0 {
+				return nil, fmt.Errorf("expand: subtree of %d overflows M=%d but FiF evicted nothing", r, M)
+			}
+			if _, _, err := m.Expand(toMut[victim], res.Tau[victim]); err != nil {
+				return nil, err
+			}
+			iter++
+		}
+		if capHit {
+			break
+		}
+	}
+
+	final, toMut := m.Freeze()
+	sched, peak := liu.MinMem(final)
+	finalRes, err := memsim.Run(final, M, sched, memsim.FiF)
+	if err != nil {
+		return nil, fmt.Errorf("expand: simulating final tree: %w", err)
+	}
+	orig := m.Transpose(sched, toMut)
+	if err := tree.Validate(t, orig); err != nil {
+		return nil, fmt.Errorf("expand: transposed schedule invalid: %w", err)
+	}
+	simRes, err := memsim.Run(t, M, orig, memsim.FiF)
+	if err != nil {
+		return nil, fmt.Errorf("expand: simulating transposed schedule: %w", err)
+	}
+	return &Result{
+		Schedule:    orig,
+		IO:          m.ExpansionIO() + finalRes.IO,
+		ExpansionIO: m.ExpansionIO(),
+		ResidualIO:  finalRes.IO,
+		SimulatedIO: simRes.IO,
+		Expansions:  m.Expansions(),
+		CapHit:      capHit,
+		FinalPeak:   peak,
+	}, nil
+}
+
+// pickVictim returns the node of sub with positive τ selected by the
+// policy, or -1 if τ is identically zero. For LatestParent (the paper's
+// rule) ties on the parent position — possible between siblings — are
+// broken towards the larger τ, then the smaller node id.
+func pickVictim(sub *tree.Tree, sched tree.Schedule, tau []int64, policy VictimPolicy) int {
+	pos, err := sched.Positions(sub.N())
+	if err != nil {
+		return -1
+	}
+	best := -1
+	var bestKey, bestTau int64
+	for i, ti := range tau {
+		if ti <= 0 {
+			continue
+		}
+		var key int64
+		switch policy {
+		case LatestParent:
+			key = int64(pos[sub.Parent(i)])
+		case EarliestParent:
+			key = -int64(pos[sub.Parent(i)])
+		case LargestTau:
+			key = ti
+		}
+		better := best == -1 || key > bestKey ||
+			(key == bestKey && (ti > bestTau || (ti == bestTau && i < best)))
+		if better {
+			best, bestKey, bestTau = i, key, ti
+		}
+	}
+	return best
+}

@@ -1,0 +1,45 @@
+package expand
+
+import (
+	"fmt"
+
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+// ScheduleForIO implements Theorem 2 of the paper: given an I/O function τ
+// for which some valid schedule exists, it computes one in polynomial time.
+// Every node with τ(i) > 0 is expanded by τ(i); if the resulting tree's
+// optimal peak memory fits in M, the OPTMINMEM schedule transposed to the
+// original nodes is a valid schedule for (σ, τ). Otherwise no valid
+// schedule exists for τ and an error is returned.
+func ScheduleForIO(t *tree.Tree, M int64, tau []int64) (tree.Schedule, error) {
+	n := t.N()
+	if len(tau) != n {
+		return nil, fmt.Errorf("expand: τ has %d entries for %d nodes", len(tau), n)
+	}
+	for i, ti := range tau {
+		if ti < 0 || ti > t.Weight(i) {
+			return nil, fmt.Errorf("expand: τ(%d)=%d out of [0, %d]", i, ti, t.Weight(i))
+		}
+	}
+	m := NewMutable(t)
+	for i, ti := range tau {
+		if ti > 0 {
+			if _, _, err := m.Expand(i, ti); err != nil {
+				return nil, err
+			}
+		}
+	}
+	exp, toMut := m.Freeze()
+	sched, peak := liu.MinMem(exp)
+	if peak > M {
+		return nil, fmt.Errorf("expand: no valid schedule exists for the given τ (expanded peak %d > M=%d)", peak, M)
+	}
+	orig := m.Transpose(sched, toMut)
+	if err := memsim.Validate(t, M, orig, tau); err != nil {
+		return nil, fmt.Errorf("expand: internal error, transposed schedule fails validation: %w", err)
+	}
+	return orig, nil
+}

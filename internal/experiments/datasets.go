@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/randtree"
+	"repro/internal/sparse"
+)
+
+// SynthConfig parameterizes the SYNTH dataset of Section 6.1. The paper
+// uses 330 uniform binary trees of 3000 nodes with weights in [1, 100].
+type SynthConfig struct {
+	Count int
+	Nodes int
+	Seed  int64
+}
+
+// PaperSynth is the paper-scale configuration.
+var PaperSynth = SynthConfig{Count: 330, Nodes: 3000, Seed: 9025}
+
+// SmallSynth is a reduced configuration for quick runs and benchmarks.
+var SmallSynth = SynthConfig{Count: 40, Nodes: 300, Seed: 9025}
+
+// Synth generates the SYNTH dataset: instances whose peak exceeds LB (all
+// random binary trees of this size do in practice, but the filter keeps the
+// invariant explicit).
+func Synth(cfg SynthConfig) []*core.Instance {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*core.Instance, 0, cfg.Count)
+	for i := 0; len(out) < cfg.Count; i++ {
+		t := randtree.Synth(cfg.Nodes, rng)
+		in := core.NewInstance(fmt.Sprintf("synth-%04d", i), t)
+		if in.NeedsIO() {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// TreesConfig parameterizes the TREES dataset: elimination task trees of
+// synthetic sparse matrices standing in for the University of Florida
+// collection (see DESIGN.md). The generator enumerates matrix families —
+// square and rectangular 2-D grids under natural and nested-dissection
+// orderings with several separator leaf sizes, 3-D grids, random symmetric
+// patterns of varying size/density/seed, and banded matrices — and keeps
+// the instances whose optimal peak exceeds LB (the paper similarly keeps
+// 133 of its 329 trees).
+type TreesConfig struct {
+	// Scale multiplies the linear grid dimensions and random sizes.
+	Scale int
+	Seed  int64
+	// Relax is the supernode amalgamation relaxation (0 = fundamental).
+	Relax int64
+	// Variants multiplies the number of randomized instances per family
+	// (default 1; PaperTrees uses 6).
+	Variants int
+}
+
+// PaperTrees approximates the paper-scale dataset (hundreds of candidate
+// matrices before the Peak > LB filter).
+var PaperTrees = TreesConfig{Scale: 2, Seed: 9025, Variants: 6}
+
+// SmallTrees is a reduced configuration for quick runs and benchmarks.
+var SmallTrees = TreesConfig{Scale: 1, Seed: 9025, Variants: 1}
+
+// Trees generates the TREES dataset and keeps only instances that need
+// I/O for some bound (Peak > LB), as Section 6.1 does.
+func Trees(cfg TreesConfig) []*core.Instance {
+	s := cfg.Scale
+	if s < 1 {
+		s = 1
+	}
+	variants := cfg.Variants
+	if variants < 1 {
+		variants = 1
+	}
+	type spec struct {
+		name string
+		pat  *sparse.Pattern
+	}
+	var specs []spec
+	// 2-D grids, natural ordering: long, skinny elimination trees.
+	for _, g := range []int{8, 12, 16, 20, 24} {
+		specs = append(specs, spec{
+			fmt.Sprintf("grid2d-nat-%d", g*s),
+			sparse.Grid2D(g*s, g*s),
+		})
+	}
+	// Rectangular and square 2-D grids under nested dissection with
+	// several separator leaf sizes: bushy, well-balanced trees whose
+	// subtree imbalance is what separates the heuristics.
+	for _, g := range []struct{ nx, ny int }{
+		{10, 10}, {12, 12}, {14, 14}, {16, 16}, {18, 18}, {20, 20},
+		{22, 22}, {24, 24}, {26, 26}, {28, 28},
+		{12, 30}, {8, 40}, {16, 24}, {30, 12}, {20, 36}, {10, 50},
+		{14, 42}, {24, 32}, {18, 54},
+	} {
+		for _, leaf := range []int{4, 8, 16} {
+			nx, ny := g.nx*s, g.ny*s
+			p := sparse.Grid2D(nx, ny)
+			perm := sparse.NestedDissection2D(nx, ny, leaf)
+			pp, err := p.Permute(perm)
+			if err != nil {
+				panic(err)
+			}
+			specs = append(specs, spec{fmt.Sprintf("grid2d-nd-%dx%d-l%d", nx, ny, leaf), pp})
+		}
+	}
+	// Perturbed ND grids: regular stencils plus random long-range
+	// couplings, the closest synthetic stand-in for irregular
+	// application matrices; several seeds per configuration.
+	for _, g := range []struct{ nx, ny int }{
+		{12, 12}, {16, 16}, {20, 20}, {24, 24}, {16, 32}, {12, 44},
+	} {
+		for v := 0; v < variants; v++ {
+			nx, ny := g.nx*s, g.ny*s
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*g.nx+10*g.ny+v)))
+			p := sparse.Perturb(sparse.Grid2D(nx, ny), nx*ny/10, rng)
+			perm := sparse.NestedDissection2D(nx, ny, 8)
+			pp, err := p.Permute(perm)
+			if err != nil {
+				panic(err)
+			}
+			specs = append(specs, spec{fmt.Sprintf("grid2d-px-%dx%d-v%d", nx, ny, v), pp})
+		}
+	}
+	// 3-D grids under nested dissection: heavy, fast-growing fronts.
+	for _, g := range []struct{ nx, ny, nz int }{
+		{6, 6, 6}, {8, 8, 8}, {10, 10, 10}, {6, 8, 12}, {4, 10, 16},
+	} {
+		nx, ny, nz := g.nx*s, g.ny*s, g.nz*s
+		p := sparse.Grid3D(nx, ny, nz)
+		perm := sparse.NestedDissection3D(nx, ny, nz, 8)
+		pp, err := p.Permute(perm)
+		if err != nil {
+			panic(err)
+		}
+		specs = append(specs, spec{fmt.Sprintf("grid3d-nd-%dx%dx%d", nx, ny, nz), pp})
+	}
+	// 3-D grids: heavier fronts, wider weight spreads.
+	for _, g := range []int{4, 5, 6, 7} {
+		specs = append(specs, spec{
+			fmt.Sprintf("grid3d-nat-%d", g*s),
+			sparse.Grid3D(g*s, g*s, g*s),
+		})
+	}
+	// Random symmetric patterns: irregular trees; several seeds per
+	// size/density, both in natural and minimum-degree ordering (the
+	// latter is what a real solver would use and yields bushier trees).
+	for i, n := range []int{150, 300, 500, 800, 1200} {
+		for _, deg := range []int{3, 4, 6} {
+			for v := 0; v < variants; v++ {
+				seed := cfg.Seed + int64(10000*v+100*i+deg)
+				p := sparse.RandomSymmetric(n*s, deg, rand.New(rand.NewSource(seed)))
+				specs = append(specs, spec{
+					fmt.Sprintf("rand-%d-d%d-v%d", n*s, deg, v), p,
+				})
+				// Minimum degree is the expensive part: cap its use.
+				if v < 2 && n*s <= 1000 {
+					pm, err := p.Permute(sparse.MinimumDegree(p))
+					if err != nil {
+						panic(err)
+					}
+					specs = append(specs, spec{
+						fmt.Sprintf("rand-md-%d-d%d-v%d", n*s, deg, v), pm,
+					})
+				}
+			}
+		}
+	}
+	// Banded matrices: near-chains after amalgamation.
+	for _, n := range []int{200, 400} {
+		specs = append(specs, spec{
+			fmt.Sprintf("band-%d", n*s),
+			sparse.Band(n*s, 4),
+		})
+	}
+	var out []*core.Instance
+	for _, sp := range specs {
+		t, err := sparse.EliminationTaskTree(sp.pat, cfg.Relax)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: building %s: %v", sp.name, err))
+		}
+		in := core.NewInstance(sp.name, t)
+		if in.NeedsIO() {
+			out = append(out, in)
+		}
+	}
+	return out
+}

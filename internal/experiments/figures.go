@@ -1,0 +1,142 @@
+// Package experiments reproduces the evaluation of the paper figure by
+// figure: the adversarial families of Section 4 (Figure 2), the worked
+// examples of Appendix A (Figures 6 and 7), and the performance-profile
+// studies of Section 6 and Appendix B (Figures 4, 5, 8–11).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Fig2a builds the Section 4.3 family showing that POSTORDERMINIO is not
+// a constant-factor approximation: with memory M (even, ≥ 4) the returned
+// tree admits a traversal with a single unit of I/O — returned as
+// GoodSchedule — while every postorder pays at least M/2 − 1 I/Os per leaf
+// beyond the first. levels ≥ 0 extra levels extend the construction as
+// described in the paper (each level adds one {1, M/2, M/2, M−1} gadget and
+// one more leaf); the base tree is the 7-node core with two M-leaves.
+//
+// Nodes (base): root r(1) {children: p(M/2){q(1){leaf(M)}}, p'(M/2){q'(1)
+// {leaf(M)}}}; each extra level wraps the previous root: new(1){children:
+// up(M/2){old root}, side(M/2){leaf(M−1)}}.
+func Fig2a(levels int, M int64) (*tree.Tree, tree.Schedule, error) {
+	if M < 4 || M%2 != 0 {
+		return nil, nil, fmt.Errorf("experiments: Fig2a needs even M >= 4, got %d", M)
+	}
+	if levels < 0 {
+		return nil, nil, fmt.Errorf("experiments: Fig2a needs levels >= 0")
+	}
+	var parent []int
+	var weight []int64
+	add := func(p int, w int64) int {
+		parent = append(parent, p)
+		weight = append(weight, w)
+		return len(parent) - 1
+	}
+	// Base: two (M-leaf → 1 → M/2) chains under a unit LCA.
+	lca := add(tree.None, 1)
+	pL := add(lca, M/2)
+	qL := add(pL, 1)
+	leafL := add(qL, M)
+	pR := add(lca, M/2)
+	qR := add(pR, 1)
+	leafR := add(qR, M)
+	sched := tree.Schedule{leafL, qL, leafR, qR, pR, pL, lca}
+	root := lca
+	for k := 0; k < levels; k++ {
+		newRoot := add(tree.None, 1)
+		up := add(newRoot, M/2)
+		parent[root] = up
+		side := add(newRoot, M/2)
+		leaf := add(side, M-1)
+		// Continue the paper's order: after completing the previous
+		// root (weight 1), the fresh leaf fits next to it; then its
+		// M/2 parent, then the M/2 above the old root, then the new
+		// root.
+		sched = append(sched, leaf, side, up, newRoot)
+		root = newRoot
+	}
+	t, err := tree.New(parent, weight)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, sched, nil
+}
+
+// Fig2b builds the 9-node example of Section 4.4 (M = 6): two chains with
+// weights 3, 5, 2, 6 from the root down. OPTMINMEM reaches the optimal
+// peak 8 but pays more I/O than the peak-9 chain-after-chain traversal,
+// which pays exactly 3.
+func Fig2b() (*tree.Tree, tree.Schedule) {
+	t := tree.Graft(1,
+		tree.Chain(3, 5, 2, 6),
+		tree.Chain(3, 5, 2, 6),
+	)
+	// Chain-after-chain: nodes of the first chain bottom-up, then the
+	// second, then the root. Chain nodes are 1..4 and 5..8 top-down.
+	sched := tree.Schedule{4, 3, 2, 1, 8, 7, 6, 5, 0}
+	return t, sched
+}
+
+// Fig2bM is the memory bound of the Figure 2(b) example.
+const Fig2bM = int64(6)
+
+// Fig2c builds the Section 4.4 family (M = 4k) on which OPTMINMEM pays
+// Θ(k²) I/Os while processing the chains one after the other pays exactly
+// 2k. The tree has a unit root and two identical chains of 2k+2 nodes
+// whose top-down weights interleave {2k, ..., k} and {3k, ..., 4k}.
+// The returned schedule is the chain-after-chain traversal.
+func Fig2c(k int64) (*tree.Tree, tree.Schedule, int64, error) {
+	if k < 1 {
+		return nil, nil, 0, fmt.Errorf("experiments: Fig2c needs k >= 1")
+	}
+	var ws []int64
+	for j := int64(0); j <= k; j++ {
+		ws = append(ws, 2*k-j, 3*k+j)
+	}
+	t := tree.Graft(1, tree.Chain(ws...), tree.Chain(ws...))
+	n := t.N()
+	cl := int(2*k + 2) // chain length
+	sched := make(tree.Schedule, 0, n)
+	for i := cl; i >= 1; i-- {
+		sched = append(sched, i)
+	}
+	for i := 2 * cl; i >= cl+1; i-- {
+		sched = append(sched, i)
+	}
+	sched = append(sched, 0)
+	return t, sched, 4 * k, nil
+}
+
+// Fig6 builds the Appendix A example (M = 10) on which FULLRECEXPAND is
+// optimal with 3 I/Os while OPTMINMEM pays 4: a unit root with branches
+// 4→8→2(a)→9(leaf) and 6→4(b)→10(leaf). It returns the tree and the ids
+// of the paper's nodes a and b.
+func Fig6() (t *tree.Tree, a, b int) {
+	t = tree.Graft(1,
+		tree.Chain(4, 8, 2, 9),
+		tree.Chain(6, 4, 10),
+	)
+	return t, 3, 6
+}
+
+// Fig6M is the memory bound of the Figure 6 example.
+const Fig6M = int64(10)
+
+// Fig7 builds the second Appendix A example (M = 7): a unit root with
+// branches c(3)→a(2)→7(leaf) and 3→b(4)→7(leaf). The paper uses it to show
+// that no expansion strategy that only expands OPTMINMEM-evicted nodes can
+// be optimal; the best postorder pays all of its 3 I/Os on node c. It
+// returns the tree and the ids of nodes c, a and b.
+func Fig7() (t *tree.Tree, c, a, b int) {
+	t = tree.Graft(1,
+		tree.Chain(3, 2, 7),
+		tree.Chain(3, 4, 7),
+	)
+	return t, 1, 2, 5
+}
+
+// Fig7M is the memory bound of the Figure 7 example.
+const Fig7M = int64(7)

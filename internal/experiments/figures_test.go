@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/core"
+	"repro/internal/expand"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/postorder"
+	"repro/internal/tree"
+)
+
+// --- Figure 2(a): POSTORDERMINIO is not competitive -----------------------
+
+func TestFig2aGoodScheduleSingleIO(t *testing.T) {
+	for _, M := range []int64{4, 8, 20} {
+		for levels := 0; levels <= 4; levels++ {
+			tr, sched, err := Fig2a(levels, M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tree.IsTopological(tr, sched) {
+				t.Fatalf("M=%d levels=%d: schedule invalid", M, levels)
+			}
+			io, err := memsim.IOOf(tr, M, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if io != 1 {
+				t.Fatalf("M=%d levels=%d: good schedule pays %d, want 1", M, levels, io)
+			}
+		}
+	}
+}
+
+func TestFig2aPostorderPaysPerLeaf(t *testing.T) {
+	// Every postorder pays at least M/2 − 1 per leaf beyond the first;
+	// POSTORDERMINIO is a postorder, so its cost grows with the number
+	// of levels while the optimum stays at 1.
+	M := int64(20)
+	prev := int64(0)
+	for levels := 0; levels <= 5; levels++ {
+		tr, _, err := Fig2a(levels, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, predicted, _ := postorder.MinIO(tr, M)
+		io, err := memsim.IOOf(tr, M, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if io != predicted {
+			t.Fatalf("levels=%d: prediction %d vs simulation %d", levels, predicted, io)
+		}
+		leaves := int64(2 + levels)
+		if min := (leaves - 1) * (M/2 - 1); io < min {
+			t.Fatalf("levels=%d: postorder paid %d < %d", levels, io, min)
+		}
+		if io <= prev {
+			t.Fatalf("levels=%d: postorder cost did not grow (%d after %d)", levels, io, prev)
+		}
+		prev = io
+	}
+}
+
+func TestFig2aBruteOptimumIsOne(t *testing.T) {
+	tr, _, err := Fig2a(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := brute.MinIO(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1 {
+		t.Fatalf("brute optimum %d, want 1", opt)
+	}
+}
+
+func TestFig2aRejectsBadParams(t *testing.T) {
+	if _, _, err := Fig2a(0, 5); err == nil {
+		t.Error("odd M accepted")
+	}
+	if _, _, err := Fig2a(0, 2); err == nil {
+		t.Error("M=2 accepted")
+	}
+	if _, _, err := Fig2a(-1, 4); err == nil {
+		t.Error("negative levels accepted")
+	}
+}
+
+// --- Figure 2(b): OPTMINMEM is suboptimal ---------------------------------
+
+func TestFig2b(t *testing.T) {
+	tr, chain := Fig2b()
+	if !tree.IsTopological(tr, chain) {
+		t.Fatal("chain schedule invalid")
+	}
+	chainPeak, err := memsim.Peak(tr, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chainPeak != 9 {
+		t.Fatalf("chain-after-chain peak %d, want 9", chainPeak)
+	}
+	chainIO, err := memsim.IOOf(tr, Fig2bM, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chainIO != 3 {
+		t.Fatalf("chain-after-chain IO %d, want 3", chainIO)
+	}
+	sched, peak := liu.MinMem(tr)
+	if peak != 8 {
+		t.Fatalf("OptMinMem peak %d, want 8", peak)
+	}
+	optIO, err := memsim.IOOf(tr, Fig2bM, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's run reports 4; the exact value depends on how ties
+	// between the two symmetric chains are broken inside OPTMINMEM (see
+	// EXPERIMENTS.md). Either way it exceeds the 3 I/Os of the peak-9
+	// chain-after-chain traversal.
+	if optIO <= chainIO {
+		t.Fatalf("OptMinMem IO %d not worse than chain traversal %d", optIO, chainIO)
+	}
+	if optIO < 4 || optIO > 5 {
+		t.Fatalf("OptMinMem IO %d outside the tie-break range [4,5]", optIO)
+	}
+	_, opt, err := brute.MinIO(tr, Fig2bM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 3 {
+		t.Fatalf("brute optimum %d, want 3", opt)
+	}
+}
+
+// --- Figure 2(c): OPTMINMEM is not competitive ----------------------------
+
+func TestFig2cFamily(t *testing.T) {
+	for k := int64(1); k <= 8; k++ {
+		tr, chain, M, err := Fig2c(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if M != 4*k {
+			t.Fatalf("M=%d want %d", M, 4*k)
+		}
+		if !tree.IsTopological(tr, chain) {
+			t.Fatalf("k=%d: chain schedule invalid", k)
+		}
+		cPeak, err := memsim.Peak(tr, chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cPeak != 6*k {
+			t.Fatalf("k=%d: chain peak %d want %d", k, cPeak, 6*k)
+		}
+		cIO, err := memsim.IOOf(tr, M, chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cIO != 2*k {
+			t.Fatalf("k=%d: chain IO %d want %d", k, cIO, 2*k)
+		}
+		sched, peak := liu.MinMem(tr)
+		if peak != 5*k {
+			t.Fatalf("k=%d: OptMinMem peak %d want %d", k, peak, 5*k)
+		}
+		io, err := memsim.IOOf(tr, M, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper counts k(k+1); exact totals shift slightly with
+		// tie-breaking, but the quadratic growth — versus the linear
+		// 2k of the chain traversal — is the point of the example.
+		if io < k*k-k {
+			t.Fatalf("k=%d: OptMinMem IO %d below quadratic envelope %d", k, io, k*k-k)
+		}
+		if k >= 3 && io <= cIO {
+			t.Fatalf("k=%d: OptMinMem IO %d not worse than chain %d", k, io, cIO)
+		}
+	}
+	if _, _, _, err := Fig2c(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestFig2cRatioGrows(t *testing.T) {
+	// Competitive ratio OPTMINMEM/optimal grows at least linearly in k.
+	ratio := func(k int64) float64 {
+		tr, chain, M, err := Fig2c(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, _ := liu.MinMem(tr)
+		io, err := memsim.IOOf(tr, M, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cIO, err := memsim.IOOf(tr, M, chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(io) / float64(cIO)
+	}
+	r4, r8 := ratio(4), ratio(8)
+	if r8 < 1.5*r4 {
+		t.Fatalf("ratio not growing: k=4 → %.2f, k=8 → %.2f", r4, r8)
+	}
+}
+
+// --- Figure 6: FULLRECEXPAND beats OPTMINMEM ------------------------------
+
+func TestFig6(t *testing.T) {
+	tr, a, b := Fig6()
+	sched, peak := liu.MinMem(tr)
+	if peak != 12 {
+		t.Fatalf("OptMinMem peak %d, want 12", peak)
+	}
+	res, err := memsim.Run(tr, Fig6M, sched, memsim.FiF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO != 4 || res.Tau[a] != 2 || res.Tau[b] != 2 {
+		t.Fatalf("OptMinMem: io=%d tau[a]=%d tau[b]=%d, want 4/2/2", res.IO, res.Tau[a], res.Tau[b])
+	}
+	full, err := expand.FullRecExpand(tr, Fig6M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.IO != 3 {
+		t.Fatalf("FullRecExpand IO %d, want 3", full.IO)
+	}
+	_, opt, err := brute.MinIO(tr, Fig6M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 3 {
+		t.Fatalf("brute optimum %d, want 3", opt)
+	}
+	// The best postorder pays 4 here: FULLRECEXPAND strictly beats it.
+	_, pv, _ := postorder.MinIO(tr, Fig6M)
+	if pv != 4 {
+		t.Fatalf("PostOrderMinIO %d, want 4", pv)
+	}
+}
+
+// --- Figure 7: node-c instance ---------------------------------------------
+
+func TestFig7(t *testing.T) {
+	tr, c, a, b := Fig7()
+	_ = a
+	_ = b
+	// POSTORDERMINIO processes the left subtree first and pays exactly
+	// 3 I/Os, all on node c (the robust claim of the figure).
+	sched, pv, _ := postorder.MinIO(tr, Fig7M)
+	res, err := memsim.Run(tr, Fig7M, sched, memsim.FiF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv != 3 || res.IO != 3 {
+		t.Fatalf("PostOrderMinIO predicted %d simulated %d, want 3", pv, res.IO)
+	}
+	if res.Tau[c] != 3 {
+		t.Fatalf("tau=%v: the 3 I/Os should all be on node c=%d", res.Tau, c)
+	}
+	// The figure's narrative (OPTMINMEM pays 4, POSTORDERMINIO optimal)
+	// depends on tie-breaking inside OPTMINMEM; under ours, OPTMINMEM's
+	// schedule pays 2, which the brute-force oracle confirms to be the
+	// true optimum of the instance. See EXPERIMENTS.md for discussion.
+	_, opt, err := brute.MinIO(tr, Fig7M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt > 3 {
+		t.Fatalf("optimum %d above the postorder's 3", opt)
+	}
+	optSched, _ := liu.MinMem(tr)
+	optIO, err := memsim.IOOf(tr, Fig7M, optSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optIO < opt {
+		t.Fatalf("OptMinMem IO %d below optimum %d", optIO, opt)
+	}
+	full, err := expand.FullRecExpand(tr, Fig7M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.IO < opt {
+		t.Fatalf("FullRecExpand IO %d below optimum %d", full.IO, opt)
+	}
+}
+
+// --- Cross-check: Run harness on the examples ------------------------------
+
+func TestCoreRunOnFig6(t *testing.T) {
+	tr, _, _ := Fig6()
+	results, err := core.RunAll(core.PaperAlgorithms, tr, Fig6M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAlg := map[core.Algorithm]int64{}
+	for _, r := range results {
+		byAlg[r.Algorithm] = r.IO
+	}
+	if byAlg[core.FullRecExpand] != 3 {
+		t.Errorf("FullRecExpand via core: %d", byAlg[core.FullRecExpand])
+	}
+	if byAlg[core.OptMinMem] != 4 {
+		t.Errorf("OptMinMem via core: %d", byAlg[core.OptMinMem])
+	}
+	if byAlg[core.PostOrderMinIO] != 4 {
+		t.Errorf("PostOrderMinIO via core: %d", byAlg[core.PostOrderMinIO])
+	}
+}

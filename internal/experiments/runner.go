@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// RunResult collects one figure-style study: every algorithm evaluated on
+// every instance under one memory-bound rule.
+type RunResult struct {
+	Bound      core.Bound
+	Algorithms []core.Algorithm
+	Instances  []*core.Instance
+	// IO[a][i] is the I/O volume of algorithm a on instance i.
+	IO [][]int64
+	// M[i] is the memory bound used for instance i.
+	M []int64
+}
+
+// Run evaluates algs on every instance under the bound rule, in parallel
+// across instances (the evaluation is embarrassingly parallel; a worker
+// pool sized to GOMAXPROCS keeps the dataset runs tractable at paper
+// scale).
+func Run(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, workers int) (*RunResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &RunResult{
+		Bound:      bound,
+		Algorithms: algs,
+		Instances:  instances,
+		IO:         make([][]int64, len(algs)),
+		M:          make([]int64, len(instances)),
+	}
+	for a := range algs {
+		res.IO[a] = make([]int64, len(instances))
+	}
+	type job struct{ i int }
+	jobs := make(chan job)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				in := instances[j.i]
+				M := in.M(bound)
+				res.M[j.i] = M
+				for a, alg := range algs {
+					r, err := core.Run(alg, in.Tree, M)
+					if err != nil {
+						select {
+						case errs <- fmt.Errorf("%s on %s: %w", alg, in.Name, err):
+						default:
+						}
+						return
+					}
+					res.IO[a][j.i] = r.IO
+				}
+			}
+		}()
+	}
+	for i := range instances {
+		jobs <- job{i}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+// PerformanceTable converts a run into the paper's performance metric
+// (M + IO)/M per algorithm and instance.
+func (r *RunResult) PerformanceTable() *profile.Table {
+	methods := make([]string, len(r.Algorithms))
+	for a, alg := range r.Algorithms {
+		methods[a] = string(alg)
+	}
+	names := make([]string, len(r.Instances))
+	for i, in := range r.Instances {
+		names[i] = in.Name
+	}
+	tab := profile.NewTable(methods, names)
+	for a := range r.Algorithms {
+		for i := range r.Instances {
+			tab.Set(a, i, float64(r.M[i]+r.IO[a][i])/float64(r.M[i]))
+		}
+	}
+	return tab
+}
+
+// Profiles computes the Dolan–Moré performance profiles of the run.
+func (r *RunResult) Profiles(grid []float64) ([]profile.Profile, error) {
+	return profile.Compute(r.PerformanceTable(), grid)
+}
+
+// DifferingInstances returns the restriction of the run to instances on
+// which not all algorithms achieved the same I/O volume — the right-hand
+// plots of Figures 5, 9 and 11.
+func (r *RunResult) DifferingInstances() *RunResult {
+	keep := make([]int, 0, len(r.Instances))
+	for i := range r.Instances {
+		same := true
+		for a := 1; a < len(r.Algorithms); a++ {
+			if r.IO[a][i] != r.IO[0][i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			keep = append(keep, i)
+		}
+	}
+	out := &RunResult{
+		Bound:      r.Bound,
+		Algorithms: r.Algorithms,
+		Instances:  make([]*core.Instance, len(keep)),
+		IO:         make([][]int64, len(r.Algorithms)),
+		M:          make([]int64, len(keep)),
+	}
+	for a := range r.Algorithms {
+		out.IO[a] = make([]int64, len(keep))
+	}
+	for k, i := range keep {
+		out.Instances[k] = r.Instances[i]
+		out.M[k] = r.M[i]
+		for a := range r.Algorithms {
+			out.IO[a][k] = r.IO[a][i]
+		}
+	}
+	return out
+}
+
+// WinLossCounts returns, for each pair (a, b) of algorithm indices, the
+// number of instances where a strictly beats b.
+func (r *RunResult) WinLossCounts() [][]int {
+	na := len(r.Algorithms)
+	wins := make([][]int, na)
+	for a := range wins {
+		wins[a] = make([]int, na)
+	}
+	for i := range r.Instances {
+		for a := 0; a < na; a++ {
+			for b := 0; b < na; b++ {
+				if r.IO[a][i] < r.IO[b][i] {
+					wins[a][b]++
+				}
+			}
+		}
+	}
+	return wins
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func smallDataset(t *testing.T) []*core.Instance {
+	t.Helper()
+	cfg := SynthConfig{Count: 8, Nodes: 120, Seed: 7}
+	ins := Synth(cfg)
+	if len(ins) != 8 {
+		t.Fatalf("got %d instances", len(ins))
+	}
+	return ins
+}
+
+func TestSynthDataset(t *testing.T) {
+	ins := smallDataset(t)
+	for _, in := range ins {
+		if !in.NeedsIO() {
+			t.Fatalf("%s: Peak=%d LB=%d", in.Name, in.Peak, in.LB)
+		}
+		if in.Tree.N() != 120 {
+			t.Fatalf("%s: %d nodes", in.Name, in.Tree.N())
+		}
+		for i := 0; i < in.Tree.N(); i++ {
+			if w := in.Tree.Weight(i); w < 1 || w > 100 {
+				t.Fatalf("%s: weight %d", in.Name, w)
+			}
+		}
+	}
+	// Determinism.
+	again := Synth(SynthConfig{Count: 8, Nodes: 120, Seed: 7})
+	for i := range ins {
+		if ins[i].Peak != again[i].Peak || ins[i].LB != again[i].LB {
+			t.Fatal("dataset not deterministic")
+		}
+	}
+}
+
+func TestTreesDataset(t *testing.T) {
+	ins := Trees(SmallTrees)
+	if len(ins) < 5 {
+		t.Fatalf("only %d TREES instances need I/O", len(ins))
+	}
+	seen := map[string]bool{}
+	for _, in := range ins {
+		if seen[in.Name] {
+			t.Fatalf("duplicate instance %s", in.Name)
+		}
+		seen[in.Name] = true
+		if !in.NeedsIO() {
+			t.Fatalf("%s kept despite Peak==LB", in.Name)
+		}
+	}
+}
+
+func TestRunAndProfiles(t *testing.T) {
+	ins := smallDataset(t)
+	algs := core.FastAlgorithms
+	run, err := Run(ins, algs, core.BoundMid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.IO) != len(algs) || len(run.IO[0]) != len(ins) {
+		t.Fatal("result shape")
+	}
+	for i, in := range ins {
+		M := run.M[i]
+		if M != in.M(core.BoundMid) {
+			t.Fatalf("M mismatch at %d", i)
+		}
+		lbIO := core.IOLowerBound(in.Tree, M)
+		for a := range algs {
+			if run.IO[a][i] < lbIO {
+				t.Fatalf("%s on %s: IO %d below provable lower bound %d",
+					algs[a], in.Name, run.IO[a][i], lbIO)
+			}
+		}
+	}
+	profs, err := run.Profiles(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profs {
+		if p.Fraction[len(p.Fraction)-1] != 1 {
+			t.Fatalf("%s profile does not reach 1", p.Method)
+		}
+	}
+	// Win/loss counts are antisymmetric-ish: wins[a][b] + wins[b][a]
+	// ≤ instances, and diagonal is zero.
+	wins := run.WinLossCounts()
+	for a := range algs {
+		if wins[a][a] != 0 {
+			t.Fatal("diagonal wins")
+		}
+		for b := range algs {
+			if wins[a][b]+wins[b][a] > len(ins) {
+				t.Fatal("win counts exceed instance count")
+			}
+		}
+	}
+}
+
+func TestDifferingInstances(t *testing.T) {
+	ins := smallDataset(t)
+	run, err := Run(ins, core.FastAlgorithms, core.BoundMid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := run.DifferingInstances()
+	if len(diff.Instances) > len(run.Instances) {
+		t.Fatal("restriction grew")
+	}
+	for i := range diff.Instances {
+		same := true
+		for a := 1; a < len(diff.Algorithms); a++ {
+			if diff.IO[a][i] != diff.IO[0][i] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("kept an instance where all algorithms tie")
+		}
+	}
+}
+
+func TestRunAtPeakBoundAllZeroForOptMinMem(t *testing.T) {
+	ins := smallDataset(t)
+	run, err := Run(ins, []core.Algorithm{core.OptMinMem}, core.BoundPeakMinus1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		// At M = Peak − 1 the optimal-peak schedule overflows by at
+		// most... it must pay at least 1 (the provable lower bound).
+		if run.IO[0][i] < 1 {
+			t.Fatalf("OptMinMem pays %d at M=Peak-1", run.IO[0][i])
+		}
+	}
+}

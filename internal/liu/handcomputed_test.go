@@ -1,0 +1,68 @@
+package liu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// Hand-computed canonical profiles for the paper's building blocks.
+
+func TestMemProfileChainFig2b(t *testing.T) {
+	// Chain 3←5←2←6 (root 3): bottom-up the profile develops as
+	//   leaf 6:            [(6,6)]
+	//   node 2 (w̄=6):      [(6,2)]      (merge: hill 6 ≤ 6)
+	//   node 5 (w̄=5):      [(6,2),(5,5)]
+	//   node 3 (w̄=5):      [(6,2),(5,3)] (merge (5,5)+(5,3))
+	c := tree.Chain(3, 5, 2, 6)
+	prof := MemProfile(c)
+	hills := make([]int64, len(prof))
+	valleys := make([]int64, len(prof))
+	for i, s := range prof {
+		hills[i] = s.Hill
+		valleys[i] = s.Valley
+	}
+	if !reflect.DeepEqual(hills, []int64{6, 5}) || !reflect.DeepEqual(valleys, []int64{2, 3}) {
+		t.Fatalf("profile hills=%v valleys=%v, want [6 5]/[2 3]", hills, valleys)
+	}
+	// Segment node sets: first the leaf and node 2, then 5 and 3.
+	if !reflect.DeepEqual(prof[0].Nodes, []int{3, 2}) {
+		t.Fatalf("segment 0 nodes %v", prof[0].Nodes)
+	}
+	if !reflect.DeepEqual(prof[1].Nodes, []int{1, 0}) {
+		t.Fatalf("segment 1 nodes %v", prof[1].Nodes)
+	}
+}
+
+func TestMemProfileFig2cChain(t *testing.T) {
+	// The Figure 2(c) chain for k=3 must canonicalize to the arithmetic
+	// staircase [(4k, k), (4k−1, k+1), ..., (3k, 2k)].
+	k := int64(3)
+	var ws []int64
+	for j := int64(0); j <= k; j++ {
+		ws = append(ws, 2*k-j, 3*k+j)
+	}
+	prof := MemProfile(tree.Chain(ws...))
+	if len(prof) != int(k)+1 {
+		t.Fatalf("%d segments, want %d", len(prof), k+1)
+	}
+	for j, s := range prof {
+		if s.Hill != 4*k-int64(j) || s.Valley != k+int64(j) {
+			t.Fatalf("segment %d = (%d,%d), want (%d,%d)", j, s.Hill, s.Valley, 4*k-int64(j), k+int64(j))
+		}
+	}
+}
+
+func TestMinMemSingleNodeZeroWeight(t *testing.T) {
+	// Zero-weight nodes (expansion middles) are legal inputs.
+	tr := tree.MustNew([]int{tree.None, 0, 1}, []int64{2, 0, 2})
+	sched, peak := MinMem(tr)
+	if !tree.IsTopological(tr, sched) {
+		t.Fatal("invalid schedule")
+	}
+	// leaf 2 → node 0 (w̄ = max(0, 2) = 2) → root (w̄ = max(2, 0) = 2).
+	if peak != 2 {
+		t.Fatalf("peak=%d want 2", peak)
+	}
+}

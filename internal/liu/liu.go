@@ -1,0 +1,293 @@
+// Package liu implements J.W.H. Liu's two classical algorithms for
+// peak-memory tree scheduling, which the paper uses as substrates:
+//
+//   - MinMem (the paper's OPTMINMEM): the optimal, postorder-free traversal
+//     minimizing peak memory, via generalized tree pebbling ("An application
+//     of generalized tree pebbling to sparse matrix factorization", SIAM J.
+//     Alg. Discrete Methods 8(3), 1987).
+//   - PostOrderMinMem: the best postorder traversal for peak memory ("On the
+//     storage requirement in the out-of-core multifrontal method for sparse
+//     factorization", ACM TOMS, 1986).
+//
+// Both operate on the in-place task model of package tree, where executing
+// node i needs w̄(i) = max(w_i, Σ_child w_j) and afterwards retains w_i.
+//
+// MinMem represents the traversal of each subtree by its hill–valley
+// profile: a sequence of segments (H_1,V_1),...,(H_s,V_s) with strictly
+// decreasing hills H and strictly increasing valleys V, where H_k is the
+// peak reached during segment k and V_k the memory retained after it
+// (measured from an empty memory at the subtree's start). Liu's theorem
+// states that an optimal traversal of a node is obtained by merging the
+// segments of the children's optimal traversals in non-increasing order of
+// H − V (the exchange argument is the paper's Theorem 3) and appending the
+// node's own execution; the per-child segment order is automatically
+// preserved because H − V strictly decreases along a canonical profile.
+package liu
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// nodeRope is an immutable sequence of node ids with O(1) concatenation;
+// canonicalization merges segments constantly on chain-like trees, and
+// copying slices there would cost Θ(n²) overall.
+type nodeRope struct {
+	left, right *nodeRope
+	leaf        []int
+}
+
+func ropeOf(ids ...int) *nodeRope { return &nodeRope{leaf: ids} }
+
+func ropeCat(a, b *nodeRope) *nodeRope {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &nodeRope{left: a, right: b}
+}
+
+// appendTo flattens the rope into dst (iteratively: ropes from long chains
+// are deep).
+func (r *nodeRope) appendTo(dst []int) []int {
+	stack := []*nodeRope{r}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == nil {
+			continue
+		}
+		if cur.leaf != nil {
+			dst = append(dst, cur.leaf...)
+			continue
+		}
+		stack = append(stack, cur.right, cur.left)
+	}
+	return dst
+}
+
+// segment is one hill–valley segment of a traversal profile. hill and
+// valley are incremental with respect to the previous valley of the same
+// profile: if the profile's retained memory before the segment is r, the
+// segment reaches peak r+hill and ends with retained memory r+valley.
+// nodes lists the tasks executed during the segment, in order.
+type segment struct {
+	hill   int64
+	valley int64
+	nodes  *nodeRope
+}
+
+// profile is a canonical traversal profile: incremental segments whose
+// cumulative hills strictly decrease and cumulative valleys strictly
+// increase.
+type profile []segment
+
+// MinMem computes an optimal peak-memory traversal of t. It returns the
+// schedule and its peak memory (the minimum over all topological
+// traversals of the maximum memory in use).
+func MinMem(t *tree.Tree) (tree.Schedule, int64) {
+	prof := minMemProfile(t, t.Root())
+	sched := make(tree.Schedule, 0, t.N())
+	var peak, r int64
+	for _, s := range prof {
+		if h := r + s.hill; h > peak {
+			peak = h
+		}
+		r += s.valley
+		sched = s.nodes.appendTo(sched)
+	}
+	return sched, peak
+}
+
+// MinMemPeak returns only the optimal peak (Peak_incore in Section 6).
+func MinMemPeak(t *tree.Tree) int64 {
+	_, p := MinMem(t)
+	return p
+}
+
+// AllSubtreePeaks returns, for every node v, the optimal peak memory of
+// the subtree rooted at v, in one bottom-up pass (the peak of a canonical
+// profile is its first cumulative hill, recorded before the profile is
+// consumed by the parent's merge).
+func AllSubtreePeaks(t *tree.Tree) []int64 {
+	peaks := make([]int64, t.N())
+	minMemProfileWithPeaks(t, t.Root(), peaks)
+	return peaks
+}
+
+// minMemProfile computes the canonical optimal profile of the subtree
+// rooted at v. It works on an explicit stack to survive elimination-tree
+// depths far beyond the goroutine recursion limit.
+func minMemProfile(t *tree.Tree, root int) profile {
+	return minMemProfileWithPeaks(t, root, nil)
+}
+
+// minMemProfileWithPeaks additionally records every finished subtree's
+// optimal peak into peaks when non-nil.
+func minMemProfileWithPeaks(t *tree.Tree, root int, peaks []int64) profile {
+	// done[v] holds the finished profile of v's subtree.
+	done := make(map[int]profile)
+	type frame struct {
+		node    int
+		visited bool
+	}
+	stack := []frame{{root, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		if !f.visited {
+			stack[len(stack)-1].visited = true
+			for _, c := range t.Children(f.node) {
+				stack = append(stack, frame{c, false})
+			}
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		v := f.node
+		children := t.Children(v)
+		merged := make(profile, 0, len(children)+1)
+		if len(children) > 0 {
+			parts := make([]profile, len(children))
+			for i, c := range children {
+				parts[i] = done[c]
+				delete(done, c)
+			}
+			merged = mergeProfiles(parts)
+		}
+		// Executing v itself: all children outputs (Σ w_c) are
+		// resident; the execution peaks at w̄(v) and retains w_v.
+		// In incremental terms relative to the pre-segment retained
+		// volume Σ w_c (the sum of all child valleys):
+		cs := t.ChildrenSum(v)
+		merged = append(merged, segment{
+			hill:   t.WBar(v) - cs,
+			valley: t.Weight(v) - cs,
+			nodes:  ropeOf(v),
+		})
+		canon := canonicalize(merged)
+		if peaks != nil {
+			var r, peak int64
+			for _, s := range canon {
+				if h := r + s.hill; h > peak {
+					peak = h
+				}
+				r += s.valley
+			}
+			peaks[v] = peak
+		}
+		done[v] = canon
+	}
+	return done[root]
+}
+
+// mergeProfiles interleaves the children's canonical profiles optimally:
+// all segments sorted by non-increasing (hill − valley), which by Liu's
+// theorem (and the paper's Theorem 3 with x = hill, y = valley) minimizes
+// the combined peak max_k (x_k + Σ_{j<k} y_j). Ties are broken by child
+// order, then by per-child segment order, keeping the merge deterministic
+// and per-child order intact (within one child, hill − valley strictly
+// decreases, so stability suffices).
+func mergeProfiles(parts []profile) profile {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	type item struct {
+		child, idx int
+		seg        segment
+	}
+	items := make([]item, 0, total)
+	for ci, p := range parts {
+		for si, s := range p {
+			items = append(items, item{ci, si, s})
+		}
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		da := items[a].seg.hill - items[a].seg.valley
+		db := items[b].seg.hill - items[b].seg.valley
+		return da > db
+	})
+	out := make(profile, len(items))
+	for i, it := range items {
+		out[i] = it.seg
+	}
+	return out
+}
+
+// canonicalize rewrites a profile so that cumulative hills strictly
+// decrease and cumulative valleys strictly increase, merging offending
+// consecutive segments. The memory profile it denotes is unchanged.
+func canonicalize(p profile) profile {
+	// Work in cumulative coordinates for clarity.
+	type cum struct {
+		hill, valley int64
+		nodes        *nodeRope
+	}
+	var st []cum
+	var r int64
+	for _, s := range p {
+		c := cum{hill: r + s.hill, valley: r + s.valley, nodes: s.nodes}
+		r = c.valley
+		for len(st) > 0 {
+			top := st[len(st)-1]
+			if top.hill <= c.hill || top.valley >= c.valley {
+				if top.hill > c.hill {
+					c.hill = top.hill
+				}
+				c.nodes = ropeCat(top.nodes, c.nodes)
+				st = st[:len(st)-1]
+				continue
+			}
+			break
+		}
+		st = append(st, c)
+	}
+	out := make(profile, len(st))
+	var prev int64
+	for i, c := range st {
+		out[i] = segment{hill: c.hill - prev, valley: c.valley - prev, nodes: c.nodes}
+		prev = c.valley
+	}
+	return out
+}
+
+// PostOrderMinMem computes Liu's best postorder traversal for peak memory:
+// children are visited in non-increasing order of (subtree peak − output
+// size), per Theorem 3. It returns the postorder schedule and its peak.
+func PostOrderMinMem(t *tree.Tree) (tree.Schedule, int64) {
+	n := t.N()
+	peak := make([]int64, n) // postorder peak of each subtree
+	order := make([][]int, n)
+	for _, v := range t.BottomUp() {
+		children := append([]int(nil), t.Children(v)...)
+		sort.SliceStable(children, func(a, b int) bool {
+			da := peak[children[a]] - t.Weight(children[a])
+			db := peak[children[b]] - t.Weight(children[b])
+			if da != db {
+				return da > db
+			}
+			return children[a] < children[b]
+		})
+		var before int64 // Σ outputs of already-finished siblings
+		p := t.WBar(v)
+		var sched []int
+		for k, c := range children {
+			if q := peak[c] + before; q > p {
+				p = q
+			}
+			before += t.Weight(c)
+			if k == 0 {
+				sched = order[c] // reuse: keeps chains linear-time
+			} else {
+				sched = append(sched, order[c]...)
+			}
+			order[c] = nil
+		}
+		sched = append(sched, v)
+		peak[v] = p
+		order[v] = sched
+	}
+	return order[t.Root()], peak[t.Root()]
+}

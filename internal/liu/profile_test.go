@@ -1,0 +1,71 @@
+package liu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+func TestMemProfileInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTree(1+rng.Intn(30), rng)
+		prof := MemProfile(tr)
+		if len(prof) == 0 {
+			t.Fatal("empty profile")
+		}
+		_, peak := MinMem(tr)
+		if prof[0].Hill != peak {
+			t.Fatalf("first hill %d ≠ optimal peak %d", prof[0].Hill, peak)
+		}
+		if last := prof[len(prof)-1].Valley; last != tr.Weight(tr.Root()) {
+			t.Fatalf("last valley %d ≠ root weight %d", last, tr.Weight(tr.Root()))
+		}
+		var count int
+		for i, s := range prof {
+			count += len(s.Nodes)
+			if i > 0 {
+				if s.Hill >= prof[i-1].Hill {
+					t.Fatal("hills not strictly decreasing")
+				}
+				if s.Valley <= prof[i-1].Valley {
+					t.Fatal("valleys not strictly increasing")
+				}
+			}
+			if s.Hill < s.Valley {
+				t.Fatal("hill below its valley")
+			}
+		}
+		if count != tr.N() {
+			t.Fatalf("profile covers %d of %d nodes", count, tr.N())
+		}
+	}
+}
+
+func TestMemProfileSegmentsAreExecutable(t *testing.T) {
+	// Concatenating the segment node lists gives exactly the MinMem
+	// schedule, and simulating each prefix confirms the declared hills:
+	// the running peak after segment k equals max of hills 1..k.
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 50; trial++ {
+		tr := randomTree(2+rng.Intn(20), rng)
+		prof := MemProfile(tr)
+		var sched tree.Schedule
+		maxHill := int64(0)
+		for _, s := range prof {
+			sched = append(sched, s.Nodes...)
+			if s.Hill > maxHill {
+				maxHill = s.Hill
+			}
+		}
+		peak, err := memsim.Peak(tr, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak != maxHill {
+			t.Fatalf("simulated %d, profile max hill %d", peak, maxHill)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package memsim
+
+// nodeHeap is an indexed min-heap of node ids ordered by an int64 key, with
+// O(log n) push/remove and O(1) peek. It backs the eviction-order queue of
+// the simulator: for FiF the key is the negated schedule position of the
+// node's parent, so the minimum-key element is the active data used furthest
+// in the future.
+type nodeHeap struct {
+	ids  []int       // heap array of node ids
+	keys []int64     // keys[k] is the key of ids[k]
+	pos  map[int]int // node id -> index in ids
+}
+
+func (h *nodeHeap) init() {
+	if h.pos == nil {
+		h.pos = make(map[int]int)
+	}
+}
+
+func (h *nodeHeap) len() int { return len(h.ids) }
+
+// push inserts id with the given key. Pushing an id twice is a programming
+// error and panics.
+func (h *nodeHeap) push(id int, key int64) {
+	h.init()
+	if _, ok := h.pos[id]; ok {
+		panic("memsim: node pushed twice")
+	}
+	h.ids = append(h.ids, id)
+	h.keys = append(h.keys, key)
+	h.pos[id] = len(h.ids) - 1
+	h.up(len(h.ids) - 1)
+}
+
+// peek returns the id with the minimum key, or -1 if empty.
+func (h *nodeHeap) peek() int {
+	if len(h.ids) == 0 {
+		return -1
+	}
+	return h.ids[0]
+}
+
+// remove deletes id from the heap. Removing an absent id panics.
+func (h *nodeHeap) remove(id int) {
+	i, ok := h.pos[id]
+	if !ok {
+		panic("memsim: removing node not in heap")
+	}
+	last := len(h.ids) - 1
+	h.swap(i, last)
+	h.ids = h.ids[:last]
+	h.keys = h.keys[:last]
+	delete(h.pos, id)
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+// largest returns the id whose resident value is maximal (ties broken by
+// smaller id). It scans the whole heap: only the ablation policies use it.
+func (h *nodeHeap) largest(resident []int64) int {
+	best, bestVal := -1, int64(-1)
+	for _, id := range h.ids {
+		v := resident[id]
+		if v > bestVal || (v == bestVal && id < best) {
+			best, bestVal = id, v
+		}
+	}
+	return best
+}
+
+func (h *nodeHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+func (h *nodeHeap) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.ids[i] < h.ids[j] // deterministic tie-break
+}
+
+func (h *nodeHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *nodeHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

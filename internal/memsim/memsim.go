@@ -1,0 +1,246 @@
+// Package memsim is the out-of-core memory substrate: it executes a task
+// tree schedule under a main-memory bound M with unit-granularity paging to
+// an unbounded disk, exactly following the model of Section 3 of RR-9025.
+//
+// The central entry point is Run, which evaluates a schedule σ and derives
+// the I/O function τ using the Furthest-in-the-Future (FiF) eviction policy,
+// which Theorem 1 of the paper proves optimal for a fixed σ. The package
+// also provides Validate for checking arbitrary (σ, τ) traversals against
+// the paper's validity conditions, and Peak for the M = ∞ peak-memory
+// evaluation used by the MinMem algorithms.
+package memsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tree"
+)
+
+// Unbounded is a memory bound large enough to never trigger I/O; passing it
+// to Run computes the in-core peak of a schedule.
+const Unbounded = math.MaxInt64 / 4
+
+// EvictionPolicy selects which active data to page out when memory
+// overflows. FiF is optimal (Theorem 1); the others exist for the ablation
+// benchmarks that demonstrate that optimality empirically.
+type EvictionPolicy int
+
+const (
+	// FiF evicts the active data whose parent is scheduled furthest in
+	// the future (the paper's policy, analogous to Belady's MIN rule).
+	FiF EvictionPolicy = iota
+	// NiF (nearest in future) evicts the data needed soonest: the
+	// pessimal counterpart of FiF.
+	NiF
+	// LargestFirst evicts the active data with the largest resident part.
+	LargestFirst
+)
+
+// String names the policy.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case FiF:
+		return "FiF"
+	case NiF:
+		return "NiF"
+	case LargestFirst:
+		return "LargestFirst"
+	}
+	return fmt.Sprintf("EvictionPolicy(%d)", int(p))
+}
+
+// StepTrace records the memory state around the execution of one task.
+type StepTrace struct {
+	Step    int   // schedule position
+	Node    int   // task executed
+	Before  int64 // resident volume before eviction, children included
+	Need    int64 // w̄(node): memory required by the execution itself
+	Evicted int64 // volume written to disk at this step
+	After   int64 // resident volume right after the execution completes
+}
+
+// Result is the outcome of simulating a schedule.
+type Result struct {
+	Schedule tree.Schedule
+	// Tau[i] is the total volume of node i's output written to disk
+	// (the paper's τ(i)); reads are implicit and not counted.
+	Tau []int64
+	// IO is Σ_i Tau[i], the objective value of MinIO.
+	IO int64
+	// Peak is the maximum over steps of the memory in use had no
+	// eviction been performed at that step; with M = Unbounded this is
+	// the in-core peak memory of the schedule.
+	Peak int64
+	// Trace holds one entry per step when tracing was requested.
+	Trace []StepTrace
+}
+
+// Run executes sched on t under memory bound M, deriving τ with the given
+// eviction policy (use FiF for Theorem-1-optimal behaviour). It errors if
+// sched is not a topological permutation or if M < max_i w̄(i).
+func Run(t *tree.Tree, M int64, sched tree.Schedule, policy EvictionPolicy) (*Result, error) {
+	return run(t, M, sched, policy, false)
+}
+
+// RunTraced is Run with a per-step trace attached to the result.
+func RunTraced(t *tree.Tree, M int64, sched tree.Schedule, policy EvictionPolicy) (*Result, error) {
+	return run(t, M, sched, policy, true)
+}
+
+// Peak returns the in-core peak memory of sched on t (the smallest M for
+// which sched completes without any I/O).
+func Peak(t *tree.Tree, sched tree.Schedule) (int64, error) {
+	res, err := run(t, Unbounded, sched, FiF, false)
+	if err != nil {
+		return 0, err
+	}
+	return res.Peak, nil
+}
+
+func run(t *tree.Tree, M int64, sched tree.Schedule, policy EvictionPolicy, traced bool) (*Result, error) {
+	n := t.N()
+	pos, err := sched.Positions(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Validate(t, sched); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schedule: append(tree.Schedule(nil), sched...),
+		Tau:      make([]int64, n),
+	}
+	if traced {
+		res.Trace = make([]StepTrace, 0, n)
+	}
+
+	// resident[i] is the in-memory part of active node i's output
+	// (w_i - τ(i)); inactive nodes have resident 0 and are absent from
+	// the active heap.
+	resident := make([]int64, n)
+	var residentSum int64
+
+	// The eviction order is static for FiF/NiF: the key of node i is the
+	// schedule position of its parent. A node becomes active exactly once
+	// and leaves exactly once, so a priority heap keyed appropriately
+	// gives O(n log n) overall.
+	h := &nodeHeap{}
+	key := func(i int) int64 {
+		switch policy {
+		case FiF:
+			return -int64(pos[t.Parent(i)]) // max parent position first
+		case NiF:
+			return int64(pos[t.Parent(i)]) // min parent position first
+		default:
+			return 0 // LargestFirst uses dynamic resident size; see below
+		}
+	}
+
+	for step, v := range sched {
+		// The children of v leave the active set: their outputs are
+		// consumed by v's execution (any evicted parts are read back,
+		// which costs no additional writes).
+		for _, c := range t.Children(v) {
+			residentSum -= resident[c]
+			resident[c] = 0
+		}
+		need := t.WBar(v)
+		if need > M {
+			return nil, fmt.Errorf("memsim: node %d needs w̄=%d > M=%d", v, need, M)
+		}
+		before := residentSum + need
+		if before > res.Peak {
+			res.Peak = before
+		}
+		var evicted int64
+		for residentSum+need > M {
+			var victim int
+			if policy == LargestFirst {
+				victim = h.largest(resident)
+			} else {
+				victim = h.peek()
+			}
+			if victim < 0 {
+				return nil, fmt.Errorf("memsim: internal error: overflow with empty active set at step %d", step)
+			}
+			overflow := residentSum + need - M
+			take := resident[victim]
+			if take > overflow {
+				take = overflow
+			}
+			resident[victim] -= take
+			residentSum -= take
+			res.Tau[victim] += take
+			res.IO += take
+			evicted += take
+			if resident[victim] == 0 {
+				h.remove(victim)
+			}
+		}
+		// v's output becomes active (unless v is the root, whose output
+		// is the final result and is not consumed by any further task;
+		// we keep it resident to step's end but it occupies need ≥ w_v
+		// during execution anyway and the run ends here).
+		if t.Parent(v) != tree.None {
+			resident[v] = t.Weight(v)
+			residentSum += t.Weight(v)
+			h.push(v, key(v))
+		}
+		if traced {
+			after := residentSum
+			if t.Parent(v) == tree.None {
+				after = t.Weight(v)
+			}
+			res.Trace = append(res.Trace, StepTrace{
+				Step: step, Node: v, Before: before, Need: need,
+				Evicted: evicted, After: after,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Validate checks the paper's three validity conditions for an explicit
+// traversal (σ, τ): topological order, 0 ≤ τ(i) ≤ w_i, and for every step,
+// Σ_{k active}(w_k − τ(k)) ≤ M − w̄(executed node). Active means executed
+// strictly before the step with parent executed strictly after it; writes
+// happen immediately after production, reads immediately before the parent.
+func Validate(t *tree.Tree, M int64, sched tree.Schedule, tau []int64) error {
+	n := t.N()
+	if len(tau) != n {
+		return fmt.Errorf("memsim: τ has %d entries for %d nodes", len(tau), n)
+	}
+	if err := tree.Validate(t, sched); err != nil {
+		return err
+	}
+	for i, ti := range tau {
+		if ti < 0 || ti > t.Weight(i) {
+			return fmt.Errorf("memsim: τ(%d)=%d out of [0, %d]", i, ti, t.Weight(i))
+		}
+	}
+	var active int64 // Σ over active nodes of (w_k - τ(k))
+	for step, v := range sched {
+		for _, c := range t.Children(v) {
+			active -= t.Weight(c) - tau[c]
+		}
+		if got, limit := active, M-t.WBar(v); got > limit {
+			return fmt.Errorf("memsim: step %d (node %d): active resident %d > M-w̄ = %d",
+				step, v, got, limit)
+		}
+		if t.Parent(v) != tree.None {
+			active += t.Weight(v) - tau[v]
+		}
+	}
+	return nil
+}
+
+// IOOf is a convenience wrapper returning only the FiF I/O volume of a
+// schedule.
+func IOOf(t *tree.Tree, M int64, sched tree.Schedule) (int64, error) {
+	res, err := Run(t, M, sched, FiF)
+	if err != nil {
+		return 0, err
+	}
+	return res.IO, nil
+}

@@ -1,0 +1,128 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+)
+
+// Property-based tests (testing/quick) for the simulator's fundamental
+// invariants over randomly drawn trees, schedules and memory bounds.
+
+func genTreeAndSchedule(seed int64) (*tree.Tree, tree.Schedule, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(25)
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = tree.None
+	weight[0] = 1 + rng.Int63n(15)
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+		weight[i] = 1 + rng.Int63n(15)
+	}
+	t := tree.MustNew(parent, weight)
+	// Random topological order: repeatedly pick a random ready node.
+	remaining := make([]int, n)
+	for i := 0; i < n; i++ {
+		remaining[i] = t.NumChildren(i)
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sched := make(tree.Schedule, 0, n)
+	for len(ready) > 0 {
+		k := rng.Intn(len(ready))
+		v := ready[k]
+		ready = append(ready[:k], ready[k+1:]...)
+		sched = append(sched, v)
+		if p := t.Parent(v); p != tree.None {
+			remaining[p]--
+			if remaining[p] == 0 {
+				ready = append(ready, p)
+			}
+		}
+	}
+	lb := t.MaxWBar()
+	peak, err := Peak(t, sched)
+	if err != nil {
+		panic(err)
+	}
+	M := lb
+	if peak > lb {
+		M = lb + rng.Int63n(peak-lb+1)
+	}
+	return t, sched, M
+}
+
+// Property: the FiF I/O of any schedule is at least its peak deficit
+// (peak − M) and zero exactly when the schedule fits.
+func TestQuickIOBoundsPeakDeficit(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, sched, M := genTreeAndSchedule(seed)
+		peak, err := Peak(tr, sched)
+		if err != nil {
+			return false
+		}
+		io, err := IOOf(tr, M, sched)
+		if err != nil {
+			return false
+		}
+		if deficit := peak - M; deficit > 0 && io < deficit {
+			return false
+		}
+		if peak <= M && io != 0 {
+			return false
+		}
+		if io < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the τ returned by the FiF run always passes the independent
+// Validate checker, and its total matches the declared IO.
+func TestQuickFiFTauValidates(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, sched, M := genTreeAndSchedule(seed)
+		res, err := Run(tr, M, sched, FiF)
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, ti := range res.Tau {
+			total += ti
+		}
+		if total != res.IO {
+			return false
+		}
+		return Validate(tr, M, sched, res.Tau) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the root's output is never evicted, and no τ is charged to
+// the last executed node.
+func TestQuickRootNeverEvicted(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, sched, M := genTreeAndSchedule(seed)
+		res, err := Run(tr, M, sched, FiF)
+		if err != nil {
+			return false
+		}
+		return res.Tau[tr.Root()] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package memsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTrace formats a traced simulation as an ASCII memory timeline: one
+// line per step with the executed node, the memory level before eviction
+// (as a bar scaled to width columns), and the volume evicted at that step.
+// It returns the empty string if the result carries no trace.
+func RenderTrace(res *Result, width int) string {
+	if len(res.Trace) == 0 {
+		return ""
+	}
+	if width < 10 {
+		width = 10
+	}
+	var max int64 = 1
+	for _, st := range res.Trace {
+		if st.Before > max {
+			max = st.Before
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %8s %10s %8s  %s\n", "step", "node", "mem", "evicted", "usage")
+	for _, st := range res.Trace {
+		bar := int(st.Before * int64(width) / max)
+		if bar < 0 {
+			bar = 0
+		}
+		marker := ""
+		if st.Evicted > 0 {
+			marker = " <-- I/O"
+		}
+		fmt.Fprintf(&b, "%6d %8d %10d %8d  |%s%s|%s\n",
+			st.Step, st.Node, st.Before, st.Evicted,
+			strings.Repeat("#", bar), strings.Repeat(" ", width-bar), marker)
+	}
+	fmt.Fprintf(&b, "total I/O volume: %d; peak demand: %d\n", res.IO, res.Peak)
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestRenderTrace(t *testing.T) {
+	tr := tree.Graft(1, tree.Chain(3, 5, 2, 6), tree.Chain(3, 5, 2, 6))
+	sched := tree.Schedule{4, 3, 2, 1, 8, 7, 6, 5, 0}
+	res, err := RunTraced(tr, 6, sched, FiF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTrace(res, 40)
+	if !strings.Contains(out, "<-- I/O") {
+		t.Errorf("no I/O marker:\n%s", out)
+	}
+	if !strings.Contains(out, "total I/O volume: 3") {
+		t.Errorf("missing totals:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != tr.N()+2 {
+		t.Errorf("expected %d lines, got %d", tr.N()+2, got)
+	}
+	// Untraced results render to nothing.
+	plain, err := Run(tr, 6, sched, FiF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderTrace(plain, 40) != "" {
+		t.Error("untraced render not empty")
+	}
+	// Narrow width is clamped, not broken.
+	if !strings.Contains(RenderTrace(res, 1), "total I/O volume") {
+		t.Error("clamped render broken")
+	}
+}

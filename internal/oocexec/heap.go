@@ -1,0 +1,92 @@
+package oocexec
+
+// evictHeap is an indexed min-heap of node ids by int64 key; with the key
+// set to the negated schedule position of a node's parent, the minimum is
+// the Furthest-in-the-Future eviction victim. (A sibling of the planner's
+// heap in internal/memsim; kept separate so the executor has no dependency
+// on the simulator.)
+type evictHeap struct {
+	ids  []int
+	keys []int64
+	pos  map[int]int
+}
+
+func (h *evictHeap) push(id int, key int64) {
+	if h.pos == nil {
+		h.pos = make(map[int]int)
+	}
+	if _, ok := h.pos[id]; ok {
+		panic("oocexec: node pushed twice")
+	}
+	h.ids = append(h.ids, id)
+	h.keys = append(h.keys, key)
+	h.pos[id] = len(h.ids) - 1
+	h.up(len(h.ids) - 1)
+}
+
+func (h *evictHeap) peek() int {
+	if len(h.ids) == 0 {
+		return -1
+	}
+	return h.ids[0]
+}
+
+func (h *evictHeap) remove(id int) {
+	i, ok := h.pos[id]
+	if !ok {
+		return // tolerated: zero-weight nodes are never pushed
+	}
+	last := len(h.ids) - 1
+	h.swap(i, last)
+	h.ids = h.ids[:last]
+	h.keys = h.keys[:last]
+	delete(h.pos, id)
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *evictHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+func (h *evictHeap) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.ids[i] < h.ids[j]
+}
+
+func (h *evictHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *evictHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,179 @@
+// Package oocexec is the out-of-core execution engine: it takes a task
+// tree, a memory bound and a schedule produced by any of the scheduling
+// algorithms, and actually runs the computation with real byte buffers,
+// paging data to a spill store (a directory of files, or memory for tests)
+// exactly as the planner's Furthest-in-Future policy prescribes.
+//
+// The engine enforces the paper's model at byte granularity: one weight
+// unit of a task's output is Config.UnitSize bytes; executing a task needs
+// all children outputs materialized plus its own output buffer, within
+// M·UnitSize bytes of resident data; evictions write the tail of the
+// victim's buffer to the spill store and release that memory. On
+// completion it reports the exact volumes moved, which the tests check
+// against the planner's predicted τ.
+package oocexec
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Compute produces the output data of a task from its children's outputs.
+// The returned slice must be exactly Weight(node)·UnitSize bytes. Inputs
+// are keyed by child node id and must not be retained.
+type Compute func(node int, inputs map[int][]byte) ([]byte, error)
+
+// Config tunes the executor.
+type Config struct {
+	// UnitSize is the number of bytes per weight unit (default 64).
+	UnitSize int
+	// SpillDir is the directory for spill files; empty means an
+	// in-memory store (useful in tests and benchmarks).
+	SpillDir string
+}
+
+func (c Config) unitSize() int {
+	if c.UnitSize <= 0 {
+		return 64
+	}
+	return c.UnitSize
+}
+
+// Stats reports the actual data movement of an execution.
+type Stats struct {
+	// UnitsWritten is the total volume written to the spill store in
+	// weight units (the realized Σ τ).
+	UnitsWritten int64
+	// UnitsRead is the total volume read back (equal to UnitsWritten:
+	// everything spilled is eventually consumed by a parent).
+	UnitsRead int64
+	// BytesWritten and BytesRead are the same volumes in bytes.
+	BytesWritten, BytesRead int64
+	// Spills and Reads count the store operations.
+	Spills, Reads int
+	// PeakResidentUnits is the maximum resident volume observed,
+	// including the executing task's w̄.
+	PeakResidentUnits int64
+}
+
+// Execute runs the tree under memory bound M (in units) following sched,
+// evicting with the Furthest-in-Future policy. It returns the root's
+// output and the realized data-movement statistics.
+func Execute(t *tree.Tree, M int64, sched tree.Schedule, cfg Config, f Compute) ([]byte, Stats, error) {
+	var stats Stats
+	n := t.N()
+	pos, err := sched.Positions(n)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := tree.Validate(t, sched); err != nil {
+		return nil, stats, err
+	}
+	unit := cfg.unitSize()
+	store, err := newStore(cfg.SpillDir)
+	if err != nil {
+		return nil, stats, err
+	}
+	defer store.cleanup()
+
+	// resident[i] holds the in-memory prefix of i's output; the spilled
+	// suffix lives in the store.
+	resident := make([][]byte, n)
+	spilled := make([]int64, n) // units of i currently in the store
+	var residentUnits int64
+
+	h := &evictHeap{}
+	evict := func(need int64) error {
+		for residentUnits+need > M {
+			victim := h.peek()
+			if victim < 0 {
+				return fmt.Errorf("oocexec: memory overflow with nothing evictable")
+			}
+			have := int64(len(resident[victim])) / int64(unit)
+			take := residentUnits + need - M
+			if take > have {
+				take = have
+			}
+			cut := int64(len(resident[victim])) - take*int64(unit)
+			if err := store.write(victim, resident[victim][cut:]); err != nil {
+				return err
+			}
+			resident[victim] = resident[victim][:cut:cut]
+			spilled[victim] += take
+			residentUnits -= take
+			stats.UnitsWritten += take
+			stats.BytesWritten += take * int64(unit)
+			stats.Spills++
+			if len(resident[victim]) == 0 {
+				h.remove(victim)
+			}
+		}
+		return nil
+	}
+
+	for _, v := range sched {
+		// Materialize the children: read back any spilled suffixes.
+		// The children's full sizes are accounted inside w̄(v), and
+		// their resident parts leave the "other residents" pool now.
+		inputs := make(map[int][]byte, t.NumChildren(v))
+		for _, c := range t.Children(v) {
+			residentUnits -= int64(len(resident[c])) / int64(unit)
+			if len(resident[c]) > 0 && spilled[c] == 0 {
+				inputs[c] = resident[c]
+				resident[c] = nil
+				h.remove(c)
+				continue
+			}
+			buf := make([]byte, 0, t.Weight(c)*int64(unit))
+			buf = append(buf, resident[c]...)
+			if spilled[c] > 0 {
+				back, err := store.read(c)
+				if err != nil {
+					return nil, stats, err
+				}
+				buf = append(buf, back...)
+				stats.UnitsRead += spilled[c]
+				stats.BytesRead += spilled[c] * int64(unit)
+				stats.Reads++
+				spilled[c] = 0
+			}
+			if got := int64(len(buf)); got != t.Weight(c)*int64(unit) {
+				return nil, stats, fmt.Errorf("oocexec: child %d reassembled to %d bytes, want %d",
+					c, got, t.Weight(c)*int64(unit))
+			}
+			if len(resident[c]) > 0 {
+				h.remove(c)
+			}
+			resident[c] = nil
+			inputs[c] = buf
+		}
+		need := t.WBar(v)
+		if need > M {
+			return nil, stats, fmt.Errorf("oocexec: task %d needs w̄=%d > M=%d", v, need, M)
+		}
+		if err := evict(need); err != nil {
+			return nil, stats, err
+		}
+		if peak := residentUnits + need; peak > stats.PeakResidentUnits {
+			stats.PeakResidentUnits = peak
+		}
+		out, err := f(v, inputs)
+		if err != nil {
+			return nil, stats, fmt.Errorf("oocexec: task %d: %w", v, err)
+		}
+		if got, want := int64(len(out)), t.Weight(v)*int64(unit); got != want {
+			return nil, stats, fmt.Errorf("oocexec: task %d produced %d bytes, want %d", v, got, want)
+		}
+		if t.Parent(v) == tree.None {
+			return out, stats, nil
+		}
+		resident[v] = out
+		residentUnits += t.Weight(v)
+		if t.Weight(v) > 0 {
+			// FiF: evict first the node whose parent runs last.
+			h.push(v, -int64(pos[t.Parent(v)]))
+		}
+	}
+	return nil, stats, fmt.Errorf("oocexec: schedule ended without executing the root")
+}

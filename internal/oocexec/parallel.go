@@ -1,0 +1,266 @@
+package oocexec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tree"
+)
+
+// ExecuteParallel runs the tree with up to workers concurrent tasks under
+// a shared memory budget of M units, spilling completed outputs with the
+// Furthest-in-Future rule relative to the given plan (any topological
+// schedule; it provides both the eviction order and the admission
+// priority). Parallel processing of task trees under bounded memory is the
+// motivation the paper states for the sequential MinIO study (Section 1);
+// this executor gives the library a practical tree-parallel runtime whose
+// realized I/O can be compared against the sequential plan's.
+//
+// Memory accounting: each completed output occupies its (non-spilled)
+// units; each running task additionally reserves w̄(task). A ready task is
+// admitted when, after evicting completed outputs not needed by running
+// tasks, the reservation fits in M. When nothing runs, any single ready
+// task fits (M ≥ LB), so progress is always possible and the executor
+// never deadlocks.
+func ExecuteParallel(t *tree.Tree, M int64, plan tree.Schedule, workers int, cfg Config, f Compute) ([]byte, Stats, error) {
+	var stats Stats
+	n := t.N()
+	pos, err := plan.Positions(n)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := tree.Validate(t, plan); err != nil {
+		return nil, stats, err
+	}
+	if lb := t.MaxWBar(); M < lb {
+		return nil, stats, fmt.Errorf("oocexec: M=%d below LB=%d", M, lb)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	unit := cfg.unitSize()
+	store, err := newStore(cfg.SpillDir)
+	if err != nil {
+		return nil, stats, err
+	}
+	defer store.cleanup()
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		resident  = make([][]byte, n) // in-memory prefix of completed outputs
+		spilled   = make([]int64, n)  // spilled units per completed output
+		remaining = make([]int, n)    // unfinished children count
+		running   = make([]bool, n)
+		done      = make([]bool, n)
+		ledger    int64 // resident output units + Σ w̄ of running tasks
+		pending   = n
+		active    = 0
+		firstErr  error
+		rootOut   []byte
+	)
+	for i := 0; i < n; i++ {
+		remaining[i] = t.NumChildren(i)
+	}
+
+	// evictable reports the units currently evictable: completed outputs
+	// whose parent is neither running nor done, beyond what is spilled.
+	// evictFor frees memory until free ≥ need, preferring outputs whose
+	// parent is scheduled latest in the plan. Called with mu held.
+	evictFor := func(need int64) error {
+		for ledger+need > M {
+			victim, victimKey := -1, int64(-1)
+			for i := 0; i < n; i++ {
+				if !done[i] || len(resident[i]) == 0 {
+					continue
+				}
+				p := t.Parent(i)
+				if p == tree.None || running[p] || done[p] {
+					continue // being consumed or root output
+				}
+				if key := int64(pos[p]); key > victimKey {
+					victim, victimKey = i, key
+				}
+			}
+			if victim < 0 {
+				return fmt.Errorf("oocexec: overflow with nothing evictable (ledger=%d need=%d M=%d)", ledger, need, M)
+			}
+			have := int64(len(resident[victim])) / int64(unit)
+			take := ledger + need - M
+			if take > have {
+				take = have
+			}
+			cut := int64(len(resident[victim])) - take*int64(unit)
+			if err := store.write(victim, resident[victim][cut:]); err != nil {
+				return err
+			}
+			resident[victim] = resident[victim][:cut:cut]
+			spilled[victim] += take
+			ledger -= take
+			stats.UnitsWritten += take
+			stats.BytesWritten += take * int64(unit)
+			stats.Spills++
+		}
+		return nil
+	}
+
+	// pick returns an admissible ready task (lowest plan position first)
+	// or -1. Called with mu held.
+	pick := func() (int, error) {
+		best := -1
+		for i := 0; i < n; i++ {
+			if done[i] || running[i] || remaining[i] != 0 {
+				continue
+			}
+			if best == -1 || pos[i] < pos[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			return -1, nil
+		}
+		// The reservation replaces the children's resident footprint.
+		var childResident int64
+		for _, c := range t.Children(best) {
+			childResident += int64(len(resident[c])) / int64(unit)
+		}
+		need := t.WBar(best) - childResident
+		evictableUnits := int64(0)
+		for i := 0; i < n; i++ {
+			if done[i] && len(resident[i]) > 0 {
+				p := t.Parent(i)
+				if p != tree.None && !running[p] && p != best && !done[p] {
+					evictableUnits += int64(len(resident[i])) / int64(unit)
+				}
+			}
+		}
+		if ledger+need > M+evictableUnits {
+			if active > 0 {
+				return -1, nil // wait for a completion
+			}
+			// Nothing running: children are resident (counted in need
+			// via w̄) and everything else is evictable, so this must
+			// fit; a failure here is a real invariant violation.
+		}
+		// Mark running first so evictFor never victimizes the children
+		// we are about to consume, then swap the children's footprint
+		// for the w̄ reservation.
+		running[best] = true
+		for _, c := range t.Children(best) {
+			ledger -= int64(len(resident[c])) / int64(unit)
+		}
+		if err := evictFor(t.WBar(best)); err != nil {
+			return -1, err
+		}
+		ledger += t.WBar(best)
+		if ledger > stats.PeakResidentUnits {
+			stats.PeakResidentUnits = ledger
+		}
+		return best, nil
+	}
+
+	// materialize collects the children buffers of v (reading back any
+	// spilled parts). Called with mu held; store reads happen under the
+	// lock, which keeps the accounting exact at the cost of serializing
+	// reads (acceptable: reads are on the critical path anyway).
+	materialize := func(v int) (map[int][]byte, error) {
+		inputs := make(map[int][]byte, t.NumChildren(v))
+		for _, c := range t.Children(v) {
+			buf := resident[c]
+			if spilled[c] > 0 {
+				back, err := store.read(c)
+				if err != nil {
+					return nil, err
+				}
+				buf = append(append(make([]byte, 0, t.Weight(c)*int64(unit)), buf...), back...)
+				stats.UnitsRead += spilled[c]
+				stats.BytesRead += spilled[c] * int64(unit)
+				stats.Reads++
+				spilled[c] = 0
+			}
+			if got, want := int64(len(buf)), t.Weight(c)*int64(unit); got != want {
+				return nil, fmt.Errorf("oocexec: child %d reassembled to %d bytes, want %d", c, got, want)
+			}
+			resident[c] = nil
+			inputs[c] = buf
+		}
+		return inputs, nil
+	}
+
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			for {
+				if firstErr != nil || pending == 0 {
+					mu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				v, err := pick()
+				if err != nil {
+					firstErr = err
+					mu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				if v >= 0 {
+					inputs, err := materialize(v)
+					if err != nil {
+						firstErr = err
+						mu.Unlock()
+						cond.Broadcast()
+						return
+					}
+					active++
+					mu.Unlock()
+					out, err := f(v, inputs)
+					mu.Lock()
+					active--
+					if err == nil {
+						if got, want := int64(len(out)), t.Weight(v)*int64(unit); got != want {
+							err = fmt.Errorf("oocexec: task %d produced %d bytes, want %d", v, got, want)
+						}
+					}
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					if firstErr != nil {
+						mu.Unlock()
+						cond.Broadcast()
+						return
+					}
+					// Release the reservation; keep the output and
+					// make the parent ready once its last child is in.
+					ledger -= t.WBar(v)
+					running[v] = false
+					done[v] = true
+					pending--
+					if p := t.Parent(v); p == tree.None {
+						rootOut = out
+					} else {
+						resident[v] = out
+						ledger += t.Weight(v)
+						remaining[p]--
+					}
+					cond.Broadcast()
+					continue
+				}
+				cond.Wait()
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	if rootOut == nil {
+		return nil, stats, fmt.Errorf("oocexec: finished without a root output")
+	}
+	return rootOut, stats, nil
+}

@@ -1,0 +1,115 @@
+package oocexec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// spillStore persists evicted data. Evictions cut suffixes off a node's
+// buffer, so chunks for one node arrive in back-to-front order; read
+// returns them re-concatenated front-to-back (reverse append order) and
+// discards them.
+type spillStore interface {
+	write(node int, data []byte) error
+	read(node int) ([]byte, error)
+	cleanup() error
+}
+
+func newStore(dir string) (spillStore, error) {
+	if dir == "" {
+		return &memStore{chunks: map[int][][]byte{}}, nil
+	}
+	tmp, err := os.MkdirTemp(dir, "oocspill-*")
+	if err != nil {
+		return nil, fmt.Errorf("oocexec: creating spill dir: %w", err)
+	}
+	return &fileStore{dir: tmp, sizes: map[int][]int{}}, nil
+}
+
+// memStore keeps chunks in memory; it is the default for tests and for
+// callers who only want the accounting.
+type memStore struct {
+	chunks map[int][][]byte
+}
+
+func (s *memStore) write(node int, data []byte) error {
+	cp := append([]byte(nil), data...)
+	s.chunks[node] = append(s.chunks[node], cp)
+	return nil
+}
+
+func (s *memStore) read(node int) ([]byte, error) {
+	cs := s.chunks[node]
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("oocexec: nothing spilled for node %d", node)
+	}
+	var out []byte
+	for i := len(cs) - 1; i >= 0; i-- {
+		out = append(out, cs[i]...)
+	}
+	delete(s.chunks, node)
+	return out, nil
+}
+
+func (s *memStore) cleanup() error {
+	s.chunks = map[int][][]byte{}
+	return nil
+}
+
+// fileStore appends each node's chunks to one file per node under a
+// temporary directory and remembers the chunk sizes for reassembly.
+type fileStore struct {
+	dir   string
+	sizes map[int][]int
+}
+
+func (s *fileStore) path(node int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("node-%d.spill", node))
+}
+
+func (s *fileStore) write(node int, data []byte) error {
+	f, err := os.OpenFile(s.path(node), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	s.sizes[node] = append(s.sizes[node], len(data))
+	return f.Sync()
+}
+
+func (s *fileStore) read(node int) ([]byte, error) {
+	sizes := s.sizes[node]
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("oocexec: nothing spilled for node %d", node)
+	}
+	raw, err := os.ReadFile(s.path(node))
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, sz := range sizes {
+		total += sz
+	}
+	if total != len(raw) {
+		return nil, fmt.Errorf("oocexec: spill file for node %d has %d bytes, want %d", node, len(raw), total)
+	}
+	out := make([]byte, 0, total)
+	off := total
+	for i := len(sizes) - 1; i >= 0; i-- {
+		off -= sizes[i]
+		out = append(out, raw[off:off+sizes[i]]...)
+	}
+	delete(s.sizes, node)
+	if err := os.Remove(s.path(node)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *fileStore) cleanup() error {
+	return os.RemoveAll(s.dir)
+}

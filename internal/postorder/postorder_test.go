@@ -1,0 +1,147 @@
+package postorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+func TestMinIOPredictionMatchesSimulation(t *testing.T) {
+	// V_root is, by construction, the FiF I/O volume of the returned
+	// postorder; cross-check against the independent simulator.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 400; trial++ {
+		tr := randomTree(1+rng.Intn(30), rng)
+		lb := tr.MaxWBar()
+		_, peak := liu.PostOrderMinMem(tr)
+		for _, M := range []int64{lb, (lb + peak) / 2, peak} {
+			if M < lb {
+				continue
+			}
+			sched, predicted, an := MinIO(tr, M)
+			if !tree.IsPostorder(tr, sched) {
+				t.Fatalf("trial %d: not a postorder", trial)
+			}
+			io, err := memsim.IOOf(tr, M, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if io != predicted {
+				t.Fatalf("trial %d M=%d: predicted V=%d simulated %d (parents=%v weights=%v)",
+					trial, M, predicted, io, tr.Parents(), tr.Weights())
+			}
+			// S of the root is the postorder's in-core peak.
+			simPeak, err := memsim.Peak(tr, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if an.S[tr.Root()] != simPeak {
+				t.Fatalf("trial %d: S_root=%d simulated peak=%d", trial, an.S[tr.Root()], simPeak)
+			}
+		}
+	}
+}
+
+func TestMinIOZeroWhenFits(t *testing.T) {
+	tr := tree.Graft(1, tree.Chain(3, 5, 2, 6), tree.Chain(3, 5, 2, 6))
+	_, peak := liu.PostOrderMinMem(tr)
+	_, v, _ := MinIO(tr, peak)
+	if v != 0 {
+		t.Fatalf("V=%d at M=postorder peak", v)
+	}
+}
+
+func TestMinIOBeatsOtherPostordersExhaustively(t *testing.T) {
+	// Theorem 3 ⇒ the A−w ordering is optimal among postorders; verify
+	// against all child permutations on small trees.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		tr := randomTree(1+rng.Intn(7), rng)
+		lb := tr.MaxWBar()
+		_, peak := liu.PostOrderMinMem(tr)
+		if peak <= lb {
+			continue
+		}
+		M := (lb + peak) / 2
+		_, got, _ := MinIO(tr, M)
+		best := bestPostorderIO(t, tr, M)
+		if got != best {
+			t.Fatalf("trial %d: MinIO %d but best postorder %d (M=%d parents=%v weights=%v)",
+				trial, got, best, M, tr.Parents(), tr.Weights())
+		}
+	}
+}
+
+func bestPostorderIO(t *testing.T, tr *tree.Tree, M int64) int64 {
+	t.Helper()
+	perms := func(xs []int) [][]int {
+		if len(xs) == 0 {
+			return [][]int{{}}
+		}
+		var out [][]int
+		var rec func(cur, rest []int)
+		rec = func(cur, rest []int) {
+			if len(rest) == 0 {
+				out = append(out, append([]int(nil), cur...))
+				return
+			}
+			for i := range rest {
+				next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+				rec(append(cur, rest[i]), next)
+			}
+		}
+		rec(nil, xs)
+		return out
+	}
+	nodes := tr.TopDown()
+	choice := make([][][]int, tr.N())
+	for _, v := range nodes {
+		choice[v] = perms(tr.Children(v))
+	}
+	idx := make([]int, tr.N())
+	var best int64 = 1 << 62
+	var walk func(k int)
+	walk = func(k int) {
+		if k == len(nodes) {
+			var sched tree.Schedule
+			var emit func(v int)
+			emit = func(v int) {
+				for _, c := range choice[v][idx[v]] {
+					emit(c)
+				}
+				sched = append(sched, v)
+			}
+			emit(tr.Root())
+			io, err := memsim.IOOf(tr, M, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if io < best {
+				best = io
+			}
+			return
+		}
+		v := nodes[k]
+		for i := range choice[v] {
+			idx[v] = i
+			walk(k + 1)
+		}
+	}
+	walk(0)
+	return best
+}
+
+func randomTree(n int, rng *rand.Rand) *tree.Tree {
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = tree.None
+	weight[0] = 1 + rng.Int63n(12)
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+		weight[i] = 1 + rng.Int63n(12)
+	}
+	return tree.MustNew(parent, weight)
+}

@@ -1,0 +1,210 @@
+// Package profile implements Dolan–Moré performance profiles, the
+// comparison tool used throughout Section 6 of the paper: for every
+// instance the performance of each method is divided by the best observed
+// performance, and the profile of a method maps an overhead threshold τ to
+// the fraction of instances on which the method is within τ percent of the
+// best.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table holds the raw performance values: Value[m][i] is the performance
+// of method m on instance i (lower is better; the paper uses (M + IO)/M).
+type Table struct {
+	Methods   []string
+	Instances []string
+	Value     [][]float64
+}
+
+// NewTable allocates a table for the given methods and instances.
+func NewTable(methods, instances []string) *Table {
+	v := make([][]float64, len(methods))
+	for m := range v {
+		v[m] = make([]float64, len(instances))
+		for i := range v[m] {
+			v[m][i] = math.NaN()
+		}
+	}
+	return &Table{Methods: methods, Instances: instances, Value: v}
+}
+
+// Set records the performance of method m on instance i.
+func (t *Table) Set(m, i int, v float64) { t.Value[m][i] = v }
+
+// Overheads returns, per method, the per-instance overhead in percent over
+// the best method on that instance: 100·(v/best − 1).
+func (t *Table) Overheads() ([][]float64, error) {
+	ni := len(t.Instances)
+	out := make([][]float64, len(t.Methods))
+	for m := range out {
+		out[m] = make([]float64, ni)
+	}
+	for i := 0; i < ni; i++ {
+		best := math.Inf(1)
+		for m := range t.Methods {
+			v := t.Value[m][i]
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("profile: missing value for method %s instance %s", t.Methods[m], t.Instances[i])
+			}
+			if v < best {
+				best = v
+			}
+		}
+		if best <= 0 {
+			return nil, fmt.Errorf("profile: non-positive best performance on instance %s", t.Instances[i])
+		}
+		for m := range t.Methods {
+			out[m][i] = 100 * (t.Value[m][i]/best - 1)
+		}
+	}
+	return out, nil
+}
+
+// Profile is one method's cumulative distribution: Fraction[k] is the
+// share of instances whose overhead is at most Tau[k] percent.
+type Profile struct {
+	Method   string
+	Tau      []float64
+	Fraction []float64
+}
+
+// Compute builds the performance profiles on the given overhead grid
+// (percent). A nil grid defaults to an automatic grid covering all
+// observed overheads.
+func Compute(t *Table, grid []float64) ([]Profile, error) {
+	ov, err := t.Overheads()
+	if err != nil {
+		return nil, err
+	}
+	if grid == nil {
+		maxOv := 0.0
+		for _, row := range ov {
+			for _, v := range row {
+				if v > maxOv {
+					maxOv = v
+				}
+			}
+		}
+		grid = DefaultGrid(maxOv)
+	}
+	out := make([]Profile, len(t.Methods))
+	ni := float64(len(t.Instances))
+	for m := range t.Methods {
+		sorted := append([]float64(nil), ov[m]...)
+		sort.Float64s(sorted)
+		fr := make([]float64, len(grid))
+		for k, tau := range grid {
+			// count of overheads ≤ tau (with a hair of tolerance for
+			// floating-point equality at 0).
+			c := sort.SearchFloat64s(sorted, tau+1e-9)
+			fr[k] = float64(c) / ni
+		}
+		out[m] = Profile{Method: t.Methods[m], Tau: append([]float64(nil), grid...), Fraction: fr}
+	}
+	return out, nil
+}
+
+// DefaultGrid returns an evenly spaced overhead grid from 0 to just above
+// maxOv percent.
+func DefaultGrid(maxOv float64) []float64 {
+	if maxOv < 10 {
+		maxOv = 10
+	}
+	const steps = 50
+	g := make([]float64, steps+1)
+	for k := 0; k <= steps; k++ {
+		g[k] = maxOv * float64(k) / steps
+	}
+	return g
+}
+
+// FractionWithin returns the share of instances on which the method's
+// overhead is at most tau percent, reading the profile curve at the largest
+// grid point not exceeding tau (the curve is a step function).
+func (p *Profile) FractionWithin(tau float64) float64 {
+	// First index with Tau[k] > tau, then step back.
+	k := sort.SearchFloat64s(p.Tau, tau+1e-12)
+	if k > 0 {
+		k--
+	}
+	return p.Fraction[k]
+}
+
+// WriteCSV emits the profiles as CSV: tau, then one column per method.
+func WriteCSV(w io.Writer, profiles []Profile) error {
+	if len(profiles) == 0 {
+		return fmt.Errorf("profile: nothing to write")
+	}
+	cols := make([]string, 0, len(profiles)+1)
+	cols = append(cols, "tau_percent")
+	for _, p := range profiles {
+		cols = append(cols, p.Method)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for k := range profiles[0].Tau {
+		row := make([]string, 0, len(profiles)+1)
+		row = append(row, fmt.Sprintf("%.4g", profiles[0].Tau[k]))
+		for _, p := range profiles {
+			row = append(row, fmt.Sprintf("%.4f", p.Fraction[k]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render draws the profiles as an ASCII chart of the given size (one curve
+// letter per method), mirroring the paper's figures for terminal use.
+func Render(w io.Writer, profiles []Profile, width, height int) error {
+	if len(profiles) == 0 {
+		return fmt.Errorf("profile: nothing to render")
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	marks := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	maxTau := profiles[0].Tau[len(profiles[0].Tau)-1]
+	if maxTau <= 0 {
+		maxTau = 1
+	}
+	for mi, p := range profiles {
+		mark := marks[mi%len(marks)]
+		for x := 0; x < width; x++ {
+			tau := maxTau * float64(x) / float64(width-1)
+			f := p.FractionWithin(tau)
+			y := int(math.Round(f * float64(height-1)))
+			r := height - 1 - y
+			if grid[r][x] == ' ' {
+				grid[r][x] = mark
+			}
+		}
+	}
+	for r, row := range grid {
+		frac := float64(height-1-r) / float64(height-1)
+		if _, err := fmt.Fprintf(w, "%5.2f |%s|\n", frac, string(row)); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "      +%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "      0%%%*s\n", width-1, fmt.Sprintf("%.0f%%", maxTau))
+	for mi, p := range profiles {
+		fmt.Fprintf(w, "      %c = %s\n", marks[mi%len(marks)], p.Method)
+	}
+	return nil
+}

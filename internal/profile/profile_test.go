@@ -1,0 +1,152 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable([]string{"A", "B"}, []string{"i1", "i2", "i3"})
+	// A: best on i1, i2; B best on i3.
+	t.Set(0, 0, 1.0)
+	t.Set(1, 0, 1.5) // B 50% over
+	t.Set(0, 1, 2.0)
+	t.Set(1, 1, 2.0) // tie
+	t.Set(0, 2, 1.2)
+	t.Set(1, 2, 1.0) // A 20% over
+	return t
+}
+
+func TestOverheads(t *testing.T) {
+	tab := sampleTable()
+	ov, err := tab.Overheads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov[0][0] != 0 || math.Abs(ov[1][0]-50) > 1e-9 {
+		t.Fatalf("ov=%v", ov)
+	}
+	if ov[0][1] != 0 || ov[1][1] != 0 {
+		t.Fatalf("tie not zero: %v", ov)
+	}
+	if math.Abs(ov[0][2]-20) > 1e-9 || ov[1][2] != 0 {
+		t.Fatalf("ov=%v", ov)
+	}
+}
+
+func TestOverheadsMissingValue(t *testing.T) {
+	tab := NewTable([]string{"A"}, []string{"i1"})
+	if _, err := tab.Overheads(); err == nil {
+		t.Fatal("missing value accepted")
+	}
+	tab.Set(0, 0, 0)
+	if _, err := tab.Overheads(); err == nil {
+		t.Fatal("zero best accepted")
+	}
+}
+
+func TestComputeProfiles(t *testing.T) {
+	tab := sampleTable()
+	profs, err := Compute(tab, []float64{0, 10, 25, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 2 {
+		t.Fatal("want 2 profiles")
+	}
+	a, b := profs[0], profs[1]
+	// A: overheads {0, 0, 20} → fractions at (0,10,25,60) = (2/3, 2/3, 1, 1).
+	wantA := []float64{2. / 3, 2. / 3, 1, 1}
+	for k, w := range wantA {
+		if math.Abs(a.Fraction[k]-w) > 1e-9 {
+			t.Fatalf("A fraction[%d]=%f want %f", k, a.Fraction[k], w)
+		}
+	}
+	// B: overheads {50, 0, 0} → (2/3, 2/3, 2/3, 1).
+	wantB := []float64{2. / 3, 2. / 3, 2. / 3, 1}
+	for k, w := range wantB {
+		if math.Abs(b.Fraction[k]-w) > 1e-9 {
+			t.Fatalf("B fraction[%d]=%f want %f", k, b.Fraction[k], w)
+		}
+	}
+	if f := a.FractionWithin(15); math.Abs(f-2./3) > 1e-9 {
+		t.Fatalf("FractionWithin(15)=%f", f)
+	}
+	if f := a.FractionWithin(1000); f != 1 {
+		t.Fatalf("FractionWithin(1000)=%f", f)
+	}
+}
+
+func TestComputeAutoGrid(t *testing.T) {
+	profs, err := Compute(sampleTable(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := profs[0].Tau[len(profs[0].Tau)-1]
+	if last < 50 {
+		t.Fatalf("auto grid max %f below max overhead 50", last)
+	}
+	for _, p := range profs {
+		if p.Fraction[len(p.Fraction)-1] != 1 {
+			t.Fatalf("profile %s does not reach 1", p.Method)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	profs, err := Compute(sampleTable(), []float64{0, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, profs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "tau_percent,A,B\n") {
+		t.Fatalf("header: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("rows: %q", out)
+	}
+	if err := WriteCSV(&buf, nil); err == nil {
+		t.Error("empty profiles accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	profs, err := Compute(sampleTable(), []float64{0, 25, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, profs, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"A = A", "B = B", "1.00", "0.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if err := Render(&buf, nil, 40, 10); err == nil {
+		t.Error("empty profiles accepted")
+	}
+	// Degenerate sizes are clamped, not fatal.
+	if err := Render(&buf, profs, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid(0)
+	if g[0] != 0 || g[len(g)-1] < 10 {
+		t.Fatalf("grid %v", g)
+	}
+	g2 := DefaultGrid(200)
+	if g2[len(g2)-1] != 200 {
+		t.Fatalf("grid max %f", g2[len(g2)-1])
+	}
+}

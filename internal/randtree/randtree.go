@@ -1,0 +1,197 @@
+// Package randtree generates the SYNTH dataset of Section 6.1: binary
+// trees drawn uniformly at random among all binary trees with a given
+// number of nodes (counted by the Catalan numbers), with node weights drawn
+// uniformly from an integer interval.
+//
+// Two independent samplers are provided. Remy is Rémy's O(n) algorithm: it
+// grows a uniform full binary tree with n internal nodes by repeatedly
+// grafting a leaf onto a uniformly chosen node side, then deletes the
+// leaves, leaving a uniform (ordered) binary tree with n nodes — the same
+// distribution as the Catalan-number recursive method the paper cites from
+// Mäkinen's survey [15]. CatalanSplit is the direct recursive method using
+// exact big-integer Catalan numbers; it is O(n²) big-integer work and
+// serves as a distribution cross-check for Remy in the tests.
+package randtree
+
+import (
+	"math/big"
+	"math/rand"
+
+	"repro/internal/tree"
+)
+
+// Remy samples a uniform ordered binary tree with n nodes (each node has
+// 0, 1-left, 1-right or 2 children) using Rémy's algorithm, with all
+// weights set to 1. Use AssignWeights to draw weights afterwards.
+func Remy(n int, rng *rand.Rand) *tree.Tree {
+	if n < 1 {
+		panic("randtree: need n >= 1")
+	}
+	// Full binary tree over 2n+1 slots. child[v][0/1] = left/right child
+	// or -1. Slot 0 starts as the root leaf.
+	child := make([][2]int, 1, 2*n+1)
+	child[0] = [2]int{-1, -1}
+	parent := make([]int, 1, 2*n+1)
+	parent[0] = -1
+	root := 0
+	for k := 0; k < n; k++ {
+		// Pick a uniform existing node v and a uniform side s: the new
+		// internal node u replaces v, keeping v on side s and a fresh
+		// leaf l on the other side.
+		v := rng.Intn(len(child))
+		s := rng.Intn(2)
+		u := len(child)
+		child = append(child, [2]int{-1, -1})
+		parent = append(parent, -1)
+		l := len(child)
+		child = append(child, [2]int{-1, -1})
+		parent = append(parent, u)
+		p := parent[v]
+		if p == -1 {
+			root = u
+		} else {
+			if child[p][0] == v {
+				child[p][0] = u
+			} else {
+				child[p][1] = u
+			}
+		}
+		parent[u] = p
+		child[u][s] = v
+		parent[v] = u
+		child[u][1-s] = l
+	}
+	// Strip the leaves: internal nodes of the full tree (ids with a
+	// child) become the binary tree's nodes.
+	isInternal := make([]bool, len(child))
+	cnt := 0
+	for v := range child {
+		if child[v][0] != -1 {
+			isInternal[v] = true
+			cnt++
+		}
+	}
+	if cnt != n {
+		panic("randtree: internal node count mismatch")
+	}
+	id := make([]int, len(child))
+	for v := range id {
+		id[v] = -1
+	}
+	next := 0
+	// Assign ids in a preorder walk from the root for determinism.
+	var stack []int
+	if isInternal[root] {
+		stack = append(stack, root)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		id[v] = next
+		next++
+		for s := 1; s >= 0; s-- {
+			if c := child[v][s]; c != -1 && isInternal[c] {
+				stack = append(stack, c)
+			}
+		}
+	}
+	par := make([]int, n)
+	w := make([]int64, n)
+	for v := range child {
+		if !isInternal[v] {
+			continue
+		}
+		w[id[v]] = 1
+		p := parent[v]
+		if p == -1 {
+			par[id[v]] = tree.None
+		} else {
+			par[id[v]] = id[p]
+		}
+	}
+	if n == 1 {
+		// The single internal node may not exist when n==1 handled above
+		// by the loop; nothing special needed, but guard the root case.
+		par[0] = tree.None
+	}
+	return tree.MustNew(par, w)
+}
+
+// catalanTable returns [C_0, ..., C_n].
+func catalanTable(n int) []*big.Int {
+	c := make([]*big.Int, n+1)
+	c[0] = big.NewInt(1)
+	for i := 1; i <= n; i++ {
+		// C_i = Σ_{k=0}^{i-1} C_k · C_{i-1-k}
+		s := new(big.Int)
+		tmp := new(big.Int)
+		for k := 0; k < i; k++ {
+			s.Add(s, tmp.Mul(c[k], c[i-1-k]))
+			tmp = new(big.Int)
+		}
+		c[i] = s
+	}
+	return c
+}
+
+// CatalanSplit samples a uniform ordered binary tree with n nodes by the
+// exact recursive Catalan-splitting method. It is quadratic in big-integer
+// operations; use Remy for large n.
+func CatalanSplit(n int, rng *rand.Rand) *tree.Tree {
+	if n < 1 {
+		panic("randtree: need n >= 1")
+	}
+	cat := catalanTable(n)
+	par := make([]int, 0, n)
+	w := make([]int64, 0, n)
+	var build func(parent, size int)
+	build = func(parent, size int) {
+		if size == 0 {
+			return
+		}
+		self := len(par)
+		par = append(par, parent)
+		w = append(w, 1)
+		// Choose left-subtree size k with probability
+		// C_k · C_{size-1-k} / C_size.
+		r := new(big.Int).Rand(rng, cat[size])
+		k := 0
+		acc := new(big.Int)
+		tmp := new(big.Int)
+		for ; k < size-1; k++ {
+			acc.Add(acc, tmp.Mul(cat[k], cat[size-1-k]))
+			if r.Cmp(acc) < 0 {
+				break
+			}
+			tmp = new(big.Int)
+		}
+		build(self, k)
+		build(self, size-1-k)
+	}
+	build(tree.None, n)
+	return tree.MustNew(par, w)
+}
+
+// AssignWeights returns a copy of t whose weights are drawn independently
+// and uniformly from [lo, hi] (inclusive). The paper's SYNTH dataset uses
+// [1, 100].
+func AssignWeights(t *tree.Tree, lo, hi int64, rng *rand.Rand) *tree.Tree {
+	if lo < 0 || hi < lo {
+		panic("randtree: bad weight range")
+	}
+	w := make([]int64, t.N())
+	for i := range w {
+		w[i] = lo + rng.Int63n(hi-lo+1)
+	}
+	nt, err := t.WithWeights(w)
+	if err != nil {
+		panic(err)
+	}
+	return nt
+}
+
+// Synth generates one SYNTH instance: a uniform binary tree with n nodes
+// and weights uniform in [1, 100], as in Section 6.1.
+func Synth(n int, rng *rand.Rand) *tree.Tree {
+	return AssignWeights(Remy(n, rng), 1, 100, rng)
+}

@@ -1,0 +1,126 @@
+// Package search provides a schedule-space local-search improver for the
+// MinIO problem: a simple baseline for the "designing competitive
+// algorithms" future-work direction of Section 7. Starting from any
+// topological schedule, it repeatedly applies the best of a neighbourhood
+// of *block moves* — relocating one node (together with nothing else; the
+// tree constraints are re-checked) to an earlier or later feasible slot —
+// and keeps the move if the FiF I/O volume drops.
+//
+// It is not part of the paper; the benchmarks use it to gauge how much
+// head-room the heuristics leave on small instances.
+package search
+
+import (
+	"math/rand"
+
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+// Options tunes the local search.
+type Options struct {
+	// MaxRounds caps full improvement sweeps (default 20).
+	MaxRounds int
+	// Moves is the number of candidate moves sampled per round
+	// (default 4·n).
+	Moves int
+	// Seed drives the candidate sampling.
+	Seed int64
+}
+
+// Result is the outcome of the search.
+type Result struct {
+	Schedule tree.Schedule
+	IO       int64
+	Start    int64 // I/O of the initial schedule
+	Rounds   int
+	Improved int // accepted moves
+}
+
+// Improve runs local search from the given schedule. The returned schedule
+// is always valid and never worse than the input.
+func Improve(t *tree.Tree, M int64, sched tree.Schedule, opts Options) (*Result, error) {
+	cur := append(tree.Schedule(nil), sched...)
+	io, err := memsim.IOOf(t, M, cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Start: io, IO: io}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 20
+	}
+	if opts.Moves == 0 {
+		opts.Moves = 4 * t.N()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	n := t.N()
+	for round := 0; round < opts.MaxRounds && res.IO > 0; round++ {
+		res.Rounds++
+		improvedThisRound := false
+		for m := 0; m < opts.Moves; m++ {
+			from := rng.Intn(n)
+			to := rng.Intn(n)
+			if from == to {
+				continue
+			}
+			// Half the candidates relocate one node, half a short
+			// contiguous block (multi-node rearrangements such as
+			// chain switches need block moves to be reachable).
+			width := 1
+			if rng.Intn(2) == 1 {
+				width = 2 + rng.Intn(6)
+				if from+width > n {
+					width = n - from
+				}
+			}
+			cand := moveBlock(cur, from, width, to)
+			if !tree.IsTopological(t, cand) {
+				continue
+			}
+			cio, err := memsim.IOOf(t, M, cand)
+			if err != nil {
+				return nil, err
+			}
+			if cio < res.IO {
+				cur = cand
+				res.IO = cio
+				res.Improved++
+				improvedThisRound = true
+			}
+		}
+		if !improvedThisRound {
+			break
+		}
+	}
+	res.Schedule = cur
+	return res, nil
+}
+
+// moveNode returns a copy of sched with the element at position from
+// reinserted at position to.
+func moveNode(sched tree.Schedule, from, to int) tree.Schedule {
+	return moveBlock(sched, from, 1, to)
+}
+
+// moveBlock returns a copy of sched with the block sched[from:from+width]
+// reinserted so that it starts at position to of the remaining sequence.
+func moveBlock(sched tree.Schedule, from, width, to int) tree.Schedule {
+	if width < 1 {
+		width = 1
+	}
+	if from+width > len(sched) {
+		width = len(sched) - from
+	}
+	block := append(tree.Schedule(nil), sched[from:from+width]...)
+	rest := make(tree.Schedule, 0, len(sched)-width)
+	rest = append(rest, sched[:from]...)
+	rest = append(rest, sched[from+width:]...)
+	if to > len(rest) {
+		to = len(rest)
+	}
+	out := make(tree.Schedule, 0, len(sched))
+	out = append(out, rest[:to]...)
+	out = append(out, block...)
+	out = append(out, rest[to:]...)
+	return out
+}

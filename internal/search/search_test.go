@@ -1,0 +1,98 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+func TestMoveNode(t *testing.T) {
+	s := tree.Schedule{0, 1, 2, 3}
+	if got := moveNode(s, 0, 2); !reflect.DeepEqual(got, tree.Schedule{1, 2, 0, 3}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := moveNode(s, 3, 0); !reflect.DeepEqual(got, tree.Schedule{3, 0, 1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+	if !reflect.DeepEqual(s, tree.Schedule{0, 1, 2, 3}) {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestImproveNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		parent := make([]int, n)
+		weight := make([]int64, n)
+		parent[0] = tree.None
+		weight[0] = 1 + rng.Int63n(9)
+		for i := 1; i < n; i++ {
+			parent[i] = rng.Intn(i)
+			weight[i] = 1 + rng.Int63n(9)
+		}
+		tr := tree.MustNew(parent, weight)
+		lb := tr.MaxWBar()
+		sched := tr.NaturalPostorder()
+		start, err := memsim.IOOf(tr, lb, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Improve(tr, lb, sched, Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IO > start || res.Start != start {
+			t.Fatalf("trial %d: worse after search (%d -> %d)", trial, start, res.IO)
+		}
+		if err := tree.Validate(tr, res.Schedule); err != nil {
+			t.Fatal(err)
+		}
+		got, err := memsim.IOOf(tr, lb, res.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != res.IO {
+			t.Fatalf("trial %d: declared %d simulated %d", trial, res.IO, got)
+		}
+	}
+}
+
+func TestImproveFindsOptimumOnFig2b(t *testing.T) {
+	// From OPTMINMEM's suboptimal schedule, local search should reach
+	// the optimum (3) on this small symmetric instance.
+	tr := tree.Graft(1, tree.Chain(3, 5, 2, 6), tree.Chain(3, 5, 2, 6))
+	M := int64(6)
+	sched, _ := liu.MinMem(tr)
+	res, err := Improve(tr, M, sched, Options{Seed: 7, MaxRounds: 50, Moves: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := brute.MinIO(tr, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO != opt {
+		t.Fatalf("search reached %d, optimum %d", res.IO, opt)
+	}
+	if res.Improved == 0 {
+		t.Fatal("no accepted moves despite improvement")
+	}
+}
+
+func TestImproveStopsAtZero(t *testing.T) {
+	tr := tree.Chain(2, 3, 4)
+	sched := tree.Schedule{2, 1, 0}
+	res, err := Improve(tr, 4, sched, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO != 0 || res.Rounds != 0 {
+		t.Fatalf("IO=%d rounds=%d", res.IO, res.Rounds)
+	}
+}

@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Supernode is a maximal run of consecutive (postordered) columns sharing
+// one frontal matrix in the multifrontal method.
+type Supernode struct {
+	// Cols lists the member columns in elimination order.
+	Cols []int
+	// FrontRows is the order of the supernode's frontal matrix: the
+	// column count of its first column.
+	FrontRows int64
+	// CBRows = FrontRows − len(Cols): the order of the contribution
+	// block passed to the parent front.
+	CBRows int64
+	// Parent is the parent supernode index, or -1 for a root.
+	Parent int
+}
+
+// Amalgamate partitions the postordered columns into fundamental
+// supernodes: column j joins its etree child c (the previously scanned
+// column) when c is j's only... — precisely, when j immediately follows c
+// in postorder, parent[c] == j, and colCount[c] == colCount[j] + 1 (the
+// child's factor structure is the parent's plus itself). relax ≥ 0
+// additionally admits near-fundamental merges where the column counts
+// differ by at most relax (a standard amalgamation knob that coarsens the
+// assembly tree the way multifrontal codes do).
+func Amalgamate(parent []int, post []int, colCount []int64, relax int64) []Supernode {
+	n := len(parent)
+	if len(post) != n || len(colCount) != n {
+		panic("sparse: inconsistent amalgamation inputs")
+	}
+	super := make([]int, n) // column -> supernode id
+	var sns []Supernode
+	for idx, j := range post {
+		merged := false
+		if idx > 0 {
+			c := post[idx-1]
+			if parent[c] == j {
+				sn := &sns[super[c]]
+				lastCols := int64(len(sn.Cols))
+				// Fundamental: the child's count shrinks by exactly
+				// one per elimination within the supernode.
+				want := colCount[j] + lastCols
+				have := sn.FrontRows
+				if have >= want && have-want <= relax {
+					sn.Cols = append(sn.Cols, j)
+					super[j] = super[c]
+					merged = true
+				}
+			}
+		}
+		if !merged {
+			super[j] = len(sns)
+			sns = append(sns, Supernode{Cols: []int{j}, FrontRows: colCount[j]})
+		}
+	}
+	for s := range sns {
+		sn := &sns[s]
+		nc := int64(len(sn.Cols))
+		sn.CBRows = sn.FrontRows - nc
+		if sn.CBRows < 0 {
+			sn.CBRows = 0
+		}
+		last := sn.Cols[len(sn.Cols)-1]
+		if p := parent[last]; p == -1 {
+			sn.Parent = -1
+		} else {
+			sn.Parent = super[p]
+		}
+	}
+	return sns
+}
+
+// AssemblyTree converts a supernode partition into a task tree for the
+// MinIO model. The output data of a supernode is its contribution block,
+// stored as a symmetric matrix of order CBRows: weight
+// CBRows·(CBRows+1)/2 + 1 (the +1 keeps root outputs and fully-dense
+// fronts representable as positive sizes). Forests are joined under a
+// virtual unit root.
+func AssemblyTree(sns []Supernode) (*tree.Tree, error) {
+	n := len(sns)
+	if n == 0 {
+		return nil, fmt.Errorf("sparse: empty supernode partition")
+	}
+	roots := 0
+	for _, sn := range sns {
+		if sn.Parent == -1 {
+			roots++
+		}
+	}
+	total := n
+	virtual := -1
+	if roots > 1 {
+		virtual = n
+		total = n + 1
+	}
+	par := make([]int, total)
+	w := make([]int64, total)
+	for s, sn := range sns {
+		w[s] = sn.CBRows*(sn.CBRows+1)/2 + 1
+		switch {
+		case sn.Parent == -1 && virtual == -1:
+			par[s] = tree.None
+		case sn.Parent == -1:
+			par[s] = virtual
+		default:
+			par[s] = sn.Parent
+		}
+	}
+	if virtual != -1 {
+		par[virtual] = tree.None
+		w[virtual] = 1
+	}
+	return tree.New(par, w)
+}
+
+// EliminationTaskTree is the full TREES pipeline for one matrix: etree,
+// postorder, column counts, amalgamation with the given relaxation, and
+// conversion to a task tree.
+func EliminationTaskTree(p *Pattern, relax int64) (*tree.Tree, error) {
+	parent := Etree(p)
+	post := EtreePostorder(parent)
+	counts := ColCounts(p, parent)
+	sns := Amalgamate(parent, post, counts, relax)
+	return AssemblyTree(sns)
+}

@@ -1,0 +1,181 @@
+package sparse
+
+import "repro/internal/tree"
+
+// Etree computes the elimination tree of the pattern using Liu's
+// near-linear algorithm with path compression: parent[j] is the smallest
+// row index of the nonzeros of column j of the Cholesky factor below the
+// diagonal, or -1 if column j is a root. Disconnected patterns yield a
+// forest (several -1 entries).
+func Etree(p *Pattern) []int {
+	n := p.N
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for j := 0; j < n; j++ {
+		parent[j] = -1
+		ancestor[j] = -1
+	}
+	// Row-wise iteration over the strict lower triangle: entry (i, j)
+	// with i > j is visited when processing row i, linking j's root
+	// towards i.
+	rows := make([][]int, n)
+	for j, l := range p.Lower {
+		for _, i := range l {
+			rows[i] = append(rows[i], j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, k := range rows[i] {
+			// Walk from k to the root of its current subtree,
+			// compressing the ancestor path onto i.
+			r := k
+			for ancestor[r] != -1 && ancestor[r] != i {
+				next := ancestor[r]
+				ancestor[r] = i
+				r = next
+			}
+			if ancestor[r] == -1 {
+				ancestor[r] = i
+				parent[r] = i
+			}
+		}
+	}
+	return parent
+}
+
+// EtreePostorder returns a postorder of the elimination forest (children
+// before parents, subtrees contiguous), processing children in increasing
+// column order and roots in increasing order.
+func EtreePostorder(parent []int) []int {
+	n := len(parent)
+	children := make([][]int, n)
+	var roots []int
+	for j := 0; j < n; j++ {
+		if p := parent[j]; p == -1 {
+			roots = append(roots, j)
+		} else {
+			children[p] = append(children[p], j)
+		}
+	}
+	order := make([]int, 0, n)
+	type frame struct{ node, next int }
+	for _, r := range roots {
+		stack := []frame{{r, 0}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(children[f.node]) {
+				c := children[f.node][f.next]
+				f.next++
+				stack = append(stack, frame{c, 0})
+				continue
+			}
+			order = append(order, f.node)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return order
+}
+
+// ColCounts returns, for every column j, the number of nonzeros of column
+// j of the Cholesky factor L (diagonal included), computed by symbolic
+// factorization along the elimination tree: the structure of L_j is the
+// structure of A_j (below the diagonal) merged with the structures of its
+// etree children minus their own indices.
+//
+// The implementation uses the classical row-subtree formulation, which
+// runs in O(nnz(A) · height) worst case but needs only O(n) memory: row i
+// of L contains j iff j is an ancestor of some k with a_ik ≠ 0, k ≤ j ≤ i;
+// marking row subtrees top-down gives every column count by accumulation.
+func ColCounts(p *Pattern, parent []int) []int64 {
+	n := p.N
+	count := make([]int64, n)
+	mark := make([]int, n)
+	for j := 0; j < n; j++ {
+		count[j] = 1 // diagonal
+		mark[j] = -1
+	}
+	rows := make([][]int, n)
+	for j, l := range p.Lower {
+		for _, i := range l {
+			rows[i] = append(rows[i], j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		mark[i] = i // never count the diagonal twice
+		for _, k := range rows[i] {
+			// Walk k → root of the row subtree of i: every visited
+			// column j < i has l_ij ≠ 0.
+			for j := k; j != -1 && j < i && mark[j] != i; j = parent[j] {
+				count[j]++
+				mark[j] = i
+			}
+		}
+	}
+	return count
+}
+
+// denseColCounts is a quadratic reference implementation used by the tests:
+// it materializes every factor column structure explicitly.
+func denseColCounts(p *Pattern) []int64 {
+	n := p.N
+	structs := make([]map[int]bool, n)
+	parent := Etree(p)
+	for j := 0; j < n; j++ {
+		structs[j] = map[int]bool{j: true}
+		for _, i := range p.Lower[j] {
+			structs[j][i] = true
+		}
+	}
+	for _, j := range EtreePostorder(parent) {
+		if pj := parent[j]; pj != -1 {
+			for i := range structs[j] {
+				if i > j {
+					structs[pj][i] = true
+				}
+			}
+		}
+	}
+	counts := make([]int64, n)
+	for j := 0; j < n; j++ {
+		counts[j] = int64(len(structs[j]))
+	}
+	return counts
+}
+
+// EtreeToTaskTree converts an elimination forest (one node per column) into
+// a task tree where node j's output size is the factor column count of j.
+// Forests are joined under a virtual unit-weight root, as is done when
+// feeding multifrontal assembly forests to a scheduler.
+func EtreeToTaskTree(parent []int, weight []int64) (*tree.Tree, error) {
+	n := len(parent)
+	roots := 0
+	for _, p := range parent {
+		if p == -1 {
+			roots++
+		}
+	}
+	if roots == 1 {
+		par := make([]int, n)
+		for j, p := range parent {
+			if p == -1 {
+				par[j] = tree.None
+			} else {
+				par[j] = p
+			}
+		}
+		return tree.New(par, weight)
+	}
+	par := make([]int, n+1)
+	w := make([]int64, n+1)
+	for j, p := range parent {
+		if p == -1 {
+			par[j] = n
+		} else {
+			par[j] = p
+		}
+		w[j] = weight[j]
+	}
+	par[n] = tree.None
+	w[n] = 1
+	return tree.New(par, w)
+}

@@ -1,0 +1,116 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket parses a Matrix Market "coordinate" file and returns its
+// symmetrized pattern. Supported qualifiers: real/integer/pattern/complex
+// values and general/symmetric/skew-symmetric/hermitian symmetry (values
+// are discarded; general matrices are symmetrized as A+Aᵀ, which is what
+// elimination-tree analysis of unsymmetric matrices uses). This lets the
+// TREES pipeline run on actual University of Florida collection files when
+// they are available.
+func ReadMatrixMarket(r io.Reader) (*Pattern, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: only coordinate format supported, got %q", header[2])
+	}
+	valueType := header[3]
+	switch valueType {
+	case "real", "integer", "pattern", "complex":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported value type %q", valueType)
+	}
+	switch header[4] {
+	case "general", "symmetric", "skew-symmetric", "hermitian":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", header[4])
+	}
+	// Skip comments, read the size line.
+	var sizeLine string
+	for sc.Scan() {
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "%") {
+			continue
+		}
+		sizeLine = s
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("sparse: missing size line")
+	}
+	dims := strings.Fields(sizeLine)
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("sparse: bad size line %q", sizeLine)
+	}
+	nr, err1 := strconv.Atoi(dims[0])
+	nc, err2 := strconv.Atoi(dims[1])
+	nnz, err3 := strconv.Atoi(dims[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("sparse: bad size line %q", sizeLine)
+	}
+	if nr != nc {
+		return nil, fmt.Errorf("sparse: matrix is %dx%d; elimination analysis needs a square matrix", nr, nc)
+	}
+	rows := make([]int, 0, nnz)
+	cols := make([]int, 0, nnz)
+	for k := 0; k < nnz; k++ {
+		var s string
+		for sc.Scan() {
+			s = strings.TrimSpace(sc.Text())
+			if s != "" && !strings.HasPrefix(s, "%") {
+				break
+			}
+			s = ""
+		}
+		if s == "" {
+			return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, k)
+		}
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", s)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("sparse: bad entry line %q", s)
+		}
+		if i < 1 || i > nr || j < 1 || j > nc {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range", i, j)
+		}
+		rows = append(rows, i-1)
+		cols = append(cols, j-1)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewPattern(nr, rows, cols)
+}
+
+// WriteMatrixMarket writes the pattern as a symmetric coordinate pattern
+// file (strict lower triangle plus the full diagonal omitted, as patterns
+// here carry an implicit diagonal).
+func WriteMatrixMarket(w io.Writer, p *Pattern) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern symmetric")
+	fmt.Fprintf(bw, "%d %d %d\n", p.N, p.N, p.NNZ())
+	for j, l := range p.Lower {
+		for _, i := range l {
+			fmt.Fprintf(bw, "%d %d\n", i+1, j+1)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,87 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNestedDissection3DIsPermutation(t *testing.T) {
+	for _, g := range []struct{ nx, ny, nz, leaf int }{
+		{4, 4, 4, 8}, {6, 5, 4, 4}, {2, 2, 2, 1}, {8, 3, 5, 16},
+	} {
+		perm := NestedDissection3D(g.nx, g.ny, g.nz, g.leaf)
+		n := g.nx * g.ny * g.nz
+		if len(perm) != n {
+			t.Fatalf("%+v: length %d", g, len(perm))
+		}
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("%+v: not a permutation", g)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestNestedDissection3DReducesFill(t *testing.T) {
+	nx := 8
+	p := Grid3D(nx, nx, nx)
+	natFill := sum(ColCounts(p, Etree(p)))
+	perm := NestedDissection3D(nx, nx, nx, 8)
+	pp, err := p.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndFill := sum(ColCounts(pp, Etree(pp)))
+	if ndFill >= natFill {
+		t.Fatalf("3-D nested dissection fill %d not below natural %d", ndFill, natFill)
+	}
+}
+
+func TestNestedDissection3DBushierTree(t *testing.T) {
+	// The ND assembly tree must have many leaves (natural ordering
+	// yields a near-chain).
+	nx := 6
+	p := Grid3D(nx, nx, nx)
+	perm := NestedDissection3D(nx, nx, nx, 8)
+	pp, err := p.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := EliminationTaskTree(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := EliminationTaskTree(pp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nd.Leaves()) <= len(nat.Leaves()) {
+		t.Fatalf("ND leaves %d not above natural %d", len(nd.Leaves()), len(nat.Leaves()))
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Grid2D(10, 10)
+	q := Perturb(p, 30, rng)
+	if q.N != p.N {
+		t.Fatal("size changed")
+	}
+	if q.NNZ() <= p.NNZ() {
+		t.Fatalf("no entries added: %d vs %d", q.NNZ(), p.NNZ())
+	}
+	// The original entries are preserved.
+	for j := range p.Lower {
+		have := map[int]bool{}
+		for _, i := range q.Lower[j] {
+			have[i] = true
+		}
+		for _, i := range p.Lower[j] {
+			if !have[i] {
+				t.Fatalf("entry (%d,%d) lost", i, j)
+			}
+		}
+	}
+}

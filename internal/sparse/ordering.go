@@ -1,0 +1,158 @@
+package sparse
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// MinimumDegree computes a fill-reducing permutation (old → new) by the
+// classical minimum-degree algorithm on the elimination graph: repeatedly
+// eliminate a vertex of minimum current degree and connect its neighbours
+// into a clique. This is the plain (non-approximate, non-supervariable)
+// variant — quadratic in the worst case but exact, and entirely adequate
+// for the matrix sizes of the TREES dataset; it is what makes arbitrary
+// imported matrices (Matrix Market) produce sensible assembly trees.
+func MinimumDegree(p *Pattern) []int {
+	n := p.N
+	adj := make([]map[int]struct{}, n)
+	for i := 0; i < n; i++ {
+		adj[i] = make(map[int]struct{})
+	}
+	for j, l := range p.Lower {
+		for _, i := range l {
+			adj[i][j] = struct{}{}
+			adj[j][i] = struct{}{}
+		}
+	}
+	perm := make([]int, n)
+	eliminated := make([]bool, n)
+	h := &degHeap{}
+	heap.Init(h)
+	for v := 0; v < n; v++ {
+		heap.Push(h, degEntry{v, len(adj[v])})
+	}
+	next := 0
+	for h.Len() > 0 {
+		e := heap.Pop(h).(degEntry)
+		v := e.v
+		if eliminated[v] || e.deg != len(adj[v]) {
+			if !eliminated[v] {
+				// Stale degree: re-push with the current value.
+				heap.Push(h, degEntry{v, len(adj[v])})
+			}
+			continue
+		}
+		eliminated[v] = true
+		perm[v] = next
+		next++
+		// Clique the neighbourhood.
+		nbrs := make([]int, 0, len(adj[v]))
+		for u := range adj[v] {
+			nbrs = append(nbrs, u)
+		}
+		sort.Ints(nbrs) // deterministic update order
+		for _, u := range nbrs {
+			delete(adj[u], v)
+		}
+		for a := 0; a < len(nbrs); a++ {
+			for b := a + 1; b < len(nbrs); b++ {
+				adj[nbrs[a]][nbrs[b]] = struct{}{}
+				adj[nbrs[b]][nbrs[a]] = struct{}{}
+			}
+		}
+		for _, u := range nbrs {
+			heap.Push(h, degEntry{u, len(adj[u])})
+		}
+		adj[v] = nil
+	}
+	return perm
+}
+
+type degEntry struct{ v, deg int }
+
+type degHeap []degEntry
+
+func (h degHeap) Len() int { return len(h) }
+func (h degHeap) Less(i, j int) bool {
+	if h[i].deg != h[j].deg {
+		return h[i].deg < h[j].deg
+	}
+	return h[i].v < h[j].v
+}
+func (h degHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *degHeap) Push(x any)   { *h = append(*h, x.(degEntry)) }
+func (h *degHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// ReverseCuthillMcKee computes a bandwidth-reducing permutation
+// (old → new): a breadth-first numbering from a pseudo-peripheral vertex,
+// neighbours by increasing degree, reversed. Useful as a contrasting
+// ordering that produces deep, chain-like elimination trees.
+func ReverseCuthillMcKee(p *Pattern) []int {
+	n := p.N
+	adj := make([][]int, n)
+	for j, l := range p.Lower {
+		for _, i := range l {
+			adj[i] = append(adj[i], j)
+			adj[j] = append(adj[j], i)
+		}
+	}
+	deg := make([]int, n)
+	for v := range adj {
+		sort.Ints(adj[v])
+		deg[v] = len(adj[v])
+	}
+	visited := make([]bool, n)
+	var order []int
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		// Pseudo-peripheral start: the farthest, lowest-degree vertex
+		// of a BFS from the component's first vertex.
+		s := farthestLowDegree(adj, deg, start)
+		visited[s] = true
+		queue := []int{s}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			order = append(order, v)
+			nbrs := append([]int(nil), adj[v]...)
+			sort.Slice(nbrs, func(a, b int) bool {
+				if deg[nbrs[a]] != deg[nbrs[b]] {
+					return deg[nbrs[a]] < deg[nbrs[b]]
+				}
+				return nbrs[a] < nbrs[b]
+			})
+			for _, u := range nbrs {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	perm := make([]int, n)
+	for k, v := range order {
+		perm[v] = n - 1 - k // reversal
+	}
+	return perm
+}
+
+func farthestLowDegree(adj [][]int, deg []int, start int) int {
+	dist := map[int]int{start: 0}
+	queue := []int{start}
+	best, bestDist := start, 0
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v]
+		if d > bestDist || (d == bestDist && deg[v] < deg[best]) {
+			best, bestDist = v, d
+		}
+		for _, u := range adj[v] {
+			if _, ok := dist[u]; !ok {
+				dist[u] = d + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,117 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func isPermutation(perm []int, n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestMinimumDegreeIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []*Pattern{
+		Grid2D(7, 9),
+		Grid3D(3, 4, 5),
+		Band(30, 3),
+		RandomSymmetric(60, 5, rng),
+	} {
+		perm := MinimumDegree(p)
+		if !isPermutation(perm, p.N) {
+			t.Fatalf("not a permutation for n=%d", p.N)
+		}
+	}
+}
+
+func TestMinimumDegreeReducesFill(t *testing.T) {
+	for _, p := range []*Pattern{
+		Grid2D(14, 14),
+		RandomSymmetric(120, 4, rand.New(rand.NewSource(3))),
+	} {
+		natFill := sum(ColCounts(p, Etree(p)))
+		perm := MinimumDegree(p)
+		pp, err := p.Permute(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mdFill := sum(ColCounts(pp, Etree(pp)))
+		if mdFill >= natFill {
+			t.Fatalf("minimum degree fill %d not below natural %d", mdFill, natFill)
+		}
+	}
+}
+
+func TestMinimumDegreeChainIsOptimalOnPath(t *testing.T) {
+	// On a path graph, minimum degree eliminates endpoints first and
+	// produces zero fill: every factor column has exactly 2 nonzeros
+	// (except the last with 1).
+	p := Band(20, 1)
+	perm := MinimumDegree(p)
+	pp, err := p.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fill := sum(ColCounts(pp, Etree(pp))); fill != 2*20-1 {
+		t.Fatalf("fill %d, want %d (no fill-in on a path)", fill, 2*20-1)
+	}
+}
+
+func TestReverseCuthillMcKeeIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range []*Pattern{
+		Grid2D(8, 6),
+		RandomSymmetric(50, 4, rng),
+		// Disconnected pattern.
+		mustPattern(t, 6, []int{1, 3, 5}, []int{0, 2, 4}),
+	} {
+		perm := ReverseCuthillMcKee(p)
+		if !isPermutation(perm, p.N) {
+			t.Fatalf("not a permutation for n=%d", p.N)
+		}
+	}
+}
+
+func mustPattern(t *testing.T, n int, rows, cols []int) *Pattern {
+	t.Helper()
+	p, err := NewPattern(n, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReverseCuthillMcKeeReducesBandwidth(t *testing.T) {
+	// A random symmetric matrix has large bandwidth; RCM should shrink
+	// it substantially.
+	p := RandomSymmetric(80, 4, rand.New(rand.NewSource(5)))
+	bw := func(q *Pattern) int {
+		max := 0
+		for j, l := range q.Lower {
+			for _, i := range l {
+				if d := i - j; d > max {
+					max = d
+				}
+			}
+		}
+		return max
+	}
+	perm := ReverseCuthillMcKee(p)
+	pp, err := p.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, was := bw(pp), bw(p); got >= was {
+		t.Fatalf("RCM bandwidth %d not below original %d", got, was)
+	}
+}

@@ -1,0 +1,327 @@
+// Package sparse provides the sparse-matrix substrate backing the paper's
+// TREES dataset: symmetric sparse-matrix patterns, symbolic Cholesky
+// analysis (elimination tree, factor column counts, fundamental-supernode
+// amalgamation) and conversion of the resulting assembly trees into task
+// trees whose node weights are multifrontal contribution-block sizes.
+//
+// The paper evaluates on 329 elimination trees built from matrices of the
+// University of Florida collection. That collection is not redistributable
+// here, so the package generates structurally comparable matrices (2-D and
+// 3-D grid Laplacians under natural and nested-dissection orderings, and
+// random symmetric patterns) spanning the same tree-size range; a Matrix
+// Market reader is included so real matrices can be substituted when
+// available. See DESIGN.md for the substitution rationale.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Pattern is the nonzero pattern of a sparse symmetric matrix. Only the
+// strict lower triangle is stored: Lower[j] lists the rows i > j with
+// a_ij ≠ 0, sorted increasingly. The diagonal is implicitly full (as is
+// standard for factorization analysis).
+type Pattern struct {
+	N     int
+	Lower [][]int
+}
+
+// NewPattern builds a pattern from (i, j) coordinate pairs (any order,
+// duplicates and diagonal entries allowed; the pattern is symmetrized).
+func NewPattern(n int, rows, cols []int) (*Pattern, error) {
+	if len(rows) != len(cols) {
+		return nil, fmt.Errorf("sparse: %d rows vs %d cols", len(rows), len(cols))
+	}
+	p := &Pattern{N: n, Lower: make([][]int, n)}
+	for k := range rows {
+		i, j := rows[k], cols[k]
+		if i < 0 || i >= n || j < 0 || j >= n {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range for n=%d", i, j, n)
+		}
+		if i == j {
+			continue
+		}
+		if i < j {
+			i, j = j, i
+		}
+		p.Lower[j] = append(p.Lower[j], i)
+	}
+	p.dedupe()
+	return p, nil
+}
+
+func (p *Pattern) dedupe() {
+	for j := range p.Lower {
+		l := p.Lower[j]
+		sort.Ints(l)
+		out := l[:0]
+		prev := -1
+		for _, i := range l {
+			if i != prev {
+				out = append(out, i)
+				prev = i
+			}
+		}
+		p.Lower[j] = out
+	}
+}
+
+// NNZ returns the number of stored (strict lower) nonzeros.
+func (p *Pattern) NNZ() int {
+	s := 0
+	for _, l := range p.Lower {
+		s += len(l)
+	}
+	return s
+}
+
+// Permute returns the pattern of P·A·Pᵀ where perm[old] = new.
+func (p *Pattern) Permute(perm []int) (*Pattern, error) {
+	if len(perm) != p.N {
+		return nil, fmt.Errorf("sparse: permutation length %d for n=%d", len(perm), p.N)
+	}
+	seen := make([]bool, p.N)
+	for _, v := range perm {
+		if v < 0 || v >= p.N || seen[v] {
+			return nil, fmt.Errorf("sparse: not a permutation")
+		}
+		seen[v] = true
+	}
+	var rows, cols []int
+	for j, l := range p.Lower {
+		for _, i := range l {
+			rows = append(rows, perm[i])
+			cols = append(cols, perm[j])
+		}
+	}
+	return NewPattern(p.N, rows, cols)
+}
+
+// Grid2D returns the 5-point-stencil Laplacian pattern of an nx × ny grid
+// in natural (row-major) ordering.
+func Grid2D(nx, ny int) *Pattern {
+	n := nx * ny
+	var rows, cols []int
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				rows = append(rows, id(x+1, y))
+				cols = append(cols, id(x, y))
+			}
+			if y+1 < ny {
+				rows = append(rows, id(x, y+1))
+				cols = append(cols, id(x, y))
+			}
+		}
+	}
+	p, err := NewPattern(n, rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Grid3D returns the 7-point-stencil Laplacian pattern of an
+// nx × ny × nz grid in natural ordering.
+func Grid3D(nx, ny, nz int) *Pattern {
+	n := nx * ny * nz
+	var rows, cols []int
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if x+1 < nx {
+					rows = append(rows, id(x+1, y, z))
+					cols = append(cols, id(x, y, z))
+				}
+				if y+1 < ny {
+					rows = append(rows, id(x, y+1, z))
+					cols = append(cols, id(x, y, z))
+				}
+				if z+1 < nz {
+					rows = append(rows, id(x, y, z+1))
+					cols = append(cols, id(x, y, z))
+				}
+			}
+		}
+	}
+	p, err := NewPattern(n, rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Band returns a banded pattern with the given half-bandwidth.
+func Band(n, bw int) *Pattern {
+	var rows, cols []int
+	for j := 0; j < n; j++ {
+		for i := j + 1; i <= j+bw && i < n; i++ {
+			rows = append(rows, i)
+			cols = append(cols, j)
+		}
+	}
+	p, err := NewPattern(n, rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RandomSymmetric returns a connected random symmetric pattern with n
+// vertices and roughly avgDeg off-diagonal entries per row: a random
+// spanning tree plus uniform random edges.
+func RandomSymmetric(n, avgDeg int, rng *rand.Rand) *Pattern {
+	var rows, cols []int
+	// Random spanning tree for connectivity.
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		rows = append(rows, v)
+		cols = append(cols, u)
+	}
+	extra := n * (avgDeg - 2) / 2
+	for k := 0; k < extra; k++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		rows = append(rows, i)
+		cols = append(cols, j)
+	}
+	p, err := NewPattern(n, rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Perturb returns a copy of p with extra random symmetric entries added
+// (about extra of them), modelling the irregular couplings that real
+// application matrices add on top of a regular stencil.
+func Perturb(p *Pattern, extra int, rng *rand.Rand) *Pattern {
+	var rows, cols []int
+	for j, l := range p.Lower {
+		for _, i := range l {
+			rows = append(rows, i)
+			cols = append(cols, j)
+		}
+	}
+	for k := 0; k < extra; k++ {
+		i := rng.Intn(p.N)
+		j := rng.Intn(p.N)
+		if i == j {
+			continue
+		}
+		rows = append(rows, i)
+		cols = append(cols, j)
+	}
+	q, err := NewPattern(p.N, rows, cols)
+	if err != nil {
+		panic(err) // unreachable: all entries are in range
+	}
+	return q
+}
+
+// NestedDissection2D returns a fill-reducing permutation (old → new) for
+// the nx × ny grid by geometric recursive bisection: separators are
+// numbered last, recursively. Leaf blocks of at most leafSize vertices are
+// numbered in natural order.
+func NestedDissection2D(nx, ny, leafSize int) []int {
+	perm := make([]int, nx*ny)
+	next := 0
+	id := func(x, y int) int { return y*nx + x }
+	var rec func(x0, x1, y0, y1 int)
+	rec = func(x0, x1, y0, y1 int) {
+		w, h := x1-x0, y1-y0
+		if w*h <= leafSize || (w <= 2 && h <= 2) {
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					perm[id(x, y)] = next
+					next++
+				}
+			}
+			return
+		}
+		if w >= h {
+			mid := (x0 + x1) / 2
+			rec(x0, mid, y0, y1)
+			rec(mid+1, x1, y0, y1)
+			for y := y0; y < y1; y++ {
+				perm[id(mid, y)] = next
+				next++
+			}
+		} else {
+			mid := (y0 + y1) / 2
+			rec(x0, x1, y0, mid)
+			rec(x0, x1, mid+1, y1)
+			for x := x0; x < x1; x++ {
+				perm[id(x, mid)] = next
+				next++
+			}
+		}
+	}
+	rec(0, nx, 0, ny)
+	return perm
+}
+
+// NestedDissection3D is the 3-D analogue of NestedDissection2D for an
+// nx × ny × nz grid: the largest dimension is bisected by a plane
+// separator, numbered last, recursively.
+func NestedDissection3D(nx, ny, nz, leafSize int) []int {
+	perm := make([]int, nx*ny*nz)
+	next := 0
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	var rec func(x0, x1, y0, y1, z0, z1 int)
+	rec = func(x0, x1, y0, y1, z0, z1 int) {
+		w, h, d := x1-x0, y1-y0, z1-z0
+		if w*h*d <= leafSize || (w <= 2 && h <= 2 && d <= 2) {
+			for z := z0; z < z1; z++ {
+				for y := y0; y < y1; y++ {
+					for x := x0; x < x1; x++ {
+						perm[id(x, y, z)] = next
+						next++
+					}
+				}
+			}
+			return
+		}
+		switch {
+		case w >= h && w >= d:
+			mid := (x0 + x1) / 2
+			rec(x0, mid, y0, y1, z0, z1)
+			rec(mid+1, x1, y0, y1, z0, z1)
+			for z := z0; z < z1; z++ {
+				for y := y0; y < y1; y++ {
+					perm[id(mid, y, z)] = next
+					next++
+				}
+			}
+		case h >= w && h >= d:
+			mid := (y0 + y1) / 2
+			rec(x0, x1, y0, mid, z0, z1)
+			rec(x0, x1, mid+1, y1, z0, z1)
+			for z := z0; z < z1; z++ {
+				for x := x0; x < x1; x++ {
+					perm[id(x, mid, z)] = next
+					next++
+				}
+			}
+		default:
+			mid := (z0 + z1) / 2
+			rec(x0, x1, y0, y1, z0, mid)
+			rec(x0, x1, y0, y1, mid+1, z1)
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					perm[id(x, y, mid)] = next
+					next++
+				}
+			}
+		}
+	}
+	rec(0, nx, 0, ny, 0, nz)
+	return perm
+}

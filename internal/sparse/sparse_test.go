@@ -1,0 +1,338 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestNewPatternValidation(t *testing.T) {
+	if _, err := NewPattern(3, []int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewPattern(3, []int{5}, []int{0}); err == nil {
+		t.Error("out of range accepted")
+	}
+	p, err := NewPattern(3, []int{0, 2, 2, 1, 1}, []int{0, 1, 1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal dropped, duplicates and upper-triangle entries merged.
+	if !reflect.DeepEqual(p.Lower[0], []int{1}) || !reflect.DeepEqual(p.Lower[1], []int{2}) {
+		t.Fatalf("Lower=%v", p.Lower)
+	}
+	if p.NNZ() != 2 {
+		t.Fatalf("NNZ=%d", p.NNZ())
+	}
+}
+
+func TestGrid2DShape(t *testing.T) {
+	p := Grid2D(3, 2) // 6 vertices, edges: 2 per row * 2 rows + 3 vertical = 7
+	if p.N != 6 {
+		t.Fatalf("N=%d", p.N)
+	}
+	if p.NNZ() != 7 {
+		t.Fatalf("NNZ=%d want 7", p.NNZ())
+	}
+}
+
+func TestGrid3DShape(t *testing.T) {
+	p := Grid3D(2, 2, 2)
+	if p.N != 8 || p.NNZ() != 12 {
+		t.Fatalf("N=%d NNZ=%d want 8/12", p.N, p.NNZ())
+	}
+}
+
+func TestBandShape(t *testing.T) {
+	p := Band(5, 2)
+	// Column j has min(2, 4-j) subdiagonal entries: 2+2+2+1+0 = 7.
+	if p.NNZ() != 7 {
+		t.Fatalf("NNZ=%d", p.NNZ())
+	}
+}
+
+func TestPermute(t *testing.T) {
+	p := Grid2D(2, 2)
+	perm := []int{3, 2, 1, 0}
+	q, err := p.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NNZ() != p.NNZ() {
+		t.Fatalf("NNZ changed: %d vs %d", q.NNZ(), p.NNZ())
+	}
+	if _, err := p.Permute([]int{0, 0, 1, 2}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := p.Permute([]int{0}); err == nil {
+		t.Error("short permutation accepted")
+	}
+}
+
+func TestEtreeChainForBand1(t *testing.T) {
+	// Tridiagonal matrix: elimination tree is the chain j -> j+1.
+	p := Band(6, 1)
+	parent := Etree(p)
+	for j := 0; j < 5; j++ {
+		if parent[j] != j+1 {
+			t.Fatalf("parent[%d]=%d", j, parent[j])
+		}
+	}
+	if parent[5] != -1 {
+		t.Fatalf("root parent %d", parent[5])
+	}
+}
+
+func TestEtreeArrowhead(t *testing.T) {
+	// Arrowhead: last row/column dense. Every column's parent is n-1.
+	n := 5
+	var rows, cols []int
+	for j := 0; j < n-1; j++ {
+		rows = append(rows, n-1)
+		cols = append(cols, j)
+	}
+	p, err := NewPattern(n, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := Etree(p)
+	for j := 0; j < n-1; j++ {
+		if parent[j] != n-1 {
+			t.Fatalf("parent[%d]=%d", j, parent[j])
+		}
+	}
+}
+
+func TestEtreeForestOnDisconnected(t *testing.T) {
+	p, err := NewPattern(4, []int{1, 3}, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := Etree(p)
+	roots := 0
+	for _, q := range parent {
+		if q == -1 {
+			roots++
+		}
+	}
+	if roots != 2 {
+		t.Fatalf("roots=%d want 2", roots)
+	}
+}
+
+func TestEtreePostorderInvariants(t *testing.T) {
+	p := Grid2D(5, 4)
+	parent := Etree(p)
+	post := EtreePostorder(parent)
+	if len(post) != p.N {
+		t.Fatalf("postorder length %d", len(post))
+	}
+	pos := make([]int, p.N)
+	for i, v := range post {
+		pos[v] = i
+	}
+	for j, q := range parent {
+		if q != -1 && pos[j] >= pos[q] {
+			t.Fatalf("column %d after its parent %d", j, q)
+		}
+	}
+}
+
+func TestColCountsAgainstDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pats := []*Pattern{
+		Grid2D(4, 4),
+		Grid3D(2, 3, 2),
+		Band(10, 3),
+		RandomSymmetric(25, 4, rng),
+	}
+	for pi, p := range pats {
+		parent := Etree(p)
+		fast := ColCounts(p, parent)
+		slow := denseColCounts(p)
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("pattern %d: ColCounts mismatch\nfast=%v\nslow=%v", pi, fast, slow)
+		}
+	}
+}
+
+func TestAmalgamateFundamental(t *testing.T) {
+	// Tridiagonal: counts are 2,2,...,2,1; each column's count equals
+	// the next minus... colCount[j]=2 for j<n-1, 1 for the root. A
+	// chain of equal counts does NOT merge (2 ≠ 1+1 only at the last
+	// pair): for j and child c: want = colCount[j] + size; with size 1
+	// and colCount[c]=2: j's supernode merges iff colCount[j]+1 == 2,
+	// i.e. colCount[j] == 1 — only the root. So supernodes are
+	// {0},...,{n-3},{n-2, n-1}.
+	p := Band(5, 1)
+	parent := Etree(p)
+	post := EtreePostorder(parent)
+	counts := ColCounts(p, parent)
+	sns := Amalgamate(parent, post, counts, 0)
+	if len(sns) != 4 {
+		t.Fatalf("supernodes=%d want 4 (%v)", len(sns), sns)
+	}
+	last := sns[len(sns)-1]
+	if len(last.Cols) != 2 || last.Parent != -1 {
+		t.Fatalf("last supernode %+v", last)
+	}
+	// Every column appears exactly once.
+	seen := map[int]bool{}
+	for _, sn := range sns {
+		for _, c := range sn.Cols {
+			if seen[c] {
+				t.Fatalf("column %d in two supernodes", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("columns covered: %d", len(seen))
+	}
+}
+
+func TestAssemblyTreeWeightsPositive(t *testing.T) {
+	p := Grid2D(6, 6)
+	tt, err := EliminationTaskTree(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tt.N(); i++ {
+		if tt.Weight(i) < 1 {
+			t.Fatalf("weight %d at node %d", tt.Weight(i), i)
+		}
+	}
+	if tt.N() < 6 {
+		t.Fatalf("suspiciously small assembly tree: %d", tt.N())
+	}
+}
+
+func TestAssemblyTreeForestJoined(t *testing.T) {
+	p, err := NewPattern(4, []int{1, 3}, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := EliminationTaskTree(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Parent(tt.Root()) != tree.None {
+		t.Fatal("root parent")
+	}
+	// Forest of two chains joined under a virtual root.
+	if tt.NumChildren(tt.Root()) != 2 {
+		t.Fatalf("virtual root has %d children", tt.NumChildren(tt.Root()))
+	}
+}
+
+func TestEtreeToTaskTreeSingleRoot(t *testing.T) {
+	parent := []int{1, 2, -1}
+	tt, err := EtreeToTaskTree(parent, []int64{3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.N() != 3 || tt.Root() != 2 {
+		t.Fatalf("n=%d root=%d", tt.N(), tt.Root())
+	}
+}
+
+func TestNestedDissectionReducesFill(t *testing.T) {
+	nx := 16
+	p := Grid2D(nx, nx)
+	natParent := Etree(p)
+	natFill := sum(ColCounts(p, natParent))
+	perm := NestedDissection2D(nx, nx, 8)
+	pp, err := p.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndParent := Etree(pp)
+	ndFill := sum(ColCounts(pp, ndParent))
+	if ndFill >= natFill {
+		t.Fatalf("nested dissection fill %d not below natural %d", ndFill, natFill)
+	}
+}
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestRandomSymmetricConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	p := RandomSymmetric(50, 4, rng)
+	parent := Etree(p)
+	roots := 0
+	for _, q := range parent {
+		if q == -1 {
+			roots++
+		}
+	}
+	// A connected graph yields a single elimination tree.
+	if roots != 1 {
+		t.Fatalf("roots=%d want 1", roots)
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	p := Grid2D(4, 3)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Lower, q.Lower) {
+		t.Fatal("round trip differs")
+	}
+}
+
+func TestMatrixMarketParsing(t *testing.T) {
+	good := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 3
+2 1 1.5
+3 2 -2.0
+3 3 7
+`
+	p, err := ReadMatrixMarket(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 3 || p.NNZ() != 2 { // diagonal entry dropped
+		t.Fatalf("N=%d NNZ=%d", p.N, p.NNZ())
+	}
+	bads := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n2 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n9 1\n",
+		"not a header\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate quaternion symmetric\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate real funky\n1 1 0\n",
+	}
+	for i, bad := range bads {
+		if _, err := ReadMatrixMarket(strings.NewReader(bad)); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+	}
+	// Pattern + general with both triangles present.
+	gen := "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 1\n"
+	p2, err := ReadMatrixMarket(strings.NewReader(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.NNZ() != 1 {
+		t.Fatalf("NNZ=%d want 1 after symmetrization", p2.NNZ())
+	}
+}

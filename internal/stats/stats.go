@@ -1,0 +1,121 @@
+// Package stats provides the small statistical helpers used by the
+// experiment harness: summaries (mean, quantiles) and aligned text tables.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N                int
+	Mean, Min, Max   float64
+	P25, Median, P75 float64
+}
+
+// Summarize computes a Summary; it returns a zero Summary for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   sum / float64(len(s)),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P25:    Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		P75:    Quantile(s, 0.75),
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of a sorted sample using
+// linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Table is a simple aligned text table writer.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; extra or missing cells are tolerated.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Fields(fmt.Sprintf(format, args...))...)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	width := make([]int, len(t.header))
+	for c, h := range t.header {
+		width[c] = len(h)
+	}
+	for _, row := range t.rows {
+		for c, cell := range row {
+			if c < len(width) && len(cell) > width[c] {
+				width[c] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(width))
+		for c := range width {
+			cell := ""
+			if c < len(cells) {
+				cell = cells[c]
+			}
+			parts[c] = fmt.Sprintf("%-*s", width[c], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := len(width) - 1
+	for _, wd := range width {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package tree
+
+// Builders for the standard tree shapes used throughout the paper's
+// examples, the test suite and the adversarial families of Section 4.
+
+// Chain builds a chain of len(weights) nodes. Node 0 is the root; node i+1
+// is the single child of node i; the last node is the leaf. weights[i] is
+// the output size of node i.
+func Chain(weights ...int64) *Tree {
+	n := len(weights)
+	parent := make([]int, n)
+	parent[0] = None
+	for i := 1; i < n; i++ {
+		parent[i] = i - 1
+	}
+	return MustNew(parent, weights)
+}
+
+// Star builds a root with len(leafWeights) leaf children.
+func Star(rootWeight int64, leafWeights ...int64) *Tree {
+	n := 1 + len(leafWeights)
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = None
+	weight[0] = rootWeight
+	for i, w := range leafWeights {
+		parent[1+i] = 0
+		weight[1+i] = w
+	}
+	return MustNew(parent, weight)
+}
+
+// CompleteBinary builds a complete binary tree with the given number of
+// levels (levels ≥ 1; one level is a single node) and uniform weight w.
+// Node 0 is the root and node i has children 2i+1 and 2i+2.
+func CompleteBinary(levels int, w int64) *Tree {
+	if levels < 1 {
+		panic("tree: CompleteBinary needs at least one level")
+	}
+	n := (1 << levels) - 1
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = None
+	weight[0] = w
+	for i := 1; i < n; i++ {
+		parent[i] = (i - 1) / 2
+		weight[i] = w
+	}
+	return MustNew(parent, weight)
+}
+
+// Caterpillar builds a spine of length n where every spine node additionally
+// carries one leaf child. Node 0 is the root. Spine nodes get spineW, leaves
+// get leafW. Total node count is 2n.
+func Caterpillar(n int, spineW, leafW int64) *Tree {
+	if n < 1 {
+		panic("tree: Caterpillar needs n >= 1")
+	}
+	parent := make([]int, 2*n)
+	weight := make([]int64, 2*n)
+	parent[0] = None
+	weight[0] = spineW
+	for i := 1; i < n; i++ {
+		parent[i] = i - 1 // spine
+		weight[i] = spineW
+	}
+	for i := 0; i < n; i++ {
+		parent[n+i] = i // leaf hanging off spine node i
+		weight[n+i] = leafW
+	}
+	return MustNew(parent, weight)
+}
+
+// Homogeneous returns a copy of t with every weight set to 1 (the
+// homogeneous model of Section 4.2).
+func Homogeneous(t *Tree) *Tree {
+	w := make([]int64, t.N())
+	for i := range w {
+		w[i] = 1
+	}
+	h, err := t.WithWeights(w)
+	if err != nil {
+		panic(err) // unreachable: shape already validated
+	}
+	return h
+}
+
+// Graft returns a new tree consisting of root (with weight rootW) whose
+// children are the roots of the given subtrees. Node 0 of the result is the
+// new root; the nodes of subtree k follow those of subtree k-1, each shifted.
+func Graft(rootW int64, subtrees ...*Tree) *Tree {
+	n := 1
+	for _, s := range subtrees {
+		n += s.N()
+	}
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = None
+	weight[0] = rootW
+	off := 1
+	for _, s := range subtrees {
+		for i := 0; i < s.N(); i++ {
+			weight[off+i] = s.Weight(i)
+			if p := s.Parent(i); p == None {
+				parent[off+i] = 0
+			} else {
+				parent[off+i] = off + p
+			}
+		}
+		off += s.N()
+	}
+	return MustNew(parent, weight)
+}

@@ -1,0 +1,150 @@
+package tree
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// jsonTree is the on-disk JSON representation of a task tree.
+type jsonTree struct {
+	// Parents[i] is the parent of node i, or -1 for the root.
+	Parents []int `json:"parents"`
+	// Weights[i] is the output-data size of node i.
+	Weights []int64 `json:"weights"`
+	// Name is an optional label carried through for dataset bookkeeping.
+	Name string `json:"name,omitempty"`
+}
+
+// MarshalJSON encodes the tree as {"parents": [...], "weights": [...]}.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTree{Parents: t.Parents(), Weights: t.Weights()})
+}
+
+// UnmarshalJSON decodes a tree encoded by MarshalJSON.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var jt jsonTree
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return err
+	}
+	nt, err := New(jt.Parents, jt.Weights)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}
+
+// WriteJSON writes the tree to w in JSON form.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonTree{Parents: t.Parents(), Weights: t.Weights()})
+}
+
+// ReadJSON reads a tree written by WriteJSON.
+func ReadJSON(r io.Reader) (*Tree, error) {
+	var jt jsonTree
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, err
+	}
+	return New(jt.Parents, jt.Weights)
+}
+
+// WriteText writes the tree in a simple line-oriented text format:
+// a header line "n", then one line "node parent weight" per node.
+// Lines starting with '#' are comments.
+func (t *Tree) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", t.N())
+	for i := 0; i < t.N(); i++ {
+		fmt.Fprintf(bw, "%d %d %d\n", i, t.Parent(i), t.Weight(i))
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format written by WriteText.
+func ReadText(r io.Reader) (*Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := func() (string, bool) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+	head, ok := line()
+	if !ok {
+		return nil, fmt.Errorf("tree: empty input")
+	}
+	n, err := strconv.Atoi(head)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("tree: bad node count %q", head)
+	}
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	seen := make([]bool, n)
+	for k := 0; k < n; k++ {
+		s, ok := line()
+		if !ok {
+			return nil, fmt.Errorf("tree: expected %d node lines, got %d", n, k)
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("tree: bad node line %q", s)
+		}
+		id, err1 := strconv.Atoi(fields[0])
+		p, err2 := strconv.Atoi(fields[1])
+		w, err3 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("tree: bad node line %q", s)
+		}
+		if id < 0 || id >= n || seen[id] {
+			return nil, fmt.Errorf("tree: bad or repeated node id %d", id)
+		}
+		seen[id] = true
+		parent[id] = p
+		weight[id] = w
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(parent, weight)
+}
+
+// WriteDOT emits the tree in Graphviz DOT syntax. Nodes are annotated with
+// their weight; if sched is non-nil its step numbers are shown too.
+func (t *Tree) WriteDOT(w io.Writer, sched Schedule) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph tasktree {")
+	fmt.Fprintln(bw, "  rankdir=BT;")
+	fmt.Fprintln(bw, "  node [shape=circle];")
+	var pos []int
+	if sched != nil {
+		var err error
+		pos, err = sched.Positions(t.N())
+		if err != nil {
+			return err
+		}
+	}
+	for i := 0; i < t.N(); i++ {
+		if pos != nil {
+			fmt.Fprintf(bw, "  n%d [label=\"%d\\nw=%d\\nσ=%d\"];\n", i, i, t.Weight(i), pos[i])
+		} else {
+			fmt.Fprintf(bw, "  n%d [label=\"%d\\nw=%d\"];\n", i, i, t.Weight(i))
+		}
+	}
+	for i := 0; i < t.N(); i++ {
+		if p := t.Parent(i); p != None {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", i, p)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,91 @@
+package tree
+
+import "fmt"
+
+// Schedule is a permutation of the node indices: Schedule[t] is the node
+// executed at step t. The paper writes σ(i) = t for the inverse mapping.
+type Schedule []int
+
+// Positions returns the inverse permutation: pos[i] = step at which node i
+// executes (the paper's σ). It errors if s is not a permutation of [0, n).
+func (s Schedule) Positions(n int) ([]int, error) {
+	if len(s) != n {
+		return nil, fmt.Errorf("schedule: has %d steps, tree has %d nodes", len(s), n)
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for step, v := range s {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("schedule: step %d executes out-of-range node %d", step, v)
+		}
+		if pos[v] != -1 {
+			return nil, fmt.Errorf("schedule: node %d executed twice (steps %d and %d)", v, pos[v], step)
+		}
+		pos[v] = step
+	}
+	return pos, nil
+}
+
+// IsTopological reports whether s is a valid topological schedule of t:
+// a permutation in which every node appears after all of its children.
+func IsTopological(t *Tree, s Schedule) bool {
+	pos, err := s.Positions(t.N())
+	if err != nil {
+		return false
+	}
+	for i := 0; i < t.N(); i++ {
+		if p := t.Parent(i); p != None && pos[i] >= pos[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPostorder reports whether s is a postorder traversal: for every node i,
+// the nodes of the subtree rooted at i occupy a contiguous range of steps.
+// (This is the paper's Section 3.1 definition.)
+func IsPostorder(t *Tree, s Schedule) bool {
+	pos, err := s.Positions(t.N())
+	if err != nil {
+		return false
+	}
+	// Compute, bottom-up, the min and max step of each subtree; the range
+	// is contiguous iff max-min+1 == subtree size, and the traversal is
+	// topological iff the root of the subtree sits at max.
+	minStep := make([]int, t.N())
+	maxStep := make([]int, t.N())
+	size := make([]int, t.N())
+	for _, v := range t.BottomUp() {
+		minStep[v], maxStep[v], size[v] = pos[v], pos[v], 1
+		for _, c := range t.Children(v) {
+			if minStep[c] < minStep[v] {
+				minStep[v] = minStep[c]
+			}
+			if maxStep[c] > maxStep[v] {
+				maxStep[v] = maxStep[c]
+			}
+			size[v] += size[c]
+		}
+		if maxStep[v] != pos[v] || maxStep[v]-minStep[v]+1 != size[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate returns an error unless s is a topological schedule of t.
+func Validate(t *Tree, s Schedule) error {
+	pos, err := s.Positions(t.N())
+	if err != nil {
+		return err
+	}
+	for i := 0; i < t.N(); i++ {
+		if p := t.Parent(i); p != None && pos[i] >= pos[p] {
+			return fmt.Errorf("schedule: node %d (step %d) executes after its parent %d (step %d)",
+				i, pos[i], p, pos[p])
+		}
+	}
+	return nil
+}

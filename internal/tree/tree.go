@@ -1,0 +1,339 @@
+// Package tree implements the rooted in-tree task model of Marchal,
+// McCauley, Simon and Vivien, "Minimizing I/Os in Out-of-Core Task Tree
+// Scheduling" (INRIA RR-9025, 2017).
+//
+// Every node i of the tree is a task that produces a single output data of
+// size Weight(i). A task may execute only after all of its children; its
+// execution needs the outputs of all its children simultaneously in main
+// memory and, upon completion, replaces them by its own output. The memory
+// needed to execute node i in isolation is therefore
+//
+//	w̄(i) = max(Weight(i), Σ_{j child of i} Weight(j))
+//
+// exposed as WBar. The package is purely structural: scheduling algorithms
+// live in sibling packages (liu, postorder, expand) and the out-of-core
+// memory semantics in package memsim.
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// None marks the absence of a parent (the root's parent index).
+const None = -1
+
+// Tree is an immutable rooted in-tree of tasks. Nodes are identified by
+// dense integer indices in [0, N()). Edges are directed towards the root:
+// each node has exactly one parent except the root.
+//
+// The zero Tree is empty and unusable; construct trees with New or one of
+// the builders (Chain, Star, ...).
+type Tree struct {
+	parent   []int
+	children [][]int
+	weight   []int64
+	root     int
+}
+
+// New builds a tree from a parent vector and per-node output-data sizes.
+// parent[i] is the node consuming i's output, or None for the root. The
+// parent vector must describe a single connected tree, and all weights must
+// be non-negative integers (the paper's memory unit model; zero weights
+// arise for fully-evicted middle nodes of the expansion technique).
+func New(parent []int, weight []int64) (*Tree, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, fmt.Errorf("tree: empty parent vector")
+	}
+	if len(weight) != n {
+		return nil, fmt.Errorf("tree: %d parents but %d weights", n, len(weight))
+	}
+	t := &Tree{
+		parent:   make([]int, n),
+		children: make([][]int, n),
+		weight:   make([]int64, n),
+		root:     None,
+	}
+	copy(t.parent, parent)
+	copy(t.weight, weight)
+	for i := 0; i < n; i++ {
+		if weight[i] < 0 {
+			return nil, fmt.Errorf("tree: node %d has negative weight %d", i, weight[i])
+		}
+		p := parent[i]
+		switch {
+		case p == None:
+			if t.root != None {
+				return nil, fmt.Errorf("tree: two roots (%d and %d)", t.root, i)
+			}
+			t.root = i
+		case p < 0 || p >= n:
+			return nil, fmt.Errorf("tree: node %d has out-of-range parent %d", i, p)
+		case p == i:
+			return nil, fmt.Errorf("tree: node %d is its own parent", i)
+		default:
+			t.children[p] = append(t.children[p], i)
+		}
+	}
+	if t.root == None {
+		return nil, fmt.Errorf("tree: no root")
+	}
+	// Connectivity (equivalently, acyclicity given n-1 edges): every node
+	// must reach the root without revisiting anyone.
+	seen := make([]uint8, n) // 0 unknown, 1 on current path, 2 done
+	seen[t.root] = 2
+	for i := 0; i < n; i++ {
+		var path []int
+		for v := i; seen[v] != 2; v = t.parent[v] {
+			if seen[v] == 1 {
+				return nil, fmt.Errorf("tree: cycle through node %d", v)
+			}
+			seen[v] = 1
+			path = append(path, v)
+		}
+		for _, v := range path {
+			seen[v] = 2
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; intended for tests and literals.
+func MustNew(parent []int, weight []int64) *Tree {
+	t, err := New(parent, weight)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// N returns the number of nodes.
+func (t *Tree) N() int { return len(t.parent) }
+
+// Root returns the root node index.
+func (t *Tree) Root() int { return t.root }
+
+// Parent returns i's parent, or None if i is the root.
+func (t *Tree) Parent(i int) int { return t.parent[i] }
+
+// Children returns i's children. The returned slice is owned by the tree
+// and must not be mutated.
+func (t *Tree) Children(i int) []int { return t.children[i] }
+
+// NumChildren returns the number of children of i.
+func (t *Tree) NumChildren(i int) int { return len(t.children[i]) }
+
+// IsLeaf reports whether i has no children.
+func (t *Tree) IsLeaf(i int) bool { return len(t.children[i]) == 0 }
+
+// Weight returns the size w_i of i's output data.
+func (t *Tree) Weight(i int) int64 { return t.weight[i] }
+
+// Weights returns a copy of the weight vector.
+func (t *Tree) Weights() []int64 {
+	w := make([]int64, len(t.weight))
+	copy(w, t.weight)
+	return w
+}
+
+// Parents returns a copy of the parent vector.
+func (t *Tree) Parents() []int {
+	p := make([]int, len(t.parent))
+	copy(p, t.parent)
+	return p
+}
+
+// ChildrenSum returns Σ_{j child of i} Weight(j).
+func (t *Tree) ChildrenSum(i int) int64 {
+	var s int64
+	for _, c := range t.children[i] {
+		s += t.weight[c]
+	}
+	return s
+}
+
+// WBar returns w̄(i) = max(w_i, Σ_{j child of i} w_j), the memory needed to
+// execute node i when nothing else is resident.
+func (t *Tree) WBar(i int) int64 {
+	s := t.ChildrenSum(i)
+	if w := t.weight[i]; w > s {
+		return w
+	}
+	return s
+}
+
+// MaxWBar returns LB = max_i w̄(i), the minimum memory size for which the
+// tree can be processed at all (Section 6 of the paper calls this LB).
+func (t *Tree) MaxWBar() int64 {
+	var m int64
+	for i := range t.parent {
+		if wb := t.WBar(i); wb > m {
+			m = wb
+		}
+	}
+	return m
+}
+
+// TotalWeight returns Σ_i w_i.
+func (t *Tree) TotalWeight() int64 {
+	var s int64
+	for _, w := range t.weight {
+		s += w
+	}
+	return s
+}
+
+// Depth returns the number of edges on the longest root-to-leaf path.
+func (t *Tree) Depth() int {
+	depth := make([]int, t.N())
+	max := 0
+	for _, v := range t.TopDown() {
+		if p := t.parent[v]; p != None {
+			depth[v] = depth[p] + 1
+			if depth[v] > max {
+				max = depth[v]
+			}
+		}
+	}
+	return max
+}
+
+// Leaves returns all leaf nodes in increasing index order.
+func (t *Tree) Leaves() []int {
+	var ls []int
+	for i := range t.parent {
+		if t.IsLeaf(i) {
+			ls = append(ls, i)
+		}
+	}
+	return ls
+}
+
+// TopDown returns the nodes in an order where every parent precedes its
+// children (BFS from the root).
+func (t *Tree) TopDown() []int {
+	order := make([]int, 0, t.N())
+	order = append(order, t.root)
+	for head := 0; head < len(order); head++ {
+		order = append(order, t.children[order[head]]...)
+	}
+	return order
+}
+
+// BottomUp returns the reverse of TopDown: every child precedes its parent.
+// It is a valid (postorder-free) topological schedule.
+func (t *Tree) BottomUp() []int {
+	td := t.TopDown()
+	for i, j := 0, len(td)-1; i < j; i, j = i+1, j-1 {
+		td[i], td[j] = td[j], td[i]
+	}
+	return td
+}
+
+// NaturalPostorder returns the depth-first postorder that visits children
+// in their natural (construction) order.
+func (t *Tree) NaturalPostorder() []int {
+	order := make([]int, 0, t.N())
+	// Iterative DFS to survive deep chains (elimination trees can have
+	// depth in the tens of thousands).
+	type frame struct {
+		node int
+		next int
+	}
+	stack := []frame{{t.root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(t.children[f.node]) {
+			c := t.children[f.node][f.next]
+			f.next++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// SubtreeSizes returns, for every node, the number of nodes in its subtree
+// (itself included).
+func (t *Tree) SubtreeSizes() []int {
+	size := make([]int, t.N())
+	for _, v := range t.BottomUp() {
+		size[v] = 1
+		for _, c := range t.children[v] {
+			size[v] += size[c]
+		}
+	}
+	return size
+}
+
+// SubtreeNodes returns the nodes of the subtree rooted at r, r first, in
+// top-down order.
+func (t *Tree) SubtreeNodes(r int) []int {
+	nodes := []int{r}
+	for head := 0; head < len(nodes); head++ {
+		nodes = append(nodes, t.children[nodes[head]]...)
+	}
+	return nodes
+}
+
+// Subtree extracts the subtree rooted at r as a standalone tree. It returns
+// the new tree and toOld, mapping new indices to indices of t.
+func (t *Tree) Subtree(r int) (sub *Tree, toOld []int) {
+	nodes := t.SubtreeNodes(r)
+	toNew := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		toNew[v] = i
+	}
+	parent := make([]int, len(nodes))
+	weight := make([]int64, len(nodes))
+	for i, v := range nodes {
+		weight[i] = t.weight[v]
+		if v == r {
+			parent[i] = None
+		} else {
+			parent[i] = toNew[t.parent[v]]
+		}
+	}
+	sub = MustNew(parent, weight)
+	return sub, nodes
+}
+
+// WithWeights returns a copy of the tree with the same shape and new weights.
+func (t *Tree) WithWeights(weight []int64) (*Tree, error) {
+	return New(t.parent, weight)
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	return MustNew(t.Parents(), t.Weights())
+}
+
+// Ancestors returns i's proper ancestors, closest first (parent, grand-
+// parent, ..., root).
+func (t *Tree) Ancestors(i int) []int {
+	var as []int
+	for v := t.parent[i]; v != None; v = t.parent[v] {
+		as = append(as, v)
+	}
+	return as
+}
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree{n=%d root=%d leaves=%d depth=%d totalW=%d LB=%d}",
+		t.N(), t.root, len(t.Leaves()), t.Depth(), t.TotalWeight(), t.MaxWBar())
+}
+
+// SortChildren reorders every node's child list using less (a strict weak
+// ordering on node indices). It returns the tree to allow chaining. The
+// natural postorder is affected; the structure is not. Sorting is stable.
+func (t *Tree) SortChildren(less func(a, b int) bool) *Tree {
+	for i := range t.children {
+		cs := t.children[i]
+		sort.SliceStable(cs, func(x, y int) bool { return less(cs[x], cs[y]) })
+	}
+	return t
+}

@@ -1,0 +1,367 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		parent  []int
+		weight  []int64
+		wantErr string
+	}{
+		{"empty", nil, nil, "empty"},
+		{"length mismatch", []int{None}, []int64{1, 2}, "weights"},
+		{"negative weight", []int{None, 0}, []int64{1, -3}, "negative"},
+		{"two roots", []int{None, None}, []int64{1, 1}, "two roots"},
+		{"no root cycle", []int{1, 0}, []int64{1, 1}, "root"},
+		{"out of range parent", []int{None, 7}, []int64{1, 1}, "out-of-range"},
+		{"self parent", []int{None, 1}, []int64{1, 1}, "own parent"},
+		{"cycle", []int{None, 2, 1}, []int64{1, 1, 1}, "cycle"},
+		{"ok single", []int{None}, []int64{5}, ""},
+		{"ok zero weight", []int{None, 0}, []int64{1, 0}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.parent, c.weight)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("got error %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	// root(7) with children a(3) {leaf c(2), leaf d(4)} and leaf b(5).
+	tr := MustNew([]int{None, 0, 0, 1, 1}, []int64{7, 3, 5, 2, 4})
+	if tr.N() != 5 || tr.Root() != 0 {
+		t.Fatalf("N=%d root=%d", tr.N(), tr.Root())
+	}
+	if got := tr.ChildrenSum(0); got != 8 {
+		t.Errorf("ChildrenSum(root)=%d want 8", got)
+	}
+	if got := tr.WBar(0); got != 8 {
+		t.Errorf("WBar(root)=%d want 8", got)
+	}
+	if got := tr.WBar(1); got != 6 {
+		t.Errorf("WBar(a)=%d want 6", got)
+	}
+	if got := tr.WBar(2); got != 5 {
+		t.Errorf("WBar(b)=%d want 5 (leaf)", got)
+	}
+	if got := tr.MaxWBar(); got != 8 {
+		t.Errorf("MaxWBar=%d want 8", got)
+	}
+	if got := tr.TotalWeight(); got != 21 {
+		t.Errorf("TotalWeight=%d want 21", got)
+	}
+	if got := tr.Depth(); got != 2 {
+		t.Errorf("Depth=%d want 2", got)
+	}
+	if got := tr.Leaves(); !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Errorf("Leaves=%v", got)
+	}
+	if !tr.IsLeaf(3) || tr.IsLeaf(1) {
+		t.Errorf("IsLeaf wrong")
+	}
+	if got := tr.Ancestors(3); !reflect.DeepEqual(got, []int{1, 0}) {
+		t.Errorf("Ancestors(3)=%v", got)
+	}
+	if s := tr.String(); !strings.Contains(s, "n=5") {
+		t.Errorf("String()=%q", s)
+	}
+}
+
+func TestOrders(t *testing.T) {
+	tr := MustNew([]int{None, 0, 0, 1, 1}, []int64{7, 3, 5, 2, 4})
+	td := tr.TopDown()
+	if td[0] != tr.Root() || len(td) != 5 {
+		t.Fatalf("TopDown=%v", td)
+	}
+	pos := make(map[int]int)
+	for i, v := range td {
+		pos[v] = i
+	}
+	for i := 0; i < tr.N(); i++ {
+		if p := tr.Parent(i); p != None && pos[p] > pos[i] {
+			t.Errorf("TopDown: parent %d after child %d", p, i)
+		}
+	}
+	bu := tr.BottomUp()
+	if !IsTopological(tr, bu) {
+		t.Errorf("BottomUp not topological: %v", bu)
+	}
+	np := tr.NaturalPostorder()
+	if !IsPostorder(tr, np) {
+		t.Errorf("NaturalPostorder not a postorder: %v", np)
+	}
+	if !reflect.DeepEqual(np, []int{3, 4, 1, 2, 0}) {
+		t.Errorf("NaturalPostorder=%v", np)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tr := MustNew([]int{None, 0, 0, 1, 1}, []int64{7, 3, 5, 2, 4})
+	sizes := tr.SubtreeSizes()
+	if !reflect.DeepEqual(sizes, []int{5, 3, 1, 1, 1}) {
+		t.Fatalf("SubtreeSizes=%v", sizes)
+	}
+	sub, toOld := tr.Subtree(1)
+	if sub.N() != 3 {
+		t.Fatalf("subtree size %d", sub.N())
+	}
+	if toOld[0] != 1 {
+		t.Fatalf("toOld=%v", toOld)
+	}
+	for i := 0; i < sub.N(); i++ {
+		if sub.Weight(i) != tr.Weight(toOld[i]) {
+			t.Errorf("weight mismatch at %d", i)
+		}
+	}
+	if sub.Root() != 0 {
+		t.Errorf("subtree root=%d", sub.Root())
+	}
+}
+
+func TestCloneAndWithWeights(t *testing.T) {
+	tr := MustNew([]int{None, 0}, []int64{3, 4})
+	cl := tr.Clone()
+	if !reflect.DeepEqual(cl.Parents(), tr.Parents()) || !reflect.DeepEqual(cl.Weights(), tr.Weights()) {
+		t.Fatal("clone differs")
+	}
+	w2, err := tr.WithWeights([]int64{9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Weight(0) != 9 || tr.Weight(0) != 3 {
+		t.Fatal("WithWeights must not alias")
+	}
+	if _, err := tr.WithWeights([]int64{1}); err == nil {
+		t.Fatal("want error for wrong length")
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	c := Chain(5, 3, 2)
+	if c.N() != 3 || c.Parent(2) != 1 || c.Parent(0) != None || c.Weight(2) != 2 {
+		t.Errorf("Chain wrong: %v %v", c.Parents(), c.Weights())
+	}
+	s := Star(4, 1, 2, 3)
+	if s.N() != 4 || s.NumChildren(0) != 3 || s.WBar(0) != 6 {
+		t.Errorf("Star wrong")
+	}
+	cb := CompleteBinary(3, 2)
+	if cb.N() != 7 || cb.Depth() != 2 || len(cb.Leaves()) != 4 {
+		t.Errorf("CompleteBinary wrong: n=%d", cb.N())
+	}
+	cat := Caterpillar(4, 2, 7)
+	if cat.N() != 8 || len(cat.Leaves()) != 4 {
+		t.Errorf("Caterpillar wrong: n=%d leaves=%d", cat.N(), len(cat.Leaves()))
+	}
+	h := Homogeneous(cat)
+	for i := 0; i < h.N(); i++ {
+		if h.Weight(i) != 1 {
+			t.Fatalf("Homogeneous weight %d", h.Weight(i))
+		}
+	}
+	g := Graft(9, Chain(1, 2), Star(3, 4))
+	if g.N() != 5 || g.Weight(0) != 9 || g.NumChildren(0) != 2 {
+		t.Errorf("Graft wrong")
+	}
+	if g.Parent(1) != 0 || g.Parent(3) != 0 || g.Parent(4) != 3 {
+		t.Errorf("Graft parents: %v", g.Parents())
+	}
+}
+
+func TestSortChildren(t *testing.T) {
+	tr := MustNew([]int{None, 0, 0, 0}, []int64{1, 3, 1, 2})
+	tr.SortChildren(func(a, b int) bool { return tr.Weight(a) < tr.Weight(b) })
+	if !reflect.DeepEqual(tr.Children(0), []int{2, 3, 1}) {
+		t.Errorf("sorted children: %v", tr.Children(0))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := MustNew([]int{None, 0, 0, 1}, []int64{7, 3, 5, 2})
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Parents(), tr.Parents()) || !reflect.DeepEqual(back.Weights(), tr.Weights()) {
+		t.Fatal("JSON round trip differs")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back2.Weights(), tr.Weights()) {
+		t.Fatal("WriteJSON/ReadJSON differs")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := MustNew([]int{None, 0, 1, 1}, []int64{7, 3, 5, 2})
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Parents(), tr.Parents()) || !reflect.DeepEqual(back.Weights(), tr.Weights()) {
+		t.Fatal("text round trip differs")
+	}
+	// Comments and blank lines are tolerated.
+	in := "# comment\n\n2\n0 -1 5\n1 0 3\n"
+	back2, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.N() != 2 || back2.Weight(1) != 3 {
+		t.Fatal("text parse wrong")
+	}
+	for _, bad := range []string{"", "x", "1\n0 -1", "2\n0 -1 1\n0 -1 1\n", "1\n5 -1 1\n"} {
+		if _, err := ReadText(strings.NewReader(bad)); err == nil {
+			t.Errorf("want error for %q", bad)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tr := MustNew([]int{None, 0}, []int64{3, 4})
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf, Schedule{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "n1 -> n0", "w=4", "σ=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if err := tr.WriteDOT(&buf, Schedule{0}); err == nil {
+		t.Error("want error for bad schedule")
+	}
+}
+
+func TestScheduleChecks(t *testing.T) {
+	tr := MustNew([]int{None, 0, 0}, []int64{1, 1, 1})
+	if !IsTopological(tr, Schedule{1, 2, 0}) {
+		t.Error("1,2,0 is topological")
+	}
+	if IsTopological(tr, Schedule{0, 1, 2}) {
+		t.Error("root first is not topological")
+	}
+	if IsTopological(tr, Schedule{1, 1, 0}) {
+		t.Error("repeat not a permutation")
+	}
+	if IsTopological(tr, Schedule{1, 2}) {
+		t.Error("short schedule")
+	}
+	if err := Validate(tr, Schedule{0, 1, 2}); err == nil {
+		t.Error("Validate should fail")
+	}
+	if err := Validate(tr, Schedule{2, 1, 0}); err != nil {
+		t.Error(err)
+	}
+	// Postorder check: subtree contiguity.
+	tr2 := MustNew([]int{None, 0, 0, 1, 1}, []int64{1, 1, 1, 1, 1})
+	if !IsPostorder(tr2, Schedule{3, 4, 1, 2, 0}) {
+		t.Error("natural postorder rejected")
+	}
+	if IsPostorder(tr2, Schedule{3, 2, 4, 1, 0}) {
+		t.Error("interleaved order accepted as postorder")
+	}
+	if IsPostorder(tr2, Schedule{3, 2, 4, 1}) {
+		t.Error("short schedule accepted")
+	}
+}
+
+// randomTree builds a random tree by attaching each node to a random
+// earlier node.
+func randomTree(n int, rng *rand.Rand) *Tree {
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = None
+	weight[0] = 1 + rng.Int63n(20)
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+		weight[i] = 1 + rng.Int63n(20)
+	}
+	return MustNew(parent, weight)
+}
+
+func TestPropertyPostorderIsTopological(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTree(1+rng.Intn(40), rng)
+		np := tr.NaturalPostorder()
+		if !IsPostorder(tr, np) || !IsTopological(tr, np) {
+			t.Fatalf("trial %d: natural postorder invalid for %v", trial, tr.Parents())
+		}
+		if !IsTopological(tr, tr.BottomUp()) {
+			t.Fatalf("trial %d: BottomUp invalid", trial)
+		}
+	}
+}
+
+func TestPropertySubtreeSizesSum(t *testing.T) {
+	// Σ over leaves-to-root chains: size[root] == N and sizes consistent.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(1+rng.Intn(50), rng)
+		sizes := tr.SubtreeSizes()
+		if sizes[tr.Root()] != tr.N() {
+			return false
+		}
+		for i := 0; i < tr.N(); i++ {
+			want := 1
+			for _, c := range tr.Children(i) {
+				want += sizes[c]
+			}
+			if sizes[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositionsErrors(t *testing.T) {
+	cases := []Schedule{{0, 2}, {0, 0}, {-1, 0}}
+	for _, s := range cases {
+		if _, err := s.Positions(2); err == nil {
+			t.Errorf("schedule %v accepted", s)
+		}
+	}
+	good := Schedule{1, 0}
+	pos, err := good.Positions(2)
+	if err != nil || pos[1] != 0 || pos[0] != 1 {
+		t.Errorf("pos=%v err=%v", pos, err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package repro is the public facade of this reproduction of Marchal,
+// McCauley, Simon and Vivien, "Minimizing I/Os in Out-of-Core Task Tree
+// Scheduling" (INRIA RR-9025, 2017).
+//
+// The model: a rooted in-tree of tasks, each producing one output data of a
+// known size; a task needs all children outputs simultaneously in a main
+// memory of size M and replaces them with its own output; data may be paged
+// to disk at unit granularity, and the objective (MinIO) is to minimize the
+// total volume written.
+//
+// Typical use:
+//
+//	t, _ := repro.NewTree([]int{repro.None, 0, 0}, []int64{2, 5, 4})
+//	res, _ := repro.Schedule(t, 7, repro.RecExpand)
+//	fmt.Println(res.IO, res.Schedule)
+//
+// The facade re-exports the stable subset of the internal packages; the
+// full machinery (simulator traces, homogeneous-tree labels, sparse-matrix
+// analysis, dataset generators, performance profiles) lives in internal/...
+// and is exercised by the cmd/ tools and examples/.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/expand"
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/oocexec"
+	"repro/internal/postorder"
+	"repro/internal/tree"
+)
+
+// Tree is the task tree type; see internal/tree for the full API.
+type Tree = tree.Tree
+
+// TaskSchedule is an execution order of the tree's tasks.
+type TaskSchedule = tree.Schedule
+
+// Result reports the traversal produced by an algorithm.
+type Result = core.Result
+
+// Algorithm names one of the paper's scheduling strategies.
+type Algorithm = core.Algorithm
+
+// None marks the root's parent in a parent vector.
+const None = tree.None
+
+// The algorithms compared in the paper's evaluation (Section 6).
+const (
+	// OptMinMem schedules with Liu's optimal peak-memory traversal and
+	// pays Furthest-in-Future I/Os.
+	OptMinMem = core.OptMinMem
+	// PostOrderMinIO is Agullo's best postorder for the I/O volume.
+	PostOrderMinIO = core.PostOrderMinIO
+	// PostOrderMinMem is Liu's best postorder for peak memory.
+	PostOrderMinMem = core.PostOrderMinMem
+	// NaturalPostOrder is the naive construction-order postorder.
+	NaturalPostOrder = core.NaturalPostOrder
+	// RecExpand is the paper's heuristic with expansion budget 2.
+	RecExpand = core.RecExpand
+	// FullRecExpand is the unbounded expansion heuristic (Algorithm 2).
+	FullRecExpand = core.FullRecExpand
+)
+
+// NewTree builds a task tree from a parent vector (parents[i] = consumer of
+// i's output, None for the root) and output-data sizes.
+func NewTree(parents []int, weights []int64) (*Tree, error) {
+	return tree.New(parents, weights)
+}
+
+// Schedule runs the given algorithm on t under memory bound M and returns
+// its traversal and I/O volume.
+func Schedule(t *Tree, M int64, alg Algorithm) (*Result, error) {
+	return core.Run(alg, t, M)
+}
+
+// MinMemory returns LB = max_i w̄(i), the smallest memory size for which
+// the tree can be processed at all.
+func MinMemory(t *Tree) int64 { return t.MaxWBar() }
+
+// OptimalPeak returns the minimum in-core peak memory over all traversals
+// (Liu's algorithm); with M ≥ OptimalPeak(t) no I/O is ever needed.
+func OptimalPeak(t *Tree) int64 { return liu.MinMemPeak(t) }
+
+// OptimalPeakSchedule returns a traversal achieving OptimalPeak.
+func OptimalPeakSchedule(t *Tree) (TaskSchedule, int64) { return liu.MinMem(t) }
+
+// BestPostorder returns the postorder minimizing the I/O volume under M
+// (Agullo's algorithm) along with its I/O volume.
+func BestPostorder(t *Tree, M int64) (TaskSchedule, int64) {
+	sched, io, _ := postorder.MinIO(t, M)
+	return sched, io
+}
+
+// IOVolume evaluates an arbitrary topological schedule under M using the
+// Furthest-in-Future paging policy, which is optimal for a fixed schedule
+// (Theorem 1 of the paper).
+func IOVolume(t *Tree, M int64, sched TaskSchedule) (int64, error) {
+	return memsim.IOOf(t, M, sched)
+}
+
+// PeakMemory returns the in-core peak of a schedule (its memory need when
+// no paging is allowed).
+func PeakMemory(t *Tree, sched TaskSchedule) (int64, error) {
+	return memsim.Peak(t, sched)
+}
+
+// ScheduleForIO computes a schedule valid for a prescribed I/O function τ,
+// if one exists (Theorem 2 of the paper).
+func ScheduleForIO(t *Tree, M int64, tau []int64) (TaskSchedule, error) {
+	return expand.ScheduleForIO(t, M, tau)
+}
+
+// Compute produces a task's output bytes from its children's outputs; see
+// Execute.
+type Compute = oocexec.Compute
+
+// ExecStats reports the realized data movement of an execution.
+type ExecStats = oocexec.Stats
+
+// ExecConfig tunes the byte-level executor (unit size, spill directory).
+type ExecConfig = oocexec.Config
+
+// Execute actually runs the computation out-of-core: real byte buffers,
+// paging to a spill store, Furthest-in-Future evictions. One weight unit
+// is ExecConfig.UnitSize bytes. It returns the root task's output.
+func Execute(t *Tree, M int64, sched TaskSchedule, cfg ExecConfig, f Compute) ([]byte, ExecStats, error) {
+	return oocexec.Execute(t, M, sched, cfg, f)
+}
+
+// ExecuteParallel runs up to workers tasks concurrently under the shared
+// memory budget M, spilling as needed; the plan provides the admission
+// priority and eviction order.
+func ExecuteParallel(t *Tree, M int64, plan TaskSchedule, workers int, cfg ExecConfig, f Compute) ([]byte, ExecStats, error) {
+	return oocexec.ExecuteParallel(t, M, plan, workers, cfg, f)
+}
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

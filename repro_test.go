@@ -1,0 +1,50 @@
+package repro
+
+import "testing"
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// Figure 2(b) through the public API.
+	parents := []int{None, 0, 1, 2, 3, 0, 5, 6, 7}
+	weights := []int64{1, 3, 5, 2, 6, 3, 5, 2, 6}
+	tr, err := NewTree(parents, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MinMemory(tr) != 6 {
+		t.Fatalf("LB=%d", MinMemory(tr))
+	}
+	if OptimalPeak(tr) != 8 {
+		t.Fatalf("peak=%d", OptimalPeak(tr))
+	}
+	sched, peak := OptimalPeakSchedule(tr)
+	if peak != 8 {
+		t.Fatalf("peak=%d", peak)
+	}
+	if got, err := PeakMemory(tr, sched); err != nil || got != 8 {
+		t.Fatalf("PeakMemory=%d err=%v", got, err)
+	}
+	po, io := BestPostorder(tr, 6)
+	if io != 3 {
+		t.Fatalf("postorder IO=%d", io)
+	}
+	if got, err := IOVolume(tr, 6, po); err != nil || got != 3 {
+		t.Fatalf("IOVolume=%d err=%v", got, err)
+	}
+	for _, alg := range []Algorithm{OptMinMem, PostOrderMinIO, PostOrderMinMem, NaturalPostOrder, RecExpand, FullRecExpand} {
+		res, err := Schedule(tr, 6, alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.IO < 3 {
+			t.Fatalf("%s below the instance optimum: %d", alg, res.IO)
+		}
+	}
+	tau := make([]int64, tr.N())
+	tau[1], tau[5] = 3, 3
+	if _, err := ScheduleForIO(tr, 6, tau); err != nil {
+		t.Fatalf("ScheduleForIO: %v", err)
+	}
+	if Version == "" {
+		t.Fatal("version empty")
+	}
+}
