@@ -1,0 +1,32 @@
+# Developer entry points; CI runs the same steps (.github/workflows/ci.yml).
+
+GO ?= go
+# Benchmarks included in the BENCH_<n>.json trajectory record.
+BENCH ?= RecExpand|FiFSimulator|OptMinMem3000
+# Trajectory index: bench-json writes BENCH_$(N).json at the repo root.
+N ?= 1
+
+.PHONY: test build vet bench bench-json bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .
+
+# Record the benchmark trajectory: BENCH_$(N).json with ns/op, allocations
+# and the custom metrics of every matched benchmark.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime 5x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_$(N).json
+	@echo wrote BENCH_$(N).json
+
+# One-iteration smoke for CI: every benchmark must at least run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench RecExpand -benchtime 1x .

@@ -307,6 +307,70 @@ func BenchmarkRecExpand3000(b *testing.B) {
 	}
 }
 
+// BenchmarkRecExpandReference3000 runs the frozen pre-incremental engine
+// (extract + from-scratch MinMem + allocating simulation per iteration) on
+// the same instance as BenchmarkRecExpand3000: the pair is the headline
+// before/after of the incremental expansion engine and feeds BENCH_1.json.
+func BenchmarkRecExpandReference3000(b *testing.B) {
+	tr := synthTree(3000, 1)
+	in := core.NewInstance("x", tr)
+	M := in.M(core.BoundMid)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expand.ReferenceRecExpand(tr, M, expand.Options{MaxPerNode: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Large-instance scaling (30k–100k nodes, DESIGN.md Section "Scaling") --
+
+func benchRecExpandSynth(b *testing.B, n int) {
+	tr := synthTree(n, 1)
+	in := core.NewInstance("x", tr)
+	M := in.M(core.BoundMid)
+	var last *expand.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := expand.RecExpandDefault(tr, M)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.IO), "io")
+	b.ReportMetric(float64(last.Expansions), "expansions")
+}
+
+func BenchmarkRecExpand30000(b *testing.B)  { benchRecExpandSynth(b, 30000) }
+func BenchmarkRecExpand100000(b *testing.B) { benchRecExpandSynth(b, 100000) }
+
+// Deep-chain adversarial trees: a bushy I/O-bound subtree under a long unit
+// spine, the regime where per-iteration subtree rescheduling is quadratic
+// in the spine length. The reference pair runs at a tenth of the spine to
+// stay affordable; compare ns/op against the quadratic growth it implies.
+func benchRecExpandDeepChain(b *testing.B, spine, bushy int, reference bool) {
+	in := experiments.DeepChain(spine, bushy, 1)
+	M := in.M(core.BoundMid)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if reference {
+			_, err = expand.ReferenceRecExpand(in.Tree, M, expand.Options{MaxPerNode: 2})
+		} else {
+			_, err = expand.RecExpandDefault(in.Tree, M)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecExpandDeepChain30000(b *testing.B) { benchRecExpandDeepChain(b, 29000, 1000, false) }
+func BenchmarkRecExpandDeepChainReference3000(b *testing.B) {
+	benchRecExpandDeepChain(b, 2900, 100, true)
+}
+
 func BenchmarkFiFSimulator3000(b *testing.B) {
 	tr := synthTree(3000, 1)
 	in := core.NewInstance("x", tr)

@@ -3,11 +3,16 @@
 // the worked examples of Appendix A (Figures 6–7), and the performance
 // profiles of Section 6 / Appendix B (Figures 4, 5, 8, 9, 10, 11).
 //
+// Beyond the paper's figures, `-fig perf` measures the incremental
+// expansion engine against the frozen reference engine across instance
+// sizes (the repo's performance trajectory; see DESIGN.md).
+//
 // Usage:
 //
 //	minio-bench -fig 4                 # SYNTH profiles, reduced scale
 //	minio-bench -fig 5 -scale paper    # TREES profiles at paper scale
 //	minio-bench -fig 2c                # adversarial family table
+//	minio-bench -fig perf              # engine A/B timings
 //	minio-bench -fig all               # everything
 //	minio-bench -fig 4 -csv fig4.csv   # also dump the profile as CSV
 package main
@@ -15,7 +20,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/expand"
@@ -24,11 +31,12 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/postorder"
 	"repro/internal/profile"
+	"repro/internal/randtree"
 	"repro/internal/stats"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2a, 2b, 2c, 4, 5, 6, 7, 8, 9, 10, 11, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2a, 2b, 2c, 4, 5, 6, 7, 8, 9, 10, 11, perf, all")
 	scale := flag.String("scale", "small", "dataset scale: small or paper")
 	seed := flag.Int64("seed", 9025, "dataset seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -75,6 +83,7 @@ func dispatch(fig, scale string, seed int64, workers int, csv string) error {
 		{"11", func() error {
 			return profileFigure("11", "trees", core.BoundPeakMinus1, scale, seed, workers, csv, true)
 		}},
+		{"perf", func() error { return perfFigure(scale, seed) }},
 	}
 	for _, s := range steps {
 		if err := runFig(s.name, s.f); err != nil {
@@ -256,6 +265,69 @@ func profileFigure(name, dataset string, bound core.Bound, scale string, seed in
 		fmt.Println("CSV written to", csv)
 	}
 	return nil
+}
+
+// perfFigure times RECEXPAND on the incremental engine against the frozen
+// reference engine, on uniform SYNTH trees and deep-chain adversarial
+// instances. The reference is skipped where its quadratic behaviour would
+// take minutes ("-" in the table).
+func perfFigure(scale string, seed int64) error {
+	type caze struct {
+		name   string
+		in     *core.Instance
+		refToo bool
+	}
+	sizes := []int{3000, 10000, 30000}
+	spines := []struct{ spine, bushy int }{{2900, 100}, {29000, 1000}}
+	if scale == "paper" {
+		sizes = append(sizes, 100000)
+		spines = append(spines, struct{ spine, bushy int }{97000, 3000})
+	}
+	var cases []caze
+	for _, n := range sizes {
+		t := randtree.Synth(n, rand.New(rand.NewSource(seed)))
+		cases = append(cases, caze{
+			name:   fmt.Sprintf("synth-%d", n),
+			in:     core.NewInstance("", t),
+			refToo: n <= 3000,
+		})
+	}
+	for _, s := range spines {
+		cases = append(cases, caze{
+			name:   fmt.Sprintf("deepchain-%d", s.spine+s.bushy),
+			in:     experiments.DeepChain(s.spine, s.bushy, seed),
+			refToo: s.spine <= 3000,
+		})
+	}
+	tab := stats.NewTable("instance", "n", "incremental", "reference", "speedup", "io", "expansions")
+	for _, c := range cases {
+		M := c.in.M(core.BoundMid)
+		start := time.Now()
+		res, err := expand.RecExpandDefault(c.in.Tree, M)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		inc := time.Since(start)
+		refCol, speedCol := "-", "-"
+		if c.refToo {
+			start = time.Now()
+			ref, err := expand.ReferenceRecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2})
+			if err != nil {
+				return fmt.Errorf("%s (reference): %w", c.name, err)
+			}
+			refDur := time.Since(start)
+			if ref.IO != res.IO {
+				return fmt.Errorf("%s: engines disagree: %d vs %d", c.name, res.IO, ref.IO)
+			}
+			refCol = refDur.Round(time.Microsecond).String()
+			speedCol = fmt.Sprintf("%.1fx", float64(refDur)/float64(inc))
+		}
+		tab.AddRow(c.name, fmt.Sprint(c.in.Tree.N()),
+			inc.Round(time.Microsecond).String(), refCol, speedCol,
+			fmt.Sprint(res.IO), fmt.Sprint(res.Expansions))
+	}
+	fmt.Println("RECEXPAND wall-clock: incremental engine vs frozen reference (identical results):")
+	return tab.Write(os.Stdout)
 }
 
 func report(run *experiments.RunResult) error {

@@ -70,7 +70,6 @@ func Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 		return nil, fmt.Errorf("core: M=%d below LB=%d", M, lb)
 	}
 	var sched tree.Schedule
-	var io int64
 	switch alg {
 	case OptMinMem:
 		sched, _ = liu.MinMem(t)
@@ -80,18 +79,19 @@ func Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 		sched, _ = liu.PostOrderMinMem(t)
 	case NaturalPostOrder:
 		sched = t.NaturalPostorder()
-	case RecExpand:
-		res, err := expand.RecExpandDefault(t, M)
+	case RecExpand, FullRecExpand:
+		// The expansion engine already validated its transposed schedule
+		// and simulated it on the original tree under M; reuse that run
+		// instead of paying a redundant simulation here.
+		f := expand.RecExpandDefault
+		if alg == FullRecExpand {
+			f = expand.FullRecExpand
+		}
+		res, err := f(t, M)
 		if err != nil {
 			return nil, err
 		}
-		sched, io = res.Schedule, res.IO
-	case FullRecExpand:
-		res, err := expand.FullRecExpand(t, M)
-		if err != nil {
-			return nil, err
-		}
-		sched, io = res.Schedule, res.IO
+		return &Result{Algorithm: alg, Schedule: res.Schedule, IO: res.IO, Peak: res.SimulatedPeak}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
 	}
@@ -99,10 +99,7 @@ func Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s produced an invalid schedule: %w", alg, err)
 	}
-	if alg != RecExpand && alg != FullRecExpand {
-		io = sim.IO
-	}
-	return &Result{Algorithm: alg, Schedule: sched, IO: io, Peak: sim.Peak}, nil
+	return &Result{Algorithm: alg, Schedule: sched, IO: sim.IO, Peak: sim.Peak}, nil
 }
 
 // RunAll runs every algorithm of algs on t under M, returning results in

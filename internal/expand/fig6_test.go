@@ -30,7 +30,11 @@ func TestFig6ExpansionNarrative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	victim := pickVictim(sub, sched, res.Tau, LatestParent)
+	pos, err := sched.Positions(sub.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := pickVictim(sub, pos, res.Tau, LatestParent)
 	if toMut[victim] != b {
 		t.Fatalf("first victim is node %d, want b=%d", toMut[victim], b)
 	}
@@ -56,7 +60,11 @@ func TestFig6ExpansionNarrative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	victim2 := pickVictim(sub2, sched2, res2.Tau, LatestParent)
+	pos2, err := sched2.Positions(sub2.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim2 := pickVictim(sub2, pos2, res2.Tau, LatestParent)
 	if toMut2[victim2] != b2 {
 		t.Fatalf("second victim is mutable node %d, want b2=%d", toMut2[victim2], b2)
 	}

@@ -15,6 +15,7 @@ package expand
 import (
 	"fmt"
 
+	"repro/internal/liu"
 	"repro/internal/tree"
 )
 
@@ -41,10 +42,16 @@ type MutableTree struct {
 	weight   []int64
 	orig     []int
 	role     []Role
+	rank     []int32 // position in the parent's child list
 	root     int
 
 	expansionIO int64
 	expansions  int
+
+	// profiles, when enabled, memoizes the optimal hill–valley profile of
+	// every subtree; Expand keeps it consistent by invalidating exactly
+	// the root-path of the expansion site.
+	profiles *liu.ProfileCache
 }
 
 // NewMutable copies t into a fresh mutable tree. Node ids 0..t.N()-1 match
@@ -57,6 +64,7 @@ func NewMutable(t *tree.Tree) *MutableTree {
 		weight:   make([]int64, n),
 		orig:     make([]int, n),
 		role:     make([]Role, n),
+		rank:     make([]int32, n),
 		root:     t.Root(),
 	}
 	copy(m.parent, t.Parents())
@@ -65,6 +73,9 @@ func NewMutable(t *tree.Tree) *MutableTree {
 		m.children[i] = append([]int(nil), t.Children(i)...)
 		m.orig[i] = i
 		m.role[i] = RolePrimary
+		for k, c := range m.children[i] {
+			m.rank[c] = int32(k)
+		}
 	}
 	return m
 }
@@ -87,6 +98,16 @@ func (m *MutableTree) Role(i int) Role { return m.role[i] }
 
 // Children returns node i's current children (owned by the tree).
 func (m *MutableTree) Children(i int) []int { return m.children[i] }
+
+// Parent returns node i's current parent, or tree.None for the root.
+func (m *MutableTree) Parent(i int) int { return m.parent[i] }
+
+// ChildRanks returns, for every node, its position in its parent's child
+// list (the memsim.ChildRanker extension). Sibling ranks reproduce the id
+// order an extracted copy of a subtree would assign, which keeps in-place
+// simulations bit-identical to extract-and-simulate. The slice is owned by
+// the tree and valid until the next Expand.
+func (m *MutableTree) ChildRanks() []int32 { return m.rank }
 
 // ExpansionIO returns the accumulated volume of all expansions so far.
 func (m *MutableTree) ExpansionIO() int64 { return m.expansionIO }
@@ -121,12 +142,21 @@ func (m *MutableTree) Expand(i int, amount int64) (i2, i3 int, err error) {
 		}
 	}
 	m.parent[i3] = p
+	m.rank[i3] = m.rank[i] // i3 takes i's slot below p
 	m.children[i3] = append(m.children[i3], i2)
 	m.parent[i2] = i3
+	m.rank[i2] = 0
 	m.children[i2] = append(m.children[i2], i)
 	m.parent[i] = i2
+	m.rank[i] = 0
 	m.expansionIO += amount
 	m.expansions++
+	if m.profiles != nil {
+		// i's own subtree is unchanged; everything from i3 to the root
+		// sees a new shape.
+		m.profiles.Grow()
+		m.profiles.Invalidate(i3)
+	}
 	return i2, i3, nil
 }
 
@@ -137,7 +167,31 @@ func (m *MutableTree) addNode(w int64, orig int, role Role) int {
 	m.weight = append(m.weight, w)
 	m.orig = append(m.orig, orig)
 	m.role = append(m.role, role)
+	m.rank = append(m.rank, 0)
 	return id
+}
+
+// EnableProfiles attaches the memoized Liu profile cache, turning
+// SubtreePeak and AppendMinMemSchedule into incremental queries: after an
+// Expand, only the profiles on the path from the expansion site to the root
+// are recomputed. Enabling is idempotent.
+func (m *MutableTree) EnableProfiles() {
+	if m.profiles == nil {
+		m.profiles = liu.NewProfileCache(m)
+	}
+}
+
+// SubtreePeak returns the optimal (OPTMINMEM) peak memory of r's current
+// subtree, served from the profile cache. EnableProfiles must have been
+// called.
+func (m *MutableTree) SubtreePeak(r int) int64 { return m.profiles.Peak(r) }
+
+// AppendMinMemSchedule appends an optimal peak-memory traversal of r's
+// current subtree — what liu.MinMem would return on an extracted copy,
+// expressed in mutable-tree ids — to dst and returns the extended slice.
+// EnableProfiles must have been called.
+func (m *MutableTree) AppendMinMemSchedule(r int, dst []int) []int {
+	return m.profiles.AppendSchedule(r, dst)
 }
 
 // SubtreeNodes returns the nodes of r's current subtree, r first.
@@ -150,10 +204,12 @@ func (m *MutableTree) SubtreeNodes(r int) []int {
 }
 
 // Subtree extracts the current subtree rooted at r as an immutable tree
-// together with the mapping from new ids to mutable-tree ids.
+// together with the mapping from new ids to mutable-tree ids. The id remap
+// is a dense slice indexed by mutable id, not a hash map: extraction is a
+// plain O(n) pass.
 func (m *MutableTree) Subtree(r int) (*tree.Tree, []int) {
 	nodes := m.SubtreeNodes(r)
-	toNew := make(map[int]int, len(nodes))
+	toNew := make([]int, m.N())
 	for k, v := range nodes {
 		toNew[v] = k
 	}
@@ -185,6 +241,19 @@ func (m *MutableTree) Transpose(sched tree.Schedule, toMut []int) tree.Schedule 
 		mv := toMut[v]
 		if m.role[mv] == RolePrimary {
 			out = append(out, m.orig[mv])
+		}
+	}
+	return out
+}
+
+// PrimarySchedule maps a schedule expressed directly in mutable-tree ids
+// back to the original tree: only RolePrimary nodes are kept, renamed to
+// their original ids. It is Transpose with the identity id map.
+func (m *MutableTree) PrimarySchedule(sched []int) tree.Schedule {
+	out := make(tree.Schedule, 0, len(sched))
+	for _, v := range sched {
+		if m.role[v] == RolePrimary {
+			out = append(out, m.orig[v])
 		}
 	}
 	return out

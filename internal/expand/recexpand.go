@@ -3,7 +3,6 @@ package expand
 import (
 	"fmt"
 
-	"repro/internal/liu"
 	"repro/internal/memsim"
 	"repro/internal/tree"
 )
@@ -69,6 +68,11 @@ type Result struct {
 	// tree — never worse than IO, since immediate writes dominate the
 	// delayed writes that expansion encodes.
 	SimulatedIO int64
+	// SimulatedPeak is the peak demand of that same simulation of
+	// Schedule on the original tree under M (the memsim.Result.Peak of
+	// the run that produced SimulatedIO); callers evaluating the
+	// heuristic need not re-simulate.
+	SimulatedPeak int64
 	// Expansions is the number of expansion operations performed.
 	Expansions int
 	// CapHit reports that GlobalCap stopped the expansion loop early.
@@ -90,25 +94,45 @@ func RecExpandDefault(t *tree.Tree, M int64) (*Result, error) {
 	return RecExpand(t, M, Options{MaxPerNode: 2})
 }
 
-// RecExpand runs the recursive-expansion heuristic with explicit options.
+// RecExpand runs the recursive-expansion heuristic with explicit options,
+// on the incremental engine: the mutable tree keeps a memoized Liu profile
+// per subtree (recomputing only the dirty root-path after each expansion)
+// and the inner Furthest-in-the-Future evaluations run allocation-free on
+// a reusable simulator, directly on the mutable tree — no per-iteration
+// subtree extraction, no from-scratch OPTMINMEM. Results are bit-identical
+// to ReferenceRecExpand, the frozen extract-and-rescan engine.
 func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 	if lb := t.MaxWBar(); M < lb {
 		return nil, fmt.Errorf("expand: M=%d below LB=%d", M, lb)
 	}
-	cap := opts.GlobalCap
-	if cap == 0 {
-		cap = 64*t.N() + 1024
+	globalCap := opts.GlobalCap
+	if globalCap == 0 {
+		globalCap = 64*t.N() + 1024
 	}
 	m := NewMutable(t)
+	m.EnableProfiles()
 	capHit := false
 
 	// Expansions never increase a subtree's optimal peak (the inserted
 	// chain links only re-hold data the subtree already held), so nodes
 	// whose initial subtree peak fits in M can be skipped wholesale:
-	// their while loop would exit on its first check, but extracting
-	// and rescheduling every such subtree is what makes the recursion
-	// quadratic on deep trees.
-	initialPeaks := liu.AllSubtreePeaks(t)
+	// their while loop would exit on its first check, but rescheduling
+	// every such subtree is what makes the recursion quadratic on deep
+	// trees. Warming the cache at the root computes every initial peak
+	// in one bottom-up pass. The skip must use INITIAL peaks, not the
+	// cheap current-peak break below: the reference engine consults the
+	// global cap only at nodes whose initial peak exceeds M, so gating
+	// on anything else would flip CapHit in corner cases and break the
+	// bit-identity contract with ReferenceRecExpand.
+	m.SubtreePeak(m.Root())
+	initialPeaks := make([]int64, t.N())
+	for i := range initialPeaks {
+		initialPeaks[i] = m.SubtreePeak(i)
+	}
+
+	sim := memsim.NewSimulator()
+	var sched []int    // reusable flattened-schedule scratch
+	var bfsPos []int32 // reusable BFS-rank scratch (LargestTau ties only)
 
 	// Post-order walk over the ORIGINAL nodes: the recursion of
 	// Algorithm 2 treats children before their parent, and expansions
@@ -126,24 +150,25 @@ func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 			if opts.MaxPerNode > 0 && iter >= opts.MaxPerNode {
 				break
 			}
-			if m.Expansions() >= cap {
+			if m.Expansions() >= globalCap {
 				capHit = true
 				break
 			}
-			sub, toMut := m.Subtree(r)
-			sched, peak := liu.MinMem(sub)
-			if peak <= M {
+			if m.SubtreePeak(r) <= M {
 				break
 			}
-			res, err := memsim.Run(sub, M, sched, memsim.FiF)
-			if err != nil {
+			sched = m.AppendMinMemSchedule(r, sched[:0])
+			if _, _, err := sim.Run(m, r, M, sched, memsim.FiF); err != nil {
 				return nil, fmt.Errorf("expand: simulating subtree of %d: %w", r, err)
 			}
-			victim := pickVictim(sub, sched, res.Tau, opts.Victim)
+			if opts.Victim == LargestTau {
+				bfsPos = m.appendBFSRanks(r, bfsPos)
+			}
+			victim := pickVictimInPlace(m, r, sim.Positions(), sim.Tau(), sched, bfsPos, opts.Victim)
 			if victim < 0 {
 				return nil, fmt.Errorf("expand: subtree of %d overflows M=%d but FiF evicted nothing", r, M)
 			}
-			if _, _, err := m.Expand(toMut[victim], res.Tau[victim]); err != nil {
+			if _, _, err := m.Expand(victim, sim.Tau()[victim]); err != nil {
 				return nil, err
 			}
 			iter++
@@ -153,13 +178,13 @@ func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 		}
 	}
 
-	final, toMut := m.Freeze()
-	sched, peak := liu.MinMem(final)
-	finalRes, err := memsim.Run(final, M, sched, memsim.FiF)
+	finalSched := m.AppendMinMemSchedule(m.Root(), nil)
+	peak := m.SubtreePeak(m.Root())
+	finalIO, _, err := sim.Run(m, m.Root(), M, finalSched, memsim.FiF)
 	if err != nil {
 		return nil, fmt.Errorf("expand: simulating final tree: %w", err)
 	}
-	orig := m.Transpose(sched, toMut)
+	orig := m.PrimarySchedule(finalSched)
 	if err := tree.Validate(t, orig); err != nil {
 		return nil, fmt.Errorf("expand: transposed schedule invalid: %w", err)
 	}
@@ -168,26 +193,89 @@ func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("expand: simulating transposed schedule: %w", err)
 	}
 	return &Result{
-		Schedule:    orig,
-		IO:          m.ExpansionIO() + finalRes.IO,
-		ExpansionIO: m.ExpansionIO(),
-		ResidualIO:  finalRes.IO,
-		SimulatedIO: simRes.IO,
-		Expansions:  m.Expansions(),
-		CapHit:      capHit,
-		FinalPeak:   peak,
+		Schedule:      orig,
+		IO:            m.ExpansionIO() + finalIO,
+		ExpansionIO:   m.ExpansionIO(),
+		ResidualIO:    finalIO,
+		SimulatedIO:   simRes.IO,
+		SimulatedPeak: simRes.Peak,
+		Expansions:    m.Expansions(),
+		CapHit:        capHit,
+		FinalPeak:     peak,
 	}, nil
 }
 
+// appendBFSRanks fills bfsPos (grown as needed, indexed by mutable id) with
+// the BFS rank of every node of r's subtree — the id an extracted copy
+// would assign. Entries of nodes outside the subtree are stale and must not
+// be read.
+func (m *MutableTree) appendBFSRanks(r int, bfsPos []int32) []int32 {
+	for len(bfsPos) < m.N() {
+		bfsPos = append(bfsPos, 0)
+	}
+	nodes := m.SubtreeNodes(r)
+	for k, v := range nodes {
+		bfsPos[v] = int32(k)
+	}
+	return bfsPos
+}
+
+// pickVictimInPlace is pickVictim operating directly on the mutable tree:
+// candidates are read off the flattened subtree schedule (mutable ids), pos
+// and tau come from the simulator's scratch. Tie-breaking reproduces the
+// extracted-subtree rule: for the parent-position policies, equal keys mean
+// siblings and the child-list rank stands in for the extracted id; for
+// LargestTau, equal τ across arbitrary nodes falls back to the BFS rank of
+// the subtree (the extracted id itself).
+func pickVictimInPlace(m *MutableTree, r int, pos []int32, tau []int64, sched []int, bfsPos []int32, policy VictimPolicy) int {
+	best := -1
+	var bestKey, bestTau int64
+	for _, i := range sched {
+		ti := tau[i]
+		if ti <= 0 {
+			continue
+		}
+		var key int64
+		switch policy {
+		case LatestParent:
+			key = int64(pos[m.Parent(i)])
+		case EarliestParent:
+			key = -int64(pos[m.Parent(i)])
+		case LargestTau:
+			key = ti
+		}
+		var better bool
+		if best == -1 || key > bestKey {
+			better = true
+		} else if key == bestKey {
+			if ti > bestTau {
+				better = true
+			} else if ti == bestTau {
+				// Equal key and τ: the reference engine prefers the
+				// smaller extracted id. Under the parent-position
+				// policies equal keys mean same parent, so the child
+				// rank decides; under LargestTau compare BFS ranks.
+				if policy == LargestTau {
+					better = bfsPos[i] < bfsPos[best]
+				} else {
+					better = m.rank[i] < m.rank[best]
+				}
+			}
+		}
+		if better {
+			best, bestKey, bestTau = i, key, ti
+		}
+	}
+	return best
+}
+
 // pickVictim returns the node of sub with positive τ selected by the
-// policy, or -1 if τ is identically zero. For LatestParent (the paper's
+// policy, or -1 if τ is identically zero. pos must be the schedule's
+// position array (sched.Positions), computed once by the caller and shared
+// with the other per-iteration consumers. For LatestParent (the paper's
 // rule) ties on the parent position — possible between siblings — are
 // broken towards the larger τ, then the smaller node id.
-func pickVictim(sub *tree.Tree, sched tree.Schedule, tau []int64, policy VictimPolicy) int {
-	pos, err := sched.Positions(sub.N())
-	if err != nil {
-		return -1
-	}
+func pickVictim(sub *tree.Tree, pos []int, tau []int64, policy VictimPolicy) int {
 	best := -1
 	var bestKey, bestTau int64
 	for i, ti := range tau {

@@ -1,0 +1,109 @@
+package expand
+
+import (
+	"fmt"
+
+	"repro/internal/liu"
+	"repro/internal/memsim"
+	"repro/internal/tree"
+)
+
+// ReferenceRecExpand is the frozen pre-incremental expansion engine: every
+// iteration extracts the current subtree as a standalone tree, reschedules
+// it with a from-scratch liu.MinMem and simulates it with a freshly
+// allocated memsim.Run — O(subtree) work per iteration, quadratic or worse
+// on deep trees. It exists as the differential-testing and benchmarking
+// baseline for RecExpand, which must produce bit-identical results on the
+// memoized-profile engine.
+func ReferenceRecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
+	if lb := t.MaxWBar(); M < lb {
+		return nil, fmt.Errorf("expand: M=%d below LB=%d", M, lb)
+	}
+	globalCap := opts.GlobalCap
+	if globalCap == 0 {
+		globalCap = 64*t.N() + 1024
+	}
+	m := NewMutable(t)
+	capHit := false
+
+	// Expansions never increase a subtree's optimal peak (the inserted
+	// chain links only re-hold data the subtree already held), so nodes
+	// whose initial subtree peak fits in M can be skipped wholesale:
+	// their while loop would exit on its first check, but extracting
+	// and rescheduling every such subtree is what makes the recursion
+	// quadratic on deep trees.
+	initialPeaks := liu.AllSubtreePeaks(t)
+
+	// Post-order walk over the ORIGINAL nodes: the recursion of
+	// Algorithm 2 treats children before their parent, and expansions
+	// never change which node roots a processed subtree (the FiF never
+	// evicts a subtree's own root, as its output is produced last).
+	for _, r := range t.NaturalPostorder() {
+		if t.IsLeaf(r) {
+			continue // a single node never needs I/O (M ≥ LB ≥ w̄)
+		}
+		if initialPeaks[r] <= M {
+			continue
+		}
+		iter := 0
+		for {
+			if opts.MaxPerNode > 0 && iter >= opts.MaxPerNode {
+				break
+			}
+			if m.Expansions() >= globalCap {
+				capHit = true
+				break
+			}
+			sub, toMut := m.Subtree(r)
+			sched, peak := liu.MinMem(sub)
+			if peak <= M {
+				break
+			}
+			res, err := memsim.Run(sub, M, sched, memsim.FiF)
+			if err != nil {
+				return nil, fmt.Errorf("expand: simulating subtree of %d: %w", r, err)
+			}
+			pos, err := sched.Positions(sub.N())
+			if err != nil {
+				return nil, fmt.Errorf("expand: subtree schedule of %d: %w", r, err)
+			}
+			victim := pickVictim(sub, pos, res.Tau, opts.Victim)
+			if victim < 0 {
+				return nil, fmt.Errorf("expand: subtree of %d overflows M=%d but FiF evicted nothing", r, M)
+			}
+			if _, _, err := m.Expand(toMut[victim], res.Tau[victim]); err != nil {
+				return nil, err
+			}
+			iter++
+		}
+		if capHit {
+			break
+		}
+	}
+
+	final, toMut := m.Freeze()
+	sched, peak := liu.MinMem(final)
+	finalRes, err := memsim.Run(final, M, sched, memsim.FiF)
+	if err != nil {
+		return nil, fmt.Errorf("expand: simulating final tree: %w", err)
+	}
+	orig := m.Transpose(sched, toMut)
+	if err := tree.Validate(t, orig); err != nil {
+		return nil, fmt.Errorf("expand: transposed schedule invalid: %w", err)
+	}
+	simRes, err := memsim.Run(t, M, orig, memsim.FiF)
+	if err != nil {
+		return nil, fmt.Errorf("expand: simulating transposed schedule: %w", err)
+	}
+	return &Result{
+		Schedule:      orig,
+		IO:            m.ExpansionIO() + finalRes.IO,
+		ExpansionIO:   m.ExpansionIO(),
+		ResidualIO:    finalRes.IO,
+		SimulatedIO:   simRes.IO,
+		SimulatedPeak: simRes.Peak,
+		Expansions:    m.Expansions(),
+		CapHit:        capHit,
+		FinalPeak:     peak,
+	}, nil
+}

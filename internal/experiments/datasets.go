@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/randtree"
 	"repro/internal/sparse"
+	"repro/internal/tree"
 )
 
 // SynthConfig parameterizes the SYNTH dataset of Section 6.1. The paper
@@ -37,6 +38,52 @@ func Synth(cfg SynthConfig) []*core.Instance {
 		}
 	}
 	return out
+}
+
+// DeepChain builds the adversarial regime of the expansion engine: a bushy
+// I/O-bound SYNTH subtree of `bushy` nodes hanging at the bottom of a unit
+// spine of `spine` nodes. Subtree peaks are monotone up the tree, so every
+// one of the spine prefixes inherits the bottom subtree's peak: under any
+// memory bound between LB and Peak, the recursion of RECEXPAND visits all
+// spine nodes — which costs O(spine²) on an engine that reschedules the
+// whole subtree per visit and O(spine) on the incremental one. Node 0 is
+// the root; the spine is 0 ← 1 ← ... ← spine−1 ← bottom root.
+func DeepChain(spine, bushy int, seed int64) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var bottom *tree.Tree
+	// Retry until the bottom subtree is I/O-bound (Peak > LB), which
+	// random binary trees of realistic sizes essentially always are;
+	// trees of a handful of nodes may never be, so fail loudly rather
+	// than spin.
+	for attempt := 0; ; attempt++ {
+		if attempt == 1000 {
+			panic(fmt.Sprintf("experiments: no I/O-bound synth tree of %d nodes in %d draws", bushy, attempt))
+		}
+		bottom = randtree.Synth(bushy, rng)
+		if in := core.NewInstance("", bottom); in.NeedsIO() {
+			break
+		}
+	}
+	n := spine + bottom.N()
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = tree.None
+	weight[0] = 1
+	for i := 1; i < spine; i++ {
+		parent[i] = i - 1
+		weight[i] = 1
+	}
+	bp := bottom.Parents()
+	for i, p := range bp {
+		if p == tree.None {
+			parent[spine+i] = spine - 1
+		} else {
+			parent[spine+i] = spine + p
+		}
+		weight[spine+i] = bottom.Weight(i)
+	}
+	t := tree.MustNew(parent, weight)
+	return core.NewInstance(fmt.Sprintf("deepchain-%d-%d", spine, bushy), t)
 }
 
 // TreesConfig parameterizes the TREES dataset: elimination task trees of

@@ -42,6 +42,11 @@ func Run(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, wo
 	type job struct{ i int }
 	jobs := make(chan job)
 	errs := make(chan error, workers)
+	// done is closed on the first failure so that the producer stops
+	// handing out work: with an unbuffered jobs channel, a bare send
+	// would deadlock once every worker has returned early on an error.
+	done := make(chan struct{})
+	var closeDone sync.Once
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -58,6 +63,7 @@ func Run(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, wo
 						case errs <- fmt.Errorf("%s on %s: %w", alg, in.Name, err):
 						default:
 						}
+						closeDone.Do(func() { close(done) })
 						return
 					}
 					res.IO[a][j.i] = r.IO
@@ -65,8 +71,13 @@ func Run(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, wo
 			}
 		}()
 	}
+produce:
 	for i := range instances {
-		jobs <- job{i}
+		select {
+		case jobs <- job{i}:
+		case <-done:
+			break produce
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/tree"
 )
 
 func smallDataset(t *testing.T) []*core.Instance {
@@ -124,6 +127,45 @@ func TestDifferingInstances(t *testing.T) {
 		if same {
 			t.Fatal("kept an instance where all algorithms tie")
 		}
+	}
+}
+
+// TestRunSurvivesFailingInstances reproduces the worker-pool deadlock: a
+// dataset made entirely of infeasible instances (precomputed LB below the
+// true max w̄, so every core.Run errors with M below LB) used to kill all
+// workers while the producer still blocked on the unbuffered jobs channel.
+// The fixed pool must return the first error promptly.
+func TestRunSurvivesFailingInstances(t *testing.T) {
+	star := tree.Star(1, 50, 50) // true LB = 100
+	bad := make([]*core.Instance, 64)
+	for i := range bad {
+		// LB deliberately understated: M(BoundLB) = 10 < max w̄ = 100.
+		bad[i] = &core.Instance{Name: "bad", Tree: star, LB: 10, Peak: 101}
+	}
+	type outcome struct {
+		run *RunResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		run, err := Run(bad, []core.Algorithm{core.OptMinMem}, core.BoundLB, 4)
+		ch <- outcome{run, err}
+	}()
+	select {
+	case out := <-ch:
+		if out.err == nil {
+			t.Fatal("expected an error from infeasible instances")
+		}
+		if !strings.Contains(out.err.Error(), "below LB") {
+			t.Fatalf("unexpected error: %v", out.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run deadlocked on failing instances")
+	}
+	// A failure in the middle of a healthy dataset must also surface.
+	mixed := append(smallDataset(t), bad...)
+	if _, err := Run(mixed, []core.Algorithm{core.OptMinMem}, core.BoundLB, 2); err == nil {
+		t.Fatal("expected an error from the mixed dataset")
 	}
 }
 

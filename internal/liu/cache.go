@@ -1,0 +1,174 @@
+package liu
+
+import "repro/internal/tree"
+
+// TreeLike is the read-only structural view of a task tree that the profile
+// cache needs. Both *tree.Tree and the growing mutable trees of package
+// expand satisfy it.
+type TreeLike interface {
+	N() int
+	Parent(i int) int
+	Children(i int) []int
+	Weight(i int) int64
+}
+
+// ProfileCache memoizes, per node, the canonical optimal hill–valley
+// profile of the node's subtree (the object MinMem computes transiently).
+// It is the engine behind incremental recursive expansion: after a local
+// tree mutation, only the profiles on the path from the mutated node to the
+// root change, so Invalidate marks exactly that path dirty and the next
+// Peak or AppendSchedule query recomputes only dirty nodes, reusing every
+// clean child profile. A full cold query costs one bottom-up pass (the same
+// work as MinMem); a query after k expansions costs O(Σ path merge work)
+// instead of re-running MinMem on the whole subtree.
+//
+// Invariants (see DESIGN.md):
+//   - a dirty node's ancestors are all dirty (Invalidate walks to the root),
+//     hence a clean node's entire subtree is clean and its profile reusable;
+//   - profiles are immutable once computed: merging copies segments and rope
+//     concatenation never mutates its operands, so a parent recomputation
+//     can share child profiles without spoiling them;
+//   - nodes appended to the tree after Grow start dirty.
+type ProfileCache struct {
+	t     TreeLike
+	prof  []profile
+	peak  []int64
+	valid []bool
+
+	// Reusable scratch for ensure/recompute/flatten.
+	stack []cacheFrame
+	parts []profile
+	ropes []*nodeRope
+}
+
+type cacheFrame struct {
+	node     int
+	expanded bool
+}
+
+// NewProfileCache creates an empty cache over t; nothing is computed until
+// the first query.
+func NewProfileCache(t TreeLike) *ProfileCache {
+	c := &ProfileCache{t: t}
+	c.Grow()
+	return c
+}
+
+// Grow extends the cache to the tree's current node count. Call it after
+// nodes have been appended to the underlying tree; the new nodes start
+// dirty.
+func (c *ProfileCache) Grow() {
+	for len(c.valid) < c.t.N() {
+		c.prof = append(c.prof, nil)
+		c.peak = append(c.peak, 0)
+		c.valid = append(c.valid, false)
+	}
+}
+
+// Invalidate marks v and every ancestor of v dirty, releasing their cached
+// profiles. Call it with the topmost node whose subtree changed (for an
+// expansion of node i into i → i2 → i3, that is i3: i's own subtree is
+// untouched and stays cached).
+func (c *ProfileCache) Invalidate(v int) {
+	for ; v != tree.None; v = c.t.Parent(v) {
+		c.valid[v] = false
+		c.prof[v] = nil
+	}
+}
+
+// Peak returns the optimal peak memory of v's subtree (what
+// liu.MinMemPeak would report on an extracted copy), recomputing dirty
+// profiles as needed.
+func (c *ProfileCache) Peak(v int) int64 {
+	c.ensure(v)
+	return c.peak[v]
+}
+
+// AppendSchedule appends the optimal traversal of v's subtree (what
+// liu.MinMem would return on an extracted copy, expressed in the underlying
+// tree's node ids) to dst and returns the extended slice.
+func (c *ProfileCache) AppendSchedule(v int, dst []int) []int {
+	c.ensure(v)
+	st := c.ropes[:0]
+	for _, seg := range c.prof[v] {
+		st = append(st, seg.nodes)
+		for len(st) > 0 {
+			cur := st[len(st)-1]
+			st = st[:len(st)-1]
+			if cur == nil {
+				continue
+			}
+			if cur.leaf != nil {
+				dst = append(dst, cur.leaf...)
+				continue
+			}
+			st = append(st, cur.right, cur.left)
+		}
+	}
+	c.ropes = st[:0]
+	return dst
+}
+
+// ensure recomputes every dirty profile in v's subtree, bottom-up, reusing
+// clean children. It works on an explicit stack to survive elimination-tree
+// depths far beyond the goroutine recursion limit.
+func (c *ProfileCache) ensure(v int) {
+	if c.valid[v] {
+		return
+	}
+	st := c.stack[:0]
+	st = append(st, cacheFrame{v, false})
+	for len(st) > 0 {
+		f := st[len(st)-1]
+		if !f.expanded {
+			st[len(st)-1].expanded = true
+			for _, ch := range c.t.Children(f.node) {
+				if !c.valid[ch] {
+					st = append(st, cacheFrame{ch, false})
+				}
+			}
+			continue
+		}
+		st = st[:len(st)-1]
+		c.recompute(f.node)
+	}
+	c.stack = st[:0]
+}
+
+// recompute rebuilds v's profile from its children's (all clean) profiles:
+// exactly the per-node step of minMemProfileWithPeaks.
+func (c *ProfileCache) recompute(v int) {
+	children := c.t.Children(v)
+	var merged profile
+	if len(children) > 0 {
+		parts := c.parts[:0]
+		for _, ch := range children {
+			parts = append(parts, c.prof[ch])
+		}
+		merged = mergeProfiles(parts)
+		c.parts = parts[:0]
+	} else {
+		merged = make(profile, 0, 1)
+	}
+	var cs int64
+	for _, ch := range children {
+		cs += c.t.Weight(ch)
+	}
+	w := c.t.Weight(v)
+	wbar := cs
+	if w > wbar {
+		wbar = w
+	}
+	merged = append(merged, segment{hill: wbar - cs, valley: w - cs, nodes: ropeOf(v)})
+	canon := canonicalize(merged)
+	var r, pk int64
+	for _, s := range canon {
+		if h := r + s.hill; h > pk {
+			pk = h
+		}
+		r += s.valley
+	}
+	c.prof[v] = canon
+	c.peak[v] = pk
+	c.valid[v] = true
+}

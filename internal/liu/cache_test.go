@@ -1,0 +1,183 @@
+package liu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func cacheRandomTree(n int, rng *rand.Rand) *tree.Tree {
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = tree.None
+	weight[0] = 1 + rng.Int63n(30)
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+		weight[i] = 1 + rng.Int63n(30)
+	}
+	return tree.MustNew(parent, weight)
+}
+
+// TestProfileCacheMatchesMinMem: a cold cache query over a static tree must
+// reproduce MinMem exactly — same peak at every node (AllSubtreePeaks) and
+// the same schedule at the root.
+func TestProfileCacheMatchesMinMem(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		tr := cacheRandomTree(2+rng.Intn(60), rng)
+		c := NewProfileCache(tr)
+		sched, peak := MinMem(tr)
+		if got := c.Peak(tr.Root()); got != peak {
+			t.Fatalf("trial %d: cache peak %d, MinMem %d", trial, got, peak)
+		}
+		got := c.AppendSchedule(tr.Root(), nil)
+		if len(got) != len(sched) {
+			t.Fatalf("trial %d: schedule length %d vs %d", trial, len(got), len(sched))
+		}
+		for i := range got {
+			if got[i] != sched[i] {
+				t.Fatalf("trial %d: schedules differ at %d: %v vs %v", trial, i, got, sched)
+			}
+		}
+		peaks := AllSubtreePeaks(tr)
+		for v := range peaks {
+			if c.Peak(v) != peaks[v] {
+				t.Fatalf("trial %d: node %d peak %d, AllSubtreePeaks %d", trial, v, c.Peak(v), peaks[v])
+			}
+		}
+	}
+}
+
+// weightedMutable is a minimal growing TreeLike used to exercise the
+// cache's invalidation path without depending on package expand (which
+// already imports liu). It supports splicing a chain above a node, the
+// shape of the expansion operation.
+type weightedMutable struct {
+	parent   []int
+	children [][]int
+	weight   []int64
+	root     int
+}
+
+func newWeightedMutable(t *tree.Tree) *weightedMutable {
+	n := t.N()
+	m := &weightedMutable{
+		parent:   append([]int(nil), t.Parents()...),
+		children: make([][]int, n),
+		weight:   append([]int64(nil), t.Weights()...),
+		root:     t.Root(),
+	}
+	for i := 0; i < n; i++ {
+		m.children[i] = append([]int(nil), t.Children(i)...)
+	}
+	return m
+}
+
+func (m *weightedMutable) N() int               { return len(m.parent) }
+func (m *weightedMutable) Parent(i int) int     { return m.parent[i] }
+func (m *weightedMutable) Children(i int) []int { return m.children[i] }
+func (m *weightedMutable) Weight(i int) int64   { return m.weight[i] }
+
+// splice inserts two chain nodes above i (the expansion shape: i → i2 → i3
+// with weights w, w−amount, w) and returns the topmost new node.
+func (m *weightedMutable) splice(i int, amount int64) int {
+	w := m.weight[i]
+	i2 := m.N()
+	m.parent = append(m.parent, 0)
+	m.children = append(m.children, nil)
+	m.weight = append(m.weight, w-amount)
+	i3 := m.N()
+	m.parent = append(m.parent, 0)
+	m.children = append(m.children, nil)
+	m.weight = append(m.weight, w)
+	p := m.parent[i]
+	if p == tree.None {
+		m.root = i3
+	} else {
+		for k, c := range m.children[p] {
+			if c == i {
+				m.children[p][k] = i3
+			}
+		}
+	}
+	m.parent[i3] = p
+	m.children[i3] = []int{i2}
+	m.parent[i2] = i3
+	m.children[i2] = []int{i}
+	m.parent[i] = i2
+	return i3
+}
+
+// freeze extracts the current tree with BFS renumbering (children keep
+// their list order, as expand's extraction does), returning the tree and
+// the mutable-id → frozen-id map.
+func (m *weightedMutable) freeze() (*tree.Tree, []int) {
+	nodes := []int{m.root}
+	for head := 0; head < len(nodes); head++ {
+		nodes = append(nodes, m.children[nodes[head]]...)
+	}
+	toNew := make([]int, m.N())
+	for k, v := range nodes {
+		toNew[v] = k
+	}
+	parent := make([]int, len(nodes))
+	weight := make([]int64, len(nodes))
+	for k, v := range nodes {
+		weight[k] = m.weight[v]
+		if v == m.root {
+			parent[k] = tree.None
+		} else {
+			parent[k] = toNew[m.parent[v]]
+		}
+	}
+	return tree.MustNew(parent, weight), toNew
+}
+
+// TestProfileCacheIncrementalMatchesFresh is the cache's core property:
+// after k random splices with path invalidation, the cached peak and
+// schedule of the root must equal a fresh MinMem of the frozen tree
+// (modulo the extraction renumbering), and the schedule must be a valid
+// traversal.
+func TestProfileCacheIncrementalMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 120; trial++ {
+		tr := cacheRandomTree(2+rng.Intn(40), rng)
+		m := newWeightedMutable(tr)
+		c := NewProfileCache(m)
+		c.Peak(m.root) // warm: everything clean
+		k := 1 + rng.Intn(8)
+		for e := 0; e < k; e++ {
+			v := rng.Intn(m.N())
+			w := m.weight[v]
+			if w <= 0 {
+				continue
+			}
+			top := m.splice(v, 1+rng.Int63n(w))
+			c.Grow()
+			c.Invalidate(top)
+			if rng.Intn(2) == 0 {
+				c.Peak(m.root) // interleave queries with mutations
+			}
+		}
+		frozen, toNew := m.freeze()
+		wantSched, wantPeak := MinMem(frozen)
+		if got := c.Peak(m.root); got != wantPeak {
+			t.Fatalf("trial %d: incremental peak %d, fresh MinMem %d", trial, got, wantPeak)
+		}
+		got := c.AppendSchedule(m.root, nil)
+		if len(got) != len(wantSched) {
+			t.Fatalf("trial %d: schedule lengths %d vs %d", trial, len(got), len(wantSched))
+		}
+		mapped := make(tree.Schedule, len(got))
+		for i := range got {
+			mapped[i] = toNew[got[i]]
+			if mapped[i] != wantSched[i] {
+				t.Fatalf("trial %d: schedules differ at step %d: %v vs %v", trial, i, mapped[i], wantSched[i])
+			}
+		}
+		if err := tree.Validate(frozen, mapped); err != nil {
+			t.Fatalf("trial %d: cached schedule invalid: %v", trial, err)
+		}
+	}
+}

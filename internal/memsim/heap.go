@@ -5,30 +5,47 @@ package memsim
 // the simulator: for FiF the key is the negated schedule position of the
 // node's parent, so the minimum-key element is the active data used furthest
 // in the future.
+//
+// The id → heap-slot index is a plain slice (idx), grown on demand, so that
+// a Simulator can clear and refill the heap without allocating. Key ties are
+// broken by rank when set (the sibling order of a mutable tree, matching the
+// BFS numbering an extracted subtree would receive) and by smaller id
+// otherwise.
 type nodeHeap struct {
-	ids  []int       // heap array of node ids
-	keys []int64     // keys[k] is the key of ids[k]
-	pos  map[int]int // node id -> index in ids
-}
-
-func (h *nodeHeap) init() {
-	if h.pos == nil {
-		h.pos = make(map[int]int)
-	}
+	ids  []int   // heap array of node ids
+	keys []int64 // keys[k] is the key of ids[k]
+	idx  []int32 // node id -> index in ids, -1 when absent
+	rank []int32 // optional sibling-order tie-break; nil falls back to ids
 }
 
 func (h *nodeHeap) len() int { return len(h.ids) }
 
+// grow extends the id index to cover ids in [0, n).
+func (h *nodeHeap) grow(n int) {
+	for len(h.idx) < n {
+		h.idx = append(h.idx, -1)
+	}
+}
+
+// clear empties the heap, resetting the index entries it used.
+func (h *nodeHeap) clear() {
+	for _, id := range h.ids {
+		h.idx[id] = -1
+	}
+	h.ids = h.ids[:0]
+	h.keys = h.keys[:0]
+}
+
 // push inserts id with the given key. Pushing an id twice is a programming
 // error and panics.
 func (h *nodeHeap) push(id int, key int64) {
-	h.init()
-	if _, ok := h.pos[id]; ok {
+	h.grow(id + 1)
+	if h.idx[id] >= 0 {
 		panic("memsim: node pushed twice")
 	}
 	h.ids = append(h.ids, id)
 	h.keys = append(h.keys, key)
-	h.pos[id] = len(h.ids) - 1
+	h.idx[id] = int32(len(h.ids) - 1)
 	h.up(len(h.ids) - 1)
 }
 
@@ -42,15 +59,15 @@ func (h *nodeHeap) peek() int {
 
 // remove deletes id from the heap. Removing an absent id panics.
 func (h *nodeHeap) remove(id int) {
-	i, ok := h.pos[id]
-	if !ok {
+	if id >= len(h.idx) || h.idx[id] < 0 {
 		panic("memsim: removing node not in heap")
 	}
+	i := int(h.idx[id])
 	last := len(h.ids) - 1
 	h.swap(i, last)
 	h.ids = h.ids[:last]
 	h.keys = h.keys[:last]
-	delete(h.pos, id)
+	h.idx[id] = -1
 	if i < last {
 		h.down(i)
 		h.up(i)
@@ -73,13 +90,21 @@ func (h *nodeHeap) largest(resident []int64) int {
 func (h *nodeHeap) swap(i, j int) {
 	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
 	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
-	h.pos[h.ids[i]] = i
-	h.pos[h.ids[j]] = j
+	h.idx[h.ids[i]] = int32(i)
+	h.idx[h.ids[j]] = int32(j)
 }
 
 func (h *nodeHeap) less(i, j int) bool {
 	if h.keys[i] != h.keys[j] {
 		return h.keys[i] < h.keys[j]
+	}
+	if h.rank != nil {
+		// Equal keys mean equal parent positions, i.e. siblings; their
+		// child-list ranks are distinct and reproduce the id order an
+		// extracted copy of the subtree would have.
+		if ri, rj := h.rank[h.ids[i]], h.rank[h.ids[j]]; ri != rj {
+			return ri < rj
+		}
 	}
 	return h.ids[i] < h.ids[j] // deterministic tie-break
 }

@@ -99,104 +99,19 @@ func Peak(t *tree.Tree, sched tree.Schedule) (int64, error) {
 }
 
 func run(t *tree.Tree, M int64, sched tree.Schedule, policy EvictionPolicy, traced bool) (*Result, error) {
-	n := t.N()
-	pos, err := sched.Positions(n)
+	s := NewSimulator()
+	io, peak, err := s.run(t, t.Root(), M, sched, policy, traced)
 	if err != nil {
-		return nil, err
-	}
-	if err := tree.Validate(t, sched); err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Schedule: append(tree.Schedule(nil), sched...),
-		Tau:      make([]int64, n),
+		Tau:      append([]int64(nil), s.tau[:t.N()]...),
+		IO:       io,
+		Peak:     peak,
 	}
 	if traced {
-		res.Trace = make([]StepTrace, 0, n)
-	}
-
-	// resident[i] is the in-memory part of active node i's output
-	// (w_i - τ(i)); inactive nodes have resident 0 and are absent from
-	// the active heap.
-	resident := make([]int64, n)
-	var residentSum int64
-
-	// The eviction order is static for FiF/NiF: the key of node i is the
-	// schedule position of its parent. A node becomes active exactly once
-	// and leaves exactly once, so a priority heap keyed appropriately
-	// gives O(n log n) overall.
-	h := &nodeHeap{}
-	key := func(i int) int64 {
-		switch policy {
-		case FiF:
-			return -int64(pos[t.Parent(i)]) // max parent position first
-		case NiF:
-			return int64(pos[t.Parent(i)]) // min parent position first
-		default:
-			return 0 // LargestFirst uses dynamic resident size; see below
-		}
-	}
-
-	for step, v := range sched {
-		// The children of v leave the active set: their outputs are
-		// consumed by v's execution (any evicted parts are read back,
-		// which costs no additional writes).
-		for _, c := range t.Children(v) {
-			residentSum -= resident[c]
-			resident[c] = 0
-		}
-		need := t.WBar(v)
-		if need > M {
-			return nil, fmt.Errorf("memsim: node %d needs w̄=%d > M=%d", v, need, M)
-		}
-		before := residentSum + need
-		if before > res.Peak {
-			res.Peak = before
-		}
-		var evicted int64
-		for residentSum+need > M {
-			var victim int
-			if policy == LargestFirst {
-				victim = h.largest(resident)
-			} else {
-				victim = h.peek()
-			}
-			if victim < 0 {
-				return nil, fmt.Errorf("memsim: internal error: overflow with empty active set at step %d", step)
-			}
-			overflow := residentSum + need - M
-			take := resident[victim]
-			if take > overflow {
-				take = overflow
-			}
-			resident[victim] -= take
-			residentSum -= take
-			res.Tau[victim] += take
-			res.IO += take
-			evicted += take
-			if resident[victim] == 0 {
-				h.remove(victim)
-			}
-		}
-		// v's output becomes active (unless v is the root, whose output
-		// is the final result and is not consumed by any further task;
-		// we keep it resident to step's end but it occupies need ≥ w_v
-		// during execution anyway and the run ends here).
-		if t.Parent(v) != tree.None {
-			resident[v] = t.Weight(v)
-			residentSum += t.Weight(v)
-			h.push(v, key(v))
-		}
-		if traced {
-			after := residentSum
-			if t.Parent(v) == tree.None {
-				after = t.Weight(v)
-			}
-			res.Trace = append(res.Trace, StepTrace{
-				Step: step, Node: v, Before: before, Need: need,
-				Evicted: evicted, After: after,
-			})
-		}
+		res.Trace = append([]StepTrace(nil), s.trace...)
 	}
 	return res, nil
 }

@@ -1,0 +1,217 @@
+package memsim
+
+import "fmt"
+
+// TreeView is the read-only structural view of a task tree that the
+// simulator needs. Both *tree.Tree and the mutable expanded trees of
+// package expand satisfy it, so the same simulator serves the public Run
+// API and the inner loop of the recursive-expansion engine without
+// extracting subtree copies.
+type TreeView interface {
+	N() int
+	Parent(i int) int
+	Children(i int) []int
+	Weight(i int) int64
+}
+
+// ChildRanker is an optional TreeView extension: ChildRanks()[i] is i's
+// position in its parent's child list. When present, the eviction heap
+// breaks key ties between siblings by child rank instead of node id, which
+// reproduces exactly the behaviour of simulating an extracted copy of the
+// subtree (extraction numbers siblings in child-list order). *tree.Tree
+// deliberately does not implement it, keeping the historical id tie-break
+// of the public Run API.
+type ChildRanker interface {
+	ChildRanks() []int32
+}
+
+// Simulator is a reusable out-of-core schedule evaluator. All per-run state
+// (schedule positions, resident sizes, τ, the eviction heap, the optional
+// trace) lives in preallocated scratch that is recycled across runs, so a
+// warm simulator evaluates a schedule without allocating. A Simulator is
+// not safe for concurrent use; the package-level Run creates a fresh one
+// per call and remains safe.
+//
+// The zero value is ready to use.
+type Simulator struct {
+	h        nodeHeap
+	pos      []int32  // schedule position per node, valid iff stamp matches
+	stamp    []uint64 // generation stamp validating pos/resident/tau entries
+	gen      uint64
+	resident []int64
+	tau      []int64
+	trace    []StepTrace
+}
+
+// NewSimulator returns an empty simulator; scratch grows on first use.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Tau returns the simulator's τ array, indexed by node id of the TreeView
+// passed to the last Run. Only entries of nodes in that run's schedule are
+// meaningful. The slice is scratch: it is valid until the next Run.
+func (s *Simulator) Tau() []int64 { return s.tau }
+
+// Positions returns the schedule-position array of the last Run, indexed by
+// node id. Only entries of nodes in that run's schedule are meaningful, and
+// the slice is valid until the next Run.
+func (s *Simulator) Positions() []int32 { return s.pos }
+
+// Run simulates sched — a topological schedule of the subtree rooted at
+// root — on ts under memory bound M, deriving τ with the given eviction
+// policy. Nodes in sched index ts directly; root's output is treated as the
+// final result (never activated, never evicted). It returns the total I/O
+// volume and the peak demand (the memory in use had no eviction been
+// performed, maximized over steps). τ and positions stay readable through
+// Tau and Positions until the next Run.
+func (s *Simulator) Run(ts TreeView, root int, M int64, sched []int, policy EvictionPolicy) (io, peak int64, err error) {
+	return s.run(ts, root, M, sched, policy, false)
+}
+
+// ensure grows the scratch to cover n nodes.
+func (s *Simulator) ensure(n int) {
+	if len(s.pos) >= n {
+		return
+	}
+	if c := cap(s.pos); c >= n {
+		s.pos = s.pos[:n]
+		s.stamp = s.stamp[:n]
+		s.resident = s.resident[:n]
+		s.tau = s.tau[:n]
+	} else {
+		grow := n
+		if d := 2 * c; d > grow {
+			grow = d
+		}
+		pos := make([]int32, n, grow)
+		copy(pos, s.pos)
+		stamp := make([]uint64, n, grow)
+		copy(stamp, s.stamp)
+		resident := make([]int64, n, grow)
+		copy(resident, s.resident)
+		tau := make([]int64, n, grow)
+		copy(tau, s.tau)
+		s.pos, s.stamp, s.resident, s.tau = pos, stamp, resident, tau
+	}
+	s.h.grow(n)
+}
+
+func (s *Simulator) run(ts TreeView, root int, M int64, sched []int, policy EvictionPolicy, traced bool) (int64, int64, error) {
+	n := ts.N()
+	if len(sched) == 0 {
+		return 0, 0, fmt.Errorf("memsim: empty schedule")
+	}
+	s.ensure(n)
+	s.gen++
+	gen := s.gen
+	s.h.clear()
+	if rk, ok := ts.(ChildRanker); ok {
+		s.h.rank = rk.ChildRanks()
+	} else {
+		s.h.rank = nil
+	}
+	// First pass: positions plus permutation check. Resetting resident and
+	// τ for exactly the scheduled nodes keeps the run correct after an
+	// earlier errored run left stale entries (stale entries of other nodes
+	// are never read: every node the simulation touches is validated to be
+	// in sched).
+	for k, v := range sched {
+		if v < 0 || v >= n {
+			return 0, 0, fmt.Errorf("memsim: schedule entry %d out of range [0, %d)", v, n)
+		}
+		if s.stamp[v] == gen {
+			return 0, 0, fmt.Errorf("memsim: node %d scheduled twice", v)
+		}
+		s.stamp[v] = gen
+		s.pos[v] = int32(k)
+		s.resident[v] = 0
+		s.tau[v] = 0
+	}
+	if traced {
+		s.trace = s.trace[:0]
+	}
+	var residentSum, ioSum, peak int64
+	for step, v := range sched {
+		if v != root {
+			p := ts.Parent(v)
+			if p < 0 || p >= n || s.stamp[p] != gen || s.pos[p] < int32(step) {
+				return 0, 0, fmt.Errorf("memsim: node %d executed without its parent scheduled later", v)
+			}
+		}
+		// The children of v leave the active set: their outputs are
+		// consumed by v's execution (any evicted parts are read back,
+		// which costs no additional writes).
+		var cs int64
+		for _, c := range ts.Children(v) {
+			if s.stamp[c] != gen || s.pos[c] > int32(step) {
+				return 0, 0, fmt.Errorf("memsim: node %d executed before its child %d", v, c)
+			}
+			residentSum -= s.resident[c]
+			s.resident[c] = 0
+			cs += ts.Weight(c)
+		}
+		need := cs // w̄(v) = max(w_v, Σ w_child)
+		if w := ts.Weight(v); w > need {
+			need = w
+		}
+		if need > M {
+			return 0, 0, fmt.Errorf("memsim: node %d needs w̄=%d > M=%d", v, need, M)
+		}
+		before := residentSum + need
+		if before > peak {
+			peak = before
+		}
+		var evicted int64
+		for residentSum+need > M {
+			var victim int
+			if policy == LargestFirst {
+				victim = s.h.largest(s.resident)
+			} else {
+				victim = s.h.peek()
+			}
+			if victim < 0 {
+				return 0, 0, fmt.Errorf("memsim: internal error: overflow with empty active set at step %d", step)
+			}
+			overflow := residentSum + need - M
+			take := s.resident[victim]
+			if take > overflow {
+				take = overflow
+			}
+			s.resident[victim] -= take
+			residentSum -= take
+			s.tau[victim] += take
+			ioSum += take
+			evicted += take
+			if s.resident[victim] == 0 {
+				s.h.remove(victim)
+			}
+		}
+		// v's output becomes active (unless v is the root, whose output
+		// is the final result and is not consumed by any further task).
+		if v != root {
+			w := ts.Weight(v)
+			s.resident[v] = w
+			residentSum += w
+			var key int64
+			switch policy {
+			case FiF:
+				key = -int64(s.pos[ts.Parent(v)]) // max parent position first
+			case NiF:
+				key = int64(s.pos[ts.Parent(v)]) // min parent position first
+			default:
+				key = 0 // LargestFirst scans resident sizes dynamically
+			}
+			s.h.push(v, key)
+		}
+		if traced {
+			after := residentSum
+			if v == root {
+				after = ts.Weight(v)
+			}
+			s.trace = append(s.trace, StepTrace{
+				Step: step, Node: v, Before: before, Need: need,
+				Evicted: evicted, After: after,
+			})
+		}
+	}
+	return ioSum, peak, nil
+}
