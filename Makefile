@@ -6,7 +6,7 @@ BENCH ?= RecExpand|FiFSimulator|OptMinMem3000
 # Trajectory index: bench-json writes BENCH_$(N).json at the repo root.
 N ?= 1
 
-.PHONY: test build vet bench bench-json bench-smoke
+.PHONY: test test-race build vet bench bench-json bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ vet:
 
 test: build
 	$(GO) test ./...
+
+# The parallel expansion driver and the sharded profile-cache warm must be
+# race-clean; CI runs this as a separate job.
+test-race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .
@@ -27,6 +32,7 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_$(N).json
 	@echo wrote BENCH_$(N).json
 
-# One-iteration smoke for CI: every benchmark must at least run.
+# One-iteration smoke for CI: every benchmark must at least run (the
+# RecExpand pattern also covers the RecExpandParallel workers sweep).
 bench-smoke:
 	$(GO) test -run '^$$' -bench RecExpand -benchtime 1x .

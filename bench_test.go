@@ -371,6 +371,47 @@ func BenchmarkRecExpandDeepChainReference3000(b *testing.B) {
 	benchRecExpandDeepChain(b, 2900, 100, true)
 }
 
+// --- Parallel driver (workers sweep; DESIGN.md §2.5) -----------------------
+//
+// The three shapes stress the sharded postorder driver differently: the
+// wide SYNTH tree offers many unevenly sized sibling units, the deep chain
+// is the adversarially sequential shape (the overflow up-set is a path, so
+// parallelism is bounded by the bushy bottom), and the forest of identical
+// bushy subtrees is the maximally parallel shape (k equal units, no
+// residual work below the root). Results are bit-identical across worker
+// counts; only wall-clock may differ. On a single-core host the >1-worker
+// rows measure the sharding overhead rather than any speedup.
+
+func benchRecExpandWorkers(b *testing.B, in *core.Instance) {
+	M := in.M(core.BoundMid)
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var last *expand.Result
+			for i := 0; i < b.N; i++ {
+				res, err := expand.RecExpand(in.Tree, M, expand.Options{MaxPerNode: 2, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.IO), "io")
+			b.ReportMetric(float64(last.Expansions), "expansions")
+		})
+	}
+}
+
+func BenchmarkRecExpandParallelWide100000(b *testing.B) {
+	benchRecExpandWorkers(b, core.NewInstance("", synthTree(100000, 1)))
+}
+
+func BenchmarkRecExpandParallelDeepChain30000(b *testing.B) {
+	benchRecExpandWorkers(b, experiments.DeepChain(29000, 1000, 1))
+}
+
+func BenchmarkRecExpandParallelForest100000(b *testing.B) {
+	benchRecExpandWorkers(b, experiments.Forest(8, 12500, 1))
+}
+
 func BenchmarkFiFSimulator3000(b *testing.B) {
 	tr := synthTree(3000, 1)
 	in := core.NewInstance("x", tr)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -83,7 +84,7 @@ func dispatch(fig, scale string, seed int64, workers int, csv string) error {
 		{"11", func() error {
 			return profileFigure("11", "trees", core.BoundPeakMinus1, scale, seed, workers, csv, true)
 		}},
-		{"perf", func() error { return perfFigure(scale, seed) }},
+		{"perf", func() error { return perfFigure(scale, seed, workers) }},
 	}
 	for _, s := range steps {
 		if err := runFig(s.name, s.f); err != nil {
@@ -267,11 +268,17 @@ func profileFigure(name, dataset string, bound core.Bound, scale string, seed in
 	return nil
 }
 
-// perfFigure times RECEXPAND on the incremental engine against the frozen
-// reference engine, on uniform SYNTH trees and deep-chain adversarial
-// instances. The reference is skipped where its quadratic behaviour would
-// take minutes ("-" in the table).
-func perfFigure(scale string, seed int64) error {
+// perfFigure times RECEXPAND on the sequential incremental engine, the
+// sharded parallel engine (workers column; 0 means GOMAXPROCS) and the
+// frozen reference engine, on uniform SYNTH trees, deep-chain adversarial
+// instances and a forest of identical bushy subtrees (the maximally
+// parallel shape). All three engines produce identical results; the
+// reference is skipped where its quadratic behaviour would take minutes
+// ("-" in the table).
+func perfFigure(scale string, seed int64, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	type caze struct {
 		name   string
 		in     *core.Instance
@@ -279,9 +286,11 @@ func perfFigure(scale string, seed int64) error {
 	}
 	sizes := []int{3000, 10000, 30000}
 	spines := []struct{ spine, bushy int }{{2900, 100}, {29000, 1000}}
+	forests := []struct{ k, m int }{{8, 4000}}
 	if scale == "paper" {
 		sizes = append(sizes, 100000)
 		spines = append(spines, struct{ spine, bushy int }{97000, 3000})
+		forests = append(forests, struct{ k, m int }{8, 12500})
 	}
 	var cases []caze
 	for _, n := range sizes {
@@ -299,16 +308,30 @@ func perfFigure(scale string, seed int64) error {
 			refToo: s.spine <= 3000,
 		})
 	}
-	tab := stats.NewTable("instance", "n", "incremental", "reference", "speedup", "io", "expansions")
+	for _, f := range forests {
+		in := experiments.Forest(f.k, f.m, seed)
+		cases = append(cases, caze{name: fmt.Sprintf("forest-%d", in.Tree.N()), in: in})
+	}
+	tab := stats.NewTable("instance", "n", "sequential", fmt.Sprintf("workers=%d", workers),
+		"par_speedup", "reference", "ref_speedup", "io", "expansions")
 	for _, c := range cases {
 		M := c.in.M(core.BoundMid)
 		start := time.Now()
-		res, err := expand.RecExpandDefault(c.in.Tree, M)
+		res, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: 1})
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.name, err)
 		}
-		inc := time.Since(start)
-		refCol, speedCol := "-", "-"
+		seq := time.Since(start)
+		start = time.Now()
+		parRes, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: workers})
+		if err != nil {
+			return fmt.Errorf("%s (parallel): %w", c.name, err)
+		}
+		par := time.Since(start)
+		if parRes.IO != res.IO || parRes.Expansions != res.Expansions {
+			return fmt.Errorf("%s: parallel engine disagrees: io %d vs %d", c.name, parRes.IO, res.IO)
+		}
+		refCol, refSpeedCol := "-", "-"
 		if c.refToo {
 			start = time.Now()
 			ref, err := expand.ReferenceRecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2})
@@ -320,13 +343,15 @@ func perfFigure(scale string, seed int64) error {
 				return fmt.Errorf("%s: engines disagree: %d vs %d", c.name, res.IO, ref.IO)
 			}
 			refCol = refDur.Round(time.Microsecond).String()
-			speedCol = fmt.Sprintf("%.1fx", float64(refDur)/float64(inc))
+			refSpeedCol = fmt.Sprintf("%.1fx", float64(refDur)/float64(seq))
 		}
 		tab.AddRow(c.name, fmt.Sprint(c.in.Tree.N()),
-			inc.Round(time.Microsecond).String(), refCol, speedCol,
+			seq.Round(time.Microsecond).String(), par.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", float64(seq)/float64(par)),
+			refCol, refSpeedCol,
 			fmt.Sprint(res.IO), fmt.Sprint(res.Expansions))
 	}
-	fmt.Println("RECEXPAND wall-clock: incremental engine vs frozen reference (identical results):")
+	fmt.Println("RECEXPAND wall-clock: sequential vs sharded-parallel vs frozen reference (identical results):")
 	return tab.Write(os.Stdout)
 }
 

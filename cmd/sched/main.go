@@ -29,16 +29,17 @@ func main() {
 	trace := flag.Bool("trace", false, "print the step-by-step memory trace")
 	dot := flag.String("dot", "", "write a Graphviz rendering (tree + schedule steps) to this file")
 	doSearch := flag.Bool("search", false, "post-optimize each schedule with local search")
+	workers := flag.Int("workers", 0, "expansion-engine workers: 0 = auto (GOMAXPROCS on large trees), 1 = sequential; results are identical for every setting")
 	out := flag.String("o", "", "write the last algorithm's full traversal (σ, τ) as JSON to this file")
 	flag.Parse()
 
-	if err := run(*treePath, *M, *mid, *alg, *trace, *dot, *doSearch, *out); err != nil {
+	if err := run(*treePath, *M, *mid, *alg, *trace, *dot, *doSearch, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "sched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(treePath string, M int64, mid bool, alg string, trace bool, dot string, doSearch bool, out string) error {
+func run(treePath string, M int64, mid bool, alg string, trace bool, dot string, doSearch bool, workers int, out string) error {
 	if treePath == "" {
 		return fmt.Errorf("-tree is required")
 	}
@@ -73,9 +74,10 @@ func run(treePath string, M int64, mid bool, alg string, trace bool, dot string,
 		header = append(header, "IO_after_search")
 	}
 	tab := stats.NewTable(header...)
+	runner := core.NewRunner(workers)
 	var lastSched tree.Schedule
 	for _, a := range algs {
-		res, err := core.Run(a, t, M)
+		res, err := runner.Run(a, t, M)
 		if err != nil {
 			return err
 		}

@@ -64,8 +64,36 @@ func (r *Result) Performance(M int64) float64 {
 	return float64(M+r.IO) / float64(M)
 }
 
-// Run executes the given algorithm on t under memory bound M.
+// Runner executes algorithms with reusable state: one expansion engine
+// whose scratch (simulator, schedule and rank buffers) survives across
+// calls, plus the Workers knob threaded into the expansion heuristics.
+// The experiment harness keeps one Runner per worker goroutine instead of
+// re-allocating engine state per instance. A Runner is not safe for
+// concurrent use.
+type Runner struct {
+	// Workers is passed to the expansion engine (expand.Options.Workers):
+	// 0 auto-selects GOMAXPROCS on large trees, 1 forces the sequential
+	// driver, >1 shards the postorder walk. Results are identical for
+	// every setting.
+	Workers int
+
+	eng *expand.Engine
+}
+
+// NewRunner returns a Runner with the given worker setting and fresh
+// engine scratch.
+func NewRunner(workers int) *Runner {
+	return &Runner{Workers: workers, eng: expand.NewEngine()}
+}
+
+// Run executes the given algorithm on t under memory bound M, using the
+// package default Runner settings (auto worker selection).
 func Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
+	return NewRunner(0).Run(alg, t, M)
+}
+
+// Run executes the given algorithm on t under memory bound M.
+func (rn *Runner) Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 	if lb := t.MaxWBar(); M < lb {
 		return nil, fmt.Errorf("core: M=%d below LB=%d", M, lb)
 	}
@@ -83,11 +111,11 @@ func Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 		// The expansion engine already validated its transposed schedule
 		// and simulated it on the original tree under M; reuse that run
 		// instead of paying a redundant simulation here.
-		f := expand.RecExpandDefault
+		opts := expand.Options{MaxPerNode: 2, Workers: rn.Workers}
 		if alg == FullRecExpand {
-			f = expand.FullRecExpand
+			opts.MaxPerNode = 0
 		}
-		res, err := f(t, M)
+		res, err := rn.eng.RecExpand(t, M, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -105,9 +133,15 @@ func Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 // RunAll runs every algorithm of algs on t under M, returning results in
 // the same order.
 func RunAll(algs []Algorithm, t *tree.Tree, M int64) ([]*Result, error) {
+	return NewRunner(0).RunAll(algs, t, M)
+}
+
+// RunAll runs every algorithm of algs on t under M with the Runner's
+// settings, returning results in the same order.
+func (rn *Runner) RunAll(algs []Algorithm, t *tree.Tree, M int64) ([]*Result, error) {
 	out := make([]*Result, len(algs))
 	for i, a := range algs {
-		r, err := Run(a, t, M)
+		r, err := rn.Run(a, t, M)
 		if err != nil {
 			return nil, err
 		}

@@ -186,6 +186,31 @@ func (m *MutableTree) EnableProfiles() {
 // called.
 func (m *MutableTree) SubtreePeak(r int) int64 { return m.profiles.Peak(r) }
 
+// WarmProfiles computes every subtree's profile bottom-up with up to
+// workers concurrent warmers over disjoint subtree shards (see
+// liu.ProfileCache.EnsureParallel); the cached state is identical to a
+// sequential warm. EnableProfiles must have been called.
+func (m *MutableTree) WarmProfiles(workers int) { m.profiles.EnsureParallel(m.root, workers) }
+
+// InitialPeaks warms the profile cache (sharded across workers) and
+// returns every node's current subtree peak. The expansion drivers call
+// it before any expansion and gate each recursion node on these INITIAL
+// peaks — not on the cheap current-peak check inside the loop — because
+// the reference engine consults the global cap only at nodes whose
+// initial peak exceeds M; gating on anything else would flip CapHit in
+// corner cases and break the bit-identity contract with
+// ReferenceRecExpand. (Expansions never increase a subtree's optimal
+// peak, so an initially fitting subtree never needs a loop at all.)
+// EnableProfiles must have been called.
+func (m *MutableTree) InitialPeaks(workers int) []int64 {
+	m.WarmProfiles(workers)
+	peaks := make([]int64, m.N())
+	for i := range peaks {
+		peaks[i] = m.profiles.Peak(i)
+	}
+	return peaks
+}
+
 // AppendMinMemSchedule appends an optimal peak-memory traversal of r's
 // current subtree — what liu.MinMem would return on an extracted copy,
 // expressed in mutable-tree ids — to dst and returns the extended slice.

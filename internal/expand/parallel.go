@@ -1,0 +1,329 @@
+// Parallel postorder driver for the recursive-expansion heuristics.
+//
+// Algorithm 2 visits every overflowing subtree in postorder; sibling
+// subtrees are independent until their parent's own loop runs, so the
+// driver decomposes the tree into disjoint unit subtrees, lets a worker
+// pool expand each unit on a private extracted copy (recording the
+// expansion trace), and a single merger walks the original postorder,
+// replaying each unit's trace onto the shared mutable tree the moment the
+// walk reaches it and running the residual top-of-tree loops in place.
+//
+// Bit-identity with the sequential engine rests on three facts:
+//
+//  1. Every decision inside a unit — peak checks, FiF victims, expansion
+//     amounts — depends only on the subtree's structure and weights, never
+//     on node ids or on state outside the subtree. Extraction renumbers
+//     ids but preserves child order, and all tie-breaking is structural
+//     (child ranks, subtree BFS ranks), so a unit's local run performs
+//     exactly the expansions the sequential engine would perform there.
+//  2. A subtree is a contiguous block of the natural postorder, so
+//     "replay the whole unit when the walk first enters it" interleaves
+//     unit expansions and residual-node expansions in exactly the
+//     sequential order. That makes the global-cap accounting exact: the
+//     replay re-runs the loop's MaxPerNode/cap checks in the sequential
+//     order (expansion decisions themselves never depend on the remaining
+//     budget), truncating precisely where the sequential engine would
+//     have tripped CapHit.
+//  3. The Result exposes no internal node ids — the schedule is
+//     transposed to original ids and everything else is sums and counts —
+//     and the final schedule/simulation are structure-determined, so the
+//     different expansion-node ids the replay assigns cannot leak out.
+package expand
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tree"
+)
+
+// parallelMinNodes is the auto-mode (Workers == 0) threshold: smaller
+// trees run the sequential driver outright. Explicit Workers > 1 always
+// takes the parallel path, whatever the size.
+const parallelMinNodes = 4096
+
+// expRec is one recorded expansion: the victim in the unit's local id
+// space and the FiF I/O amount it was expanded by.
+type expRec struct {
+	victim int
+	amount int64
+}
+
+// nodeTrace is the recorded expansion loop of one recursion node.
+type nodeTrace struct {
+	node int // original-tree id (kept for debugging/sanity)
+	exps []expRec
+}
+
+// unit is one parallel work item: a subtree processed independently on an
+// extracted copy. done is closed when trace/err are final.
+type unit struct {
+	root  int   // original-tree id of the subtree root
+	toOld []int // extraction map, local id -> original id
+	trace []nodeTrace
+	err   error
+	done  chan struct{}
+}
+
+// recExpandParallel is the sharded postorder driver behind Workers > 1.
+func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCap, workers int) (*Result, error) {
+	m := NewMutable(t)
+	m.EnableProfiles()
+	// Sharded bottom-up warm; see InitialPeaks for the skip contract.
+	initialPeaks := m.InitialPeaks(workers)
+
+	post := t.NaturalPostorder()
+	units, unitIndex := planUnits(t, initialPeaks, M, workers, post)
+	if opts.Workers == 0 && !worthSharding(t, initialPeaks, M, units, unitIndex) {
+		// Auto mode: when most of the overflow work is residual (deep
+		// chains and other path-shaped up-sets), the fan-out is pure
+		// overhead — run the plain sequential walk on the already-warm
+		// tree instead. An explicit Workers > 1 keeps the sharded path:
+		// the caller asked for it, and the determinism tests rely on
+		// exercising the machinery on arbitrary shapes.
+		units, unitIndex = nil, nil
+	}
+
+	// Worker pool: drain the unit queue (postorder order, matching the
+	// merger's consumption order) with per-worker engines. cancel stops
+	// the pool early when the merger aborts on CapHit or an error.
+	cancel := make(chan struct{})
+	var wg sync.WaitGroup
+	if len(units) > 0 {
+		var next int64
+		if workers > len(units) {
+			workers = len(units)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				eng := NewEngine()
+				for {
+					i := atomic.AddInt64(&next, 1) - 1
+					if i >= int64(len(units)) {
+						return
+					}
+					select {
+					case <-cancel:
+						return
+					default:
+					}
+					u := units[i]
+					u.runLocal(t, M, opts, globalCap, eng)
+					close(u.done)
+				}
+			}()
+		}
+	}
+
+	// The merger: the sequential engine's postorder walk, with whole
+	// units consumed as single steps the moment the walk enters their
+	// postorder block.
+	capHit := false
+	var werr error
+	replayed := make([]bool, len(units))
+	for _, r := range post {
+		if ui := unitAt(unitIndex, r); ui >= 0 {
+			if replayed[ui] {
+				continue
+			}
+			replayed[ui] = true
+			u := units[ui]
+			<-u.done
+			if u.err != nil {
+				werr = u.err
+				break
+			}
+			hit, err := m.replayUnit(u, opts, globalCap)
+			if err != nil {
+				werr = err
+				break
+			}
+			if hit {
+				capHit = true
+				break
+			}
+			continue
+		}
+		if t.IsLeaf(r) || initialPeaks[r] <= M {
+			continue
+		}
+		exit, err := e.expandLoop(m, r, M, opts, globalCap, nil)
+		if err != nil {
+			werr = err
+			break
+		}
+		if exit == exitCap {
+			capHit = true
+			break
+		}
+	}
+	close(cancel)
+	wg.Wait()
+	if werr != nil {
+		return nil, werr
+	}
+	return e.finish(t, m, M, capHit)
+}
+
+// unitAt is unitIndex[r] tolerating the nil index of the no-units
+// fallback.
+func unitAt(unitIndex []int32, r int) int32 {
+	if unitIndex == nil {
+		return -1
+	}
+	return unitIndex[r]
+}
+
+// worthSharding reports whether the planned units cover at least half of
+// the overflowing recursion nodes. The uncovered ones run sequentially in
+// the merger whatever the plan, so when they are the majority — the
+// overflow up-set is path-shaped, as on deep chains — sharding buys
+// nothing and only pays extraction and duplicate warms.
+func worthSharding(t *tree.Tree, initialPeaks []int64, M int64, units []*unit, unitIndex []int32) bool {
+	if len(units) < 2 {
+		return false
+	}
+	covered, total := 0, 0
+	for v := 0; v < t.N(); v++ {
+		if initialPeaks[v] <= M || t.IsLeaf(v) {
+			continue
+		}
+		total++
+		if unitIndex[v] >= 0 {
+			covered++
+		}
+	}
+	return 2*covered >= total
+}
+
+// planUnits decomposes the tree into disjoint unit subtrees: maximal
+// subtrees of at most `grain` nodes whose initial peak overflows M (peaks
+// are monotone up the tree, so that is exactly "contains expansion work").
+// Nodes not covered by a unit — the top of the tree — stay with the
+// sequential merger, whose loops are the critical path a parent must wait
+// for anyway.
+//
+// The grain is adaptive: a fixed n/(4·workers) cutoff hands out many
+// well-balanced units on wide trees but can miss the work entirely when
+// the overflow sits at the roots of a few large branches (the forest-of-
+// bushy-subtrees shape: every branch exceeds the grain while every
+// overflowing node below it fits). Doubling the grain until the plan
+// yields at least 2·workers units — or no plan does — finds the natural
+// branch decomposition in that regime at O(n) per attempt. Units are
+// returned in postorder of their roots; the second result maps every
+// covered node to its unit's index, -1 otherwise.
+func planUnits(t *tree.Tree, initialPeaks []int64, M int64, workers int, post []int) ([]*unit, []int32) {
+	n := t.N()
+	sizes := t.SubtreeSizes()
+	grain := n / (4 * workers)
+	if grain < 2 {
+		grain = 2
+	}
+	var roots []int
+	for ; ; grain *= 2 {
+		cand := planRoots(t, initialPeaks, M, sizes, grain, post)
+		if len(cand) > len(roots) {
+			roots = cand
+		}
+		if len(cand) >= 2*workers || grain >= n {
+			break
+		}
+	}
+	unitIndex := make([]int32, n)
+	for i := range unitIndex {
+		unitIndex[i] = -1
+	}
+	units := make([]*unit, 0, len(roots))
+	for _, v := range roots {
+		ui := int32(len(units))
+		units = append(units, &unit{root: v, done: make(chan struct{})})
+		for _, x := range t.SubtreeNodes(v) {
+			unitIndex[x] = ui
+		}
+	}
+	return units, unitIndex
+}
+
+// planRoots returns the roots (in postorder) of the maximal ≤grain-sized
+// subtrees whose initial peak overflows M — one planning attempt of
+// planUnits.
+func planRoots(t *tree.Tree, initialPeaks []int64, M int64, sizes []int, grain int, post []int) []int {
+	var roots []int
+	for _, v := range post {
+		if initialPeaks[v] <= M || sizes[v] > grain {
+			continue
+		}
+		if p := t.Parent(v); p != tree.None && sizes[p] <= grain {
+			continue // not maximal: the parent's subtree covers v
+		}
+		roots = append(roots, v)
+	}
+	return roots
+}
+
+// runLocal expands the unit's subtree on a private extracted copy,
+// recording every loop's expansions. The local run pretends it owns the
+// whole global budget; the replay reconciles the trace against the real
+// budget in sequential order.
+func (u *unit) runLocal(t *tree.Tree, M int64, opts Options, globalCap int, eng *Engine) {
+	sub, toOld := t.Subtree(u.root)
+	u.toOld = toOld
+	lm := NewMutable(sub)
+	lm.EnableProfiles()
+	locPeaks := lm.InitialPeaks(1)
+	for _, r := range sub.NaturalPostorder() {
+		if sub.IsLeaf(r) || locPeaks[r] <= M {
+			continue
+		}
+		var rec []expRec
+		exit, err := eng.expandLoop(lm, r, M, opts, globalCap, &rec)
+		if err != nil {
+			u.err = err
+			return
+		}
+		u.trace = append(u.trace, nodeTrace{node: toOld[r], exps: rec})
+		if exit == exitCap {
+			// Even a unit-local run can exhaust the whole cap; the
+			// sequential engine would abort here, and so will the
+			// replay — nothing after this point can ever execute.
+			return
+		}
+	}
+}
+
+// replayUnit applies a unit's recorded expansions to the shared tree,
+// re-running each loop's MaxPerNode and global-cap checks in the exact
+// sequential order (the recorded decisions themselves are budget-free).
+// It returns true when the global cap trips, at precisely the iteration
+// the sequential engine would have tripped it.
+func (m *MutableTree) replayUnit(u *unit, opts Options, globalCap int) (capHit bool, err error) {
+	l2g := u.toOld // local id -> shared-tree id, extended as chains are replayed
+	for _, nt := range u.trace {
+		// k doubles as the loop's iteration counter: every pass either
+		// breaks or replays exactly one expansion, as in expandLoop.
+		for k := 0; ; k++ {
+			if opts.MaxPerNode > 0 && k >= opts.MaxPerNode {
+				break
+			}
+			if m.Expansions() >= globalCap {
+				return true, nil
+			}
+			if k >= len(nt.exps) {
+				// The local loop exited on its peak check here; the cap
+				// check above already ran, as in the sequential engine.
+				break
+			}
+			rec := nt.exps[k]
+			i2, i3, err := m.Expand(l2g[rec.victim], rec.amount)
+			if err != nil {
+				return false, err
+			}
+			// The local Expand appended its i2/i3 with the same ordinals,
+			// so extending the map in replay order keeps it aligned.
+			l2g = append(l2g, i2, i3)
+		}
+	}
+	return false, nil
+}

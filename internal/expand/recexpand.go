@@ -2,6 +2,7 @@ package expand
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/memsim"
 	"repro/internal/tree"
@@ -49,6 +50,13 @@ type Options struct {
 	// total, as a safety net against the (super-polynomial) worst case
 	// of FULLRECEXPAND; 0 means 64·n + 1024.
 	GlobalCap int
+	// Workers is the number of concurrent workers of the postorder
+	// driver: 0 means runtime.GOMAXPROCS(0) (falling back to the
+	// sequential engine on small trees), 1 forces the sequential
+	// engine, and any value > 1 shards the independent sibling
+	// subtrees across that many workers. The Result is bit-identical
+	// for every worker count (see parallel.go).
+	Workers int
 }
 
 // Result is the outcome of a recursive-expansion heuristic.
@@ -99,9 +107,47 @@ func RecExpandDefault(t *tree.Tree, M int64) (*Result, error) {
 // per subtree (recomputing only the dirty root-path after each expansion)
 // and the inner Furthest-in-the-Future evaluations run allocation-free on
 // a reusable simulator, directly on the mutable tree — no per-iteration
-// subtree extraction, no from-scratch OPTMINMEM. Results are bit-identical
-// to ReferenceRecExpand, the frozen extract-and-rescan engine.
+// subtree extraction, no from-scratch OPTMINMEM. With Workers other than 1
+// the postorder driver shards independent sibling subtrees across a worker
+// pool (parallel.go). Results are bit-identical to ReferenceRecExpand, the
+// frozen extract-and-rescan engine, for every worker count.
 func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
+	return NewEngine().RecExpand(t, M, opts)
+}
+
+// Engine owns the reusable scratch of the expansion heuristics: the
+// allocation-free simulator, the flattened-schedule buffer and the
+// BFS-rank buffer. Reusing one Engine across many RecExpand calls (as the
+// experiment runner does, one per worker) avoids re-growing that scratch
+// per instance. An Engine is not safe for concurrent use; the parallel
+// driver creates private engines for its workers.
+type Engine struct {
+	sim    *memsim.Simulator
+	sched  []int   // reusable flattened-schedule scratch
+	bfsPos []int32 // reusable BFS-rank scratch (LargestTau ties only)
+}
+
+// NewEngine returns an engine with empty scratch; buffers grow on first
+// use and are retained across calls.
+func NewEngine() *Engine { return &Engine{sim: memsim.NewSimulator()} }
+
+// loopExit says which check ended a node's expansion while-loop; the
+// parallel replay needs to re-run the checks in the same order, so the
+// distinction between the cap and the other exits is load-bearing.
+type loopExit uint8
+
+const (
+	// exitPeak: the subtree's current peak fits in M (the normal exit).
+	exitPeak loopExit = iota
+	// exitBudget: MaxPerNode iterations were spent at this node.
+	exitBudget
+	// exitCap: the global expansion cap tripped; the caller must set
+	// CapHit and abort the whole postorder walk.
+	exitCap
+)
+
+// RecExpand is the Engine-bound form of the package-level RecExpand.
+func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 	if lb := t.MaxWBar(); M < lb {
 		return nil, fmt.Errorf("expand: M=%d below LB=%d", M, lb)
 	}
@@ -109,30 +155,28 @@ func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 	if globalCap == 0 {
 		globalCap = 64*t.N() + 1024
 	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if t.N() < parallelMinNodes {
+			// Auto mode: below this size the sharding overhead outweighs
+			// the win. An explicit Workers > 1 always takes the parallel
+			// path (the determinism tests rely on that).
+			workers = 1
+		}
+	}
+	if workers > 1 {
+		return e.recExpandParallel(t, M, opts, globalCap, workers)
+	}
+
 	m := NewMutable(t)
 	m.EnableProfiles()
 	capHit := false
 
-	// Expansions never increase a subtree's optimal peak (the inserted
-	// chain links only re-hold data the subtree already held), so nodes
-	// whose initial subtree peak fits in M can be skipped wholesale:
-	// their while loop would exit on its first check, but rescheduling
-	// every such subtree is what makes the recursion quadratic on deep
-	// trees. Warming the cache at the root computes every initial peak
-	// in one bottom-up pass. The skip must use INITIAL peaks, not the
-	// cheap current-peak break below: the reference engine consults the
-	// global cap only at nodes whose initial peak exceeds M, so gating
-	// on anything else would flip CapHit in corner cases and break the
-	// bit-identity contract with ReferenceRecExpand.
-	m.SubtreePeak(m.Root())
-	initialPeaks := make([]int64, t.N())
-	for i := range initialPeaks {
-		initialPeaks[i] = m.SubtreePeak(i)
-	}
-
-	sim := memsim.NewSimulator()
-	var sched []int    // reusable flattened-schedule scratch
-	var bfsPos []int32 // reusable BFS-rank scratch (LargestTau ties only)
+	// Skipping initially fitting subtrees wholesale is what keeps the
+	// recursion linear on deep trees; see InitialPeaks for why the skip
+	// must use these initial peaks and nothing else.
+	initialPeaks := m.InitialPeaks(1)
 
 	// Post-order walk over the ORIGINAL nodes: the recursion of
 	// Algorithm 2 treats children before their parent, and expansions
@@ -145,42 +189,65 @@ func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 		if initialPeaks[r] <= M {
 			continue
 		}
-		iter := 0
-		for {
-			if opts.MaxPerNode > 0 && iter >= opts.MaxPerNode {
-				break
-			}
-			if m.Expansions() >= globalCap {
-				capHit = true
-				break
-			}
-			if m.SubtreePeak(r) <= M {
-				break
-			}
-			sched = m.AppendMinMemSchedule(r, sched[:0])
-			if _, _, err := sim.Run(m, r, M, sched, memsim.FiF); err != nil {
-				return nil, fmt.Errorf("expand: simulating subtree of %d: %w", r, err)
-			}
-			if opts.Victim == LargestTau {
-				bfsPos = m.appendBFSRanks(r, bfsPos)
-			}
-			victim := pickVictimInPlace(m, r, sim.Positions(), sim.Tau(), sched, bfsPos, opts.Victim)
-			if victim < 0 {
-				return nil, fmt.Errorf("expand: subtree of %d overflows M=%d but FiF evicted nothing", r, M)
-			}
-			if _, _, err := m.Expand(victim, sim.Tau()[victim]); err != nil {
-				return nil, err
-			}
-			iter++
+		exit, err := e.expandLoop(m, r, M, opts, globalCap, nil)
+		if err != nil {
+			return nil, err
 		}
-		if capHit {
+		if exit == exitCap {
+			capHit = true
 			break
 		}
 	}
+	return e.finish(t, m, M, capHit)
+}
 
+// expandLoop runs the while-loop of Algorithm 2 at recursion node r of m:
+// repeatedly reschedule r's subtree, simulate it under M with FiF eviction
+// and expand one victim, until the subtree fits, the per-node budget is
+// spent or the global cap trips. When rec is non-nil every performed
+// expansion (victim id in m's id space, amount) is appended to it — the
+// trace the parallel driver replays onto the shared tree.
+func (e *Engine) expandLoop(m *MutableTree, r int, M int64, opts Options, globalCap int, rec *[]expRec) (loopExit, error) {
+	iter := 0
+	for {
+		if opts.MaxPerNode > 0 && iter >= opts.MaxPerNode {
+			return exitBudget, nil
+		}
+		if m.Expansions() >= globalCap {
+			return exitCap, nil
+		}
+		if m.SubtreePeak(r) <= M {
+			return exitPeak, nil
+		}
+		e.sched = m.AppendMinMemSchedule(r, e.sched[:0])
+		if _, _, err := e.sim.Run(m, r, M, e.sched, memsim.FiF); err != nil {
+			return 0, fmt.Errorf("expand: simulating subtree of %d: %w", r, err)
+		}
+		if opts.Victim == LargestTau {
+			e.bfsPos = m.appendBFSRanks(r, e.bfsPos)
+		}
+		victim := pickVictimInPlace(m, r, e.sim.Positions(), e.sim.Tau(), e.sched, e.bfsPos, opts.Victim)
+		if victim < 0 {
+			return 0, fmt.Errorf("expand: subtree of %d overflows M=%d but FiF evicted nothing", r, M)
+		}
+		amount := e.sim.Tau()[victim]
+		if rec != nil {
+			*rec = append(*rec, expRec{victim: victim, amount: amount})
+		}
+		if _, _, err := m.Expand(victim, amount); err != nil {
+			return 0, err
+		}
+		iter++
+	}
+}
+
+// finish computes the final expanded-tree schedule, transposes it to the
+// original tree and assembles the Result — the common tail of the
+// sequential and parallel drivers.
+func (e *Engine) finish(t *tree.Tree, m *MutableTree, M int64, capHit bool) (*Result, error) {
 	finalSched := m.AppendMinMemSchedule(m.Root(), nil)
 	peak := m.SubtreePeak(m.Root())
-	finalIO, _, err := sim.Run(m, m.Root(), M, finalSched, memsim.FiF)
+	finalIO, _, err := e.sim.Run(m, m.Root(), M, finalSched, memsim.FiF)
 	if err != nil {
 		return nil, fmt.Errorf("expand: simulating final tree: %w", err)
 	}
@@ -188,7 +255,10 @@ func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 	if err := tree.Validate(t, orig); err != nil {
 		return nil, fmt.Errorf("expand: transposed schedule invalid: %w", err)
 	}
-	simRes, err := memsim.Run(t, M, orig, memsim.FiF)
+	// Reuse the warm simulator: *tree.Tree implements no ChildRanker, so
+	// this keeps the public Run's historical id tie-break while avoiding
+	// its per-call scratch allocation. Only IO and Peak are consumed.
+	simIO, simPeak, err := e.sim.Run(t, t.Root(), M, orig, memsim.FiF)
 	if err != nil {
 		return nil, fmt.Errorf("expand: simulating transposed schedule: %w", err)
 	}
@@ -197,8 +267,8 @@ func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 		IO:            m.ExpansionIO() + finalIO,
 		ExpansionIO:   m.ExpansionIO(),
 		ResidualIO:    finalIO,
-		SimulatedIO:   simRes.IO,
-		SimulatedPeak: simRes.Peak,
+		SimulatedIO:   simIO,
+		SimulatedPeak: simPeak,
 		Expansions:    m.Expansions(),
 		CapHit:        capHit,
 		FinalPeak:     peak,

@@ -86,6 +86,46 @@ func DeepChain(spine, bushy int, seed int64) *core.Instance {
 	return core.NewInstance(fmt.Sprintf("deepchain-%d-%d", spine, bushy), t)
 }
 
+// Forest builds the maximally parallel regime of the sharded expansion
+// driver: a weight-1 root over k copies of one I/O-bound SYNTH subtree of
+// `bushy` nodes, each behind a weight-1 buffer node. Identical copies give
+// every branch the same peak, so the mid memory bound overflows all k
+// branches at once — k independent, equally sized expansion work units —
+// while the buffer nodes keep the forest's peak driven by the subtree
+// peaks rather than by the sum of the subtree outputs.
+func Forest(k, bushy int, seed int64) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var sub *tree.Tree
+	for attempt := 0; ; attempt++ {
+		if attempt == 1000 {
+			panic(fmt.Sprintf("experiments: no I/O-bound synth tree of %d nodes in %d draws", bushy, attempt))
+		}
+		sub = randtree.Synth(bushy, rng)
+		if in := core.NewInstance("", sub); in.NeedsIO() {
+			break
+		}
+	}
+	parent := []int{tree.None}
+	weight := []int64{1}
+	for i := 0; i < k; i++ {
+		buf := len(parent)
+		parent = append(parent, 0)
+		weight = append(weight, 1)
+		off := len(parent)
+		for v := 0; v < sub.N(); v++ {
+			p := sub.Parent(v)
+			if p == tree.None {
+				parent = append(parent, buf)
+			} else {
+				parent = append(parent, p+off)
+			}
+			weight = append(weight, sub.Weight(v))
+		}
+	}
+	t := tree.MustNew(parent, weight)
+	return core.NewInstance(fmt.Sprintf("forest-%d-%d", k, bushy), t)
+}
+
 // TreesConfig parameterizes the TREES dataset: elimination task trees of
 // synthetic sparse matrices standing in for the University of Florida
 // collection (see DESIGN.md). The generator enumerates matrix families —

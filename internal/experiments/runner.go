@@ -52,12 +52,20 @@ func Run(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, wo
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Runner per worker: the expansion engine's scratch
+			// (simulator, schedule buffers) is reused across every
+			// instance this worker evaluates instead of being
+			// re-allocated per instance. The inner engine stays
+			// sequential (Workers: 1) — the instance-level pool is
+			// already the parallelism here, and nested sharding would
+			// only add scheduling overhead.
+			rn := core.NewRunner(1)
 			for j := range jobs {
 				in := instances[j.i]
 				M := in.M(bound)
 				res.M[j.i] = M
 				for a, alg := range algs {
-					r, err := core.Run(alg, in.Tree, M)
+					r, err := rn.Run(alg, in.Tree, M)
 					if err != nil {
 						select {
 						case errs <- fmt.Errorf("%s on %s: %w", alg, in.Name, err):

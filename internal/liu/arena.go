@@ -1,0 +1,126 @@
+package liu
+
+import "math/bits"
+
+// profileArena recycles the two kinds of objects a ProfileCache recompute
+// allocates — profile segment slices and rope nodes — so that steady-state
+// recomputation after an Invalidate performs no heap allocations at all
+// (the merge/canonicalize scratch lives in cacheScratch; the arena owns the
+// objects that survive the recompute inside c.prof).
+//
+// Free-on-invalidate is what bounds the arena: Invalidate returns a node's
+// profile slice and its owned rope nodes to the free lists, so the arena's
+// footprint is proportional to the live profile set, not to the total
+// number of recomputations. Ownership is tracked per node: every rope node
+// allocated while recomputing v is chained (through nextOwned) into a list
+// the cache stores as owned[v]. Freeing the chain is safe exactly because
+// of the dirty-up-closure invariant: a rope owned by v is referenced only
+// by v's profile and by profiles of v's ancestors, and Invalidate always
+// frees the whole root path together.
+//
+// An arena is single-goroutine state. The sharded warm (EnsureParallel)
+// gives every worker a private cacheScratch — and hence a private arena —
+// for its subtree; the objects those arenas hand out are ordinary heap
+// objects, so they can later be freed into the primary arena's lists
+// without ever being shared between two live arenas.
+type profileArena struct {
+	freeRopes *nodeRope // free list, chained through nextOwned
+	owned     *nodeRope // ropes allocated since the last takeOwned
+	// freeSegs[k] holds released profile slices of capacity exactly 1<<k.
+	freeSegs [33][]profile
+}
+
+// newRope hands out a cleared rope node and records it on the current
+// ownership chain.
+func (a *profileArena) newRope() *nodeRope {
+	r := a.freeRopes
+	if r != nil {
+		a.freeRopes = r.nextOwned
+		r.left, r.right, r.leaf = nil, nil, nil
+	} else {
+		r = &nodeRope{}
+	}
+	r.nextOwned = a.owned
+	a.owned = r
+	return r
+}
+
+// leafRope returns an owned single-id leaf rope. The id lives in the node's
+// inline buffer, so no separate slice is allocated.
+func (a *profileArena) leafRope(v int) *nodeRope {
+	r := a.newRope()
+	r.buf[0] = v
+	r.leaf = r.buf[:1]
+	return r
+}
+
+// cat concatenates two ropes, allocating the internal node (if any) from
+// the arena.
+func (a *profileArena) cat(x, y *nodeRope) *nodeRope {
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	r := a.newRope()
+	r.left, r.right = x, y
+	return r
+}
+
+// takeOwned detaches and returns the chain of ropes allocated since the
+// previous call; the caller stores it as the ownership record of the node
+// just recomputed.
+func (a *profileArena) takeOwned() *nodeRope {
+	r := a.owned
+	a.owned = nil
+	return r
+}
+
+// freeOwned returns a whole ownership chain to the free list.
+func (a *profileArena) freeOwned(chain *nodeRope) {
+	for chain != nil {
+		next := chain.nextOwned
+		chain.left, chain.right, chain.leaf = nil, nil, nil
+		chain.nextOwned = a.freeRopes
+		a.freeRopes = chain
+		chain = next
+	}
+}
+
+// segClass returns the bucket index of a capacity: the smallest k with
+// 1<<k >= n.
+func segClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// newProfile returns an empty profile with capacity at least n, reusing a
+// released slice when one of the right class is available.
+func (a *profileArena) newProfile(n int) profile {
+	k := segClass(n)
+	if l := a.freeSegs[k]; len(l) > 0 {
+		p := l[len(l)-1]
+		a.freeSegs[k] = l[:len(l)-1]
+		return p
+	}
+	return make(profile, 0, 1<<k)
+}
+
+// freeProfile releases a profile slice back to its capacity bucket,
+// dropping its rope references so freed ropes are not kept reachable.
+func (a *profileArena) freeProfile(p profile) {
+	if cap(p) == 0 {
+		return
+	}
+	for i := range p {
+		p[i] = segment{}
+	}
+	k := segClass(cap(p))
+	if 1<<k != cap(p) {
+		return // not arena-allocated; let the GC reclaim it
+	}
+	a.freeSegs[k] = append(a.freeSegs[k], p[:0])
+}

@@ -1,0 +1,110 @@
+package liu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestProfileCacheRecomputeZeroAlloc guards the pooled merge path: on a
+// warm cache, an Invalidate followed by the recomputation of the dirty
+// root path must perform zero heap allocations — the profile slices and
+// rope nodes freed by Invalidate are exactly what the recompute needs, and
+// all transient state lives in the scratch (the mirror of
+// TestSimulatorZeroAllocWarm for the profile side of the inner loop).
+func TestProfileCacheRecomputeZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := cacheRandomTree(2000, rng)
+	c := NewProfileCache(tr)
+	c.Peak(tr.Root())
+	// Pick a deep node so the recomputed path is substantial.
+	deepest, depth := tr.Root(), -1
+	for v := 0; v < tr.N(); v++ {
+		d := 0
+		for p := v; p != tr.Root(); p = tr.Parent(p) {
+			d++
+		}
+		if d > depth {
+			deepest, depth = v, d
+		}
+	}
+	cycle := func() {
+		c.Invalidate(deepest)
+		c.Peak(tr.Root())
+	}
+	cycle() // warm the scratch and free lists
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Fatalf("warm invalidate+recompute allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestArenaFreeOnInvalidate pins the recycling discipline that bounds
+// arena memory by the live profile set: Invalidate returns the path's rope
+// nodes to the free list, and the following recomputation drains it again
+// instead of allocating fresh nodes.
+func TestArenaFreeOnInvalidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	tr := cacheRandomTree(300, rng)
+	c := NewProfileCache(tr)
+	c.Peak(tr.Root())
+	if n := countFreeRopes(&c.sc.arena); n != 0 {
+		t.Fatalf("after a cold warm the free list holds %d ropes, want 0", n)
+	}
+	leaf := tr.Leaves()[0]
+	c.Invalidate(leaf)
+	freed := countFreeRopes(&c.sc.arena)
+	if freed == 0 {
+		t.Fatal("Invalidate freed no rope nodes")
+	}
+	c.Peak(tr.Root())
+	if n := countFreeRopes(&c.sc.arena); n >= freed {
+		t.Fatalf("recompute left %d of %d freed ropes unused", n, freed)
+	}
+	// Steady state: repeated cycles never grow the pooled population.
+	for i := 0; i < 50; i++ {
+		c.Invalidate(leaf)
+		c.Peak(tr.Root())
+	}
+	if n := countFreeRopes(&c.sc.arena); n >= freed {
+		t.Fatalf("free list grew to %d ropes across cycles (one cycle frees %d)", n, freed)
+	}
+}
+
+func countFreeRopes(a *profileArena) int {
+	n := 0
+	for r := a.freeRopes; r != nil; r = r.nextOwned {
+		n++
+	}
+	return n
+}
+
+// TestEnsureParallelMatchesSequential: a sharded warm must leave the cache
+// in exactly the state a sequential warm produces — same peaks everywhere
+// and the same root schedule.
+func TestEnsureParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		tr := cacheRandomTree(2+rng.Intn(800), rng)
+		seq := NewProfileCache(tr)
+		seq.Peak(tr.Root())
+		for _, workers := range []int{2, 4, 8} {
+			par := NewProfileCache(tr)
+			par.EnsureParallel(tr.Root(), workers)
+			for v := 0; v < tr.N(); v++ {
+				if !par.valid[v] {
+					t.Fatalf("trial %d workers=%d: node %d left dirty by EnsureParallel", trial, workers, v)
+				}
+				if par.peak[v] != seq.peak[v] {
+					t.Fatalf("trial %d workers=%d: node %d peak %d vs sequential %d",
+						trial, workers, v, par.peak[v], seq.peak[v])
+				}
+			}
+			got := par.AppendSchedule(tr.Root(), nil)
+			want := seq.AppendSchedule(tr.Root(), nil)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d workers=%d: schedules differ at %d", trial, workers, i)
+				}
+			}
+		}
+	}
+}

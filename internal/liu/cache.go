@@ -1,6 +1,11 @@
 package liu
 
-import "repro/internal/tree"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tree"
+)
 
 // TreeLike is the read-only structural view of a task tree that the profile
 // cache needs. Both *tree.Tree and the growing mutable trees of package
@@ -29,16 +34,36 @@ type TreeLike interface {
 //     concatenation never mutates its operands, so a parent recomputation
 //     can share child profiles without spoiling them;
 //   - nodes appended to the tree after Grow start dirty.
+//
+// Allocation discipline: the transient state of a recomputation lives in a
+// cacheScratch, and the objects that survive it (the profile slice and the
+// rope nodes it created) come from the scratch's arena and are returned to
+// it by Invalidate, so steady-state recomputation is allocation-free and
+// arena memory is bounded by the live profile set (see arena.go).
+//
+// Concurrency discipline: a ProfileCache is single-writer. The one
+// exception is EnsureParallel, which shards a warm across disjoint
+// subtrees, each owned by exactly one worker with a private cacheScratch —
+// the per-subtree cache regions the parallel expansion driver relies on.
 type ProfileCache struct {
 	t     TreeLike
 	prof  []profile
 	peak  []int64
 	valid []bool
+	owned []*nodeRope // head of the rope-ownership chain per node
 
-	// Reusable scratch for ensure/recompute/flatten.
+	sc    *cacheScratch // primary scratch (sequential queries)
+	ropes []*nodeRope   // reusable flatten stack for AppendSchedule
+}
+
+// cacheScratch is the transient state of ensure/recompute. Each concurrent
+// warmer owns one; the embedded arena provides the pooled allocations.
+type cacheScratch struct {
 	stack []cacheFrame
 	parts []profile
-	ropes []*nodeRope
+	merge mergeScratch
+	cum   []cumSeg
+	arena profileArena
 }
 
 type cacheFrame struct {
@@ -46,10 +71,17 @@ type cacheFrame struct {
 	expanded bool
 }
 
+// cumSeg is a profile segment in cumulative coordinates, the working
+// representation of canonicalization.
+type cumSeg struct {
+	hill, valley int64
+	nodes        *nodeRope
+}
+
 // NewProfileCache creates an empty cache over t; nothing is computed until
 // the first query.
 func NewProfileCache(t TreeLike) *ProfileCache {
-	c := &ProfileCache{t: t}
+	c := &ProfileCache{t: t, sc: &cacheScratch{}}
 	c.Grow()
 	return c
 }
@@ -62,17 +94,29 @@ func (c *ProfileCache) Grow() {
 		c.prof = append(c.prof, nil)
 		c.peak = append(c.peak, 0)
 		c.valid = append(c.valid, false)
+		c.owned = append(c.owned, nil)
 	}
 }
 
 // Invalidate marks v and every ancestor of v dirty, releasing their cached
-// profiles. Call it with the topmost node whose subtree changed (for an
-// expansion of node i into i → i2 → i3, that is i3: i's own subtree is
-// untouched and stays cached).
+// profiles and rope nodes back to the arena. Call it with the topmost node
+// whose subtree changed (for an expansion of node i into i → i2 → i3, that
+// is i3: i's own subtree is untouched and stays cached). Freeing the whole
+// root path at once is what makes eager reclamation safe: a rope owned by
+// a freed node is referenced only by profiles of its ancestors, all of
+// which are freed by the same call.
 func (c *ProfileCache) Invalidate(v int) {
+	a := &c.sc.arena
 	for ; v != tree.None; v = c.t.Parent(v) {
 		c.valid[v] = false
-		c.prof[v] = nil
+		if c.prof[v] != nil {
+			a.freeProfile(c.prof[v])
+			c.prof[v] = nil
+		}
+		if c.owned[v] != nil {
+			a.freeOwned(c.owned[v])
+			c.owned[v] = nil
+		}
 	}
 }
 
@@ -109,14 +153,21 @@ func (c *ProfileCache) AppendSchedule(v int, dst []int) []int {
 	return dst
 }
 
-// ensure recomputes every dirty profile in v's subtree, bottom-up, reusing
-// clean children. It works on an explicit stack to survive elimination-tree
-// depths far beyond the goroutine recursion limit.
-func (c *ProfileCache) ensure(v int) {
+// ensure recomputes every dirty profile in v's subtree, bottom-up, using
+// the primary scratch.
+func (c *ProfileCache) ensure(v int) { c.ensureWith(v, c.sc) }
+
+// ensureWith recomputes every dirty profile in v's subtree, bottom-up,
+// reusing clean children. It works on an explicit stack to survive
+// elimination-tree depths far beyond the goroutine recursion limit. The
+// caller must guarantee exclusive ownership of v's subtree region of the
+// cache arrays for the duration of the call (trivially true for the
+// sequential entry points; EnsureParallel enforces it by sharding).
+func (c *ProfileCache) ensureWith(v int, sc *cacheScratch) {
 	if c.valid[v] {
 		return
 	}
-	st := c.stack[:0]
+	st := sc.stack[:0]
 	st = append(st, cacheFrame{v, false})
 	for len(st) > 0 {
 		f := st[len(st)-1]
@@ -130,25 +181,27 @@ func (c *ProfileCache) ensure(v int) {
 			continue
 		}
 		st = st[:len(st)-1]
-		c.recompute(f.node)
+		c.recompute(f.node, sc)
 	}
-	c.stack = st[:0]
+	sc.stack = st[:0]
 }
 
 // recompute rebuilds v's profile from its children's (all clean) profiles:
-// exactly the per-node step of minMemProfileWithPeaks.
-func (c *ProfileCache) recompute(v int) {
+// exactly the per-node step of minMemProfileWithPeaks, with every surviving
+// allocation drawn from the scratch's arena.
+func (c *ProfileCache) recompute(v int, sc *cacheScratch) {
 	children := c.t.Children(v)
 	var merged profile
 	if len(children) > 0 {
-		parts := c.parts[:0]
+		parts := sc.parts[:0]
 		for _, ch := range children {
 			parts = append(parts, c.prof[ch])
 		}
-		merged = mergeProfiles(parts)
-		c.parts = parts[:0]
+		merged = sc.merge.merge(parts)
+		sc.parts = parts[:0]
 	} else {
-		merged = make(profile, 0, 1)
+		sc.merge.ensure(1)
+		merged = sc.merge.bufA[:0]
 	}
 	var cs int64
 	for _, ch := range children {
@@ -159,8 +212,8 @@ func (c *ProfileCache) recompute(v int) {
 	if w > wbar {
 		wbar = w
 	}
-	merged = append(merged, segment{hill: wbar - cs, valley: w - cs, nodes: ropeOf(v)})
-	canon := canonicalize(merged)
+	merged = append(merged, segment{hill: wbar - cs, valley: w - cs, nodes: sc.arena.leafRope(v)})
+	canon := sc.canonicalize(merged)
 	var r, pk int64
 	for _, s := range canon {
 		if h := r + s.hill; h > pk {
@@ -169,6 +222,124 @@ func (c *ProfileCache) recompute(v int) {
 		r += s.valley
 	}
 	c.prof[v] = canon
+	c.owned[v] = sc.arena.takeOwned()
 	c.peak[v] = pk
 	c.valid[v] = true
+}
+
+// canonicalize rewrites a profile so that cumulative hills strictly
+// decrease and cumulative valleys strictly increase, merging offending
+// consecutive segments; the memory profile it denotes is unchanged. The
+// output profile and the concatenation rope nodes come from the scratch's
+// arena (MinMem uses a transient scratch; the profile cache recycles its
+// primary one across recomputations).
+func (sc *cacheScratch) canonicalize(p profile) profile {
+	st := sc.cum[:0]
+	var r int64
+	for _, s := range p {
+		c := cumSeg{hill: r + s.hill, valley: r + s.valley, nodes: s.nodes}
+		r = c.valley
+		for len(st) > 0 {
+			top := st[len(st)-1]
+			if top.hill <= c.hill || top.valley >= c.valley {
+				if top.hill > c.hill {
+					c.hill = top.hill
+				}
+				c.nodes = sc.arena.cat(top.nodes, c.nodes)
+				st = st[:len(st)-1]
+				continue
+			}
+			break
+		}
+		st = append(st, c)
+	}
+	out := sc.arena.newProfile(len(st))
+	var prev int64
+	for _, c := range st {
+		out = append(out, segment{hill: c.hill - prev, valley: c.valley - prev, nodes: c.nodes})
+		prev = c.valley
+	}
+	sc.cum = st[:0]
+	return out
+}
+
+// EnsureParallel warms v's subtree with up to workers concurrent warmers:
+// the dirty region under v is sharded into disjoint subtrees, each ensured
+// by exactly one worker with a private scratch (and private arena), then
+// the residual top of the region is finished sequentially. The cached
+// values are identical to a sequential ensure — only the wall-clock
+// changes — and the sharding is race-clean because workers write disjoint
+// index ranges of the cache arrays and never resize them.
+func (c *ProfileCache) EnsureParallel(v, workers int) {
+	if workers <= 1 || c.valid[v] {
+		c.ensure(v)
+		return
+	}
+	roots := c.shardRoots(v, workers)
+	if len(roots) < 2 {
+		c.ensure(v)
+		return
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &cacheScratch{}
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(len(roots)) {
+					return
+				}
+				c.ensureWith(roots[i], sc)
+			}
+		}()
+	}
+	wg.Wait()
+	c.ensure(v)
+}
+
+// shardRoots picks the roots of the parallel warm: maximal dirty subtrees
+// under v whose dirty-node count is at most a grain chosen to yield several
+// shards per worker. Shards are disjoint by maximality, so each can be
+// ensured by an independent worker.
+func (c *ProfileCache) shardRoots(v, workers int) []int {
+	// Preorder over the dirty region (clean subtrees cost a warm nothing).
+	order := make([]int, 0, 1024)
+	stack := append(make([]int, 0, 64), v)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c.valid[x] {
+			continue
+		}
+		order = append(order, x)
+		for _, ch := range c.t.Children(x) {
+			stack = append(stack, ch)
+		}
+	}
+	grain := len(order) / (4 * workers)
+	if grain < 1 {
+		grain = 1
+	}
+	// Dirty-subtree sizes, bottom-up (reverse preorder).
+	size := make([]int32, c.t.N())
+	for i := len(order) - 1; i >= 0; i-- {
+		x := order[i]
+		size[x]++
+		if x != v {
+			size[c.t.Parent(x)] += size[x]
+		}
+	}
+	roots := make([]int, 0, 4*workers)
+	for _, x := range order {
+		if int(size[x]) <= grain && (x == v || int(size[c.t.Parent(x)]) > grain) {
+			roots = append(roots, x)
+		}
+	}
+	return roots
 }

@@ -32,22 +32,15 @@ import (
 
 // nodeRope is an immutable sequence of node ids with O(1) concatenation;
 // canonicalization merges segments constantly on chain-like trees, and
-// copying slices there would cost Θ(n²) overall.
+// copying slices there would cost Θ(n²) overall. buf and nextOwned serve
+// the pooled allocation path of ProfileCache (see arena.go): buf backs
+// single-id leaves without a separate slice, nextOwned chains a node into
+// its owner's ownership list while live and into the free list when freed.
 type nodeRope struct {
 	left, right *nodeRope
 	leaf        []int
-}
-
-func ropeOf(ids ...int) *nodeRope { return &nodeRope{leaf: ids} }
-
-func ropeCat(a, b *nodeRope) *nodeRope {
-	if a == nil {
-		return b
-	}
-	if b == nil {
-		return a
-	}
-	return &nodeRope{left: a, right: b}
+	buf         [1]int
+	nextOwned   *nodeRope
 }
 
 // appendTo flattens the rope into dst (iteratively: ropes from long chains
@@ -128,8 +121,11 @@ func minMemProfile(t *tree.Tree, root int) profile {
 // minMemProfileWithPeaks additionally records every finished subtree's
 // optimal peak into peaks when non-nil.
 func minMemProfileWithPeaks(t *tree.Tree, root int, peaks []int64) profile {
-	// done[v] holds the finished profile of v's subtree.
+	// done[v] holds the finished profile of v's subtree. The scratch (and
+	// its arena) is transient: nothing is ever invalidated here, so the
+	// arena only pools this pass's allocations and is dropped with it.
 	done := make(map[int]profile)
+	sc := &cacheScratch{}
 	type frame struct {
 		node    int
 		visited bool
@@ -147,14 +143,17 @@ func minMemProfileWithPeaks(t *tree.Tree, root int, peaks []int64) profile {
 		stack = stack[:len(stack)-1]
 		v := f.node
 		children := t.Children(v)
-		merged := make(profile, 0, len(children)+1)
+		var merged profile
 		if len(children) > 0 {
 			parts := make([]profile, len(children))
 			for i, c := range children {
 				parts[i] = done[c]
 				delete(done, c)
 			}
-			merged = mergeProfiles(parts)
+			merged = sc.merge.merge(parts)
+		} else {
+			sc.merge.ensure(1)
+			merged = sc.merge.bufA[:0]
 		}
 		// Executing v itself: all children outputs (Σ w_c) are
 		// resident; the execution peaks at w̄(v) and retains w_v.
@@ -164,9 +163,9 @@ func minMemProfileWithPeaks(t *tree.Tree, root int, peaks []int64) profile {
 		merged = append(merged, segment{
 			hill:   t.WBar(v) - cs,
 			valley: t.Weight(v) - cs,
-			nodes:  ropeOf(v),
+			nodes:  sc.arena.leafRope(v),
 		})
-		canon := canonicalize(merged)
+		canon := sc.canonicalize(merged)
 		if peaks != nil {
 			var r, peak int64
 			for _, s := range canon {
@@ -182,75 +181,89 @@ func minMemProfileWithPeaks(t *tree.Tree, root int, peaks []int64) profile {
 	return done[root]
 }
 
-// mergeProfiles interleaves the children's canonical profiles optimally:
-// all segments sorted by non-increasing (hill − valley), which by Liu's
-// theorem (and the paper's Theorem 3 with x = hill, y = valley) minimizes
-// the combined peak max_k (x_k + Σ_{j<k} y_j). Ties are broken by child
-// order, then by per-child segment order, keeping the merge deterministic
-// and per-child order intact (within one child, hill − valley strictly
-// decreases, so stability suffices).
-func mergeProfiles(parts []profile) profile {
+// mergeScratch holds the reusable buffers of the profile merge. The merge
+// interleaves the children's canonical profiles optimally: all segments
+// ordered by non-increasing (hill − valley), which by Liu's theorem (and
+// the paper's Theorem 3 with x = hill, y = valley) minimizes the combined
+// peak max_k (x_k + Σ_{j<k} y_j). Ties are broken by child order, then by
+// per-child segment order. Because hill − valley strictly decreases within
+// a canonical profile, every child is already a sorted run, so instead of
+// a (allocating, reflect-based) stable sort the merge runs a bottom-up
+// stable merge of the runs — O(total·log k) and allocation-free once the
+// buffers are warm.
+type mergeScratch struct {
+	bufA, bufB   profile
+	endsA, endsB []int32
+}
+
+// ensure grows both segment buffers to capacity n so that the caller can
+// append one further segment to the merge result without reallocating.
+func (ms *mergeScratch) ensure(n int) {
+	if cap(ms.bufA) < n {
+		ms.bufA = make(profile, 0, 2*n)
+	}
+	if cap(ms.bufB) < n {
+		ms.bufB = make(profile, 0, 2*n)
+	}
+}
+
+// merge interleaves the canonical profiles in parts. The result aliases one
+// of the scratch buffers (capacity at least total+1, so the caller may
+// append the node's own segment in place) and is valid until the next call.
+func (ms *mergeScratch) merge(parts []profile) profile {
 	total := 0
 	for _, p := range parts {
 		total += len(p)
 	}
-	type item struct {
-		child, idx int
-		seg        segment
+	ms.ensure(total + 1)
+	if len(parts) == 1 {
+		return append(ms.bufA[:0], parts[0]...)
 	}
-	items := make([]item, 0, total)
-	for ci, p := range parts {
-		for si, s := range p {
-			items = append(items, item{ci, si, s})
+	// Lay the runs out contiguously in child order.
+	src, dst := ms.bufA[:0], ms.bufB[:0]
+	ends, newEnds := ms.endsA[:0], ms.endsB[:0]
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
 		}
+		src = append(src, p...)
+		ends = append(ends, int32(len(src)))
 	}
-	sort.SliceStable(items, func(a, b int) bool {
-		da := items[a].seg.hill - items[a].seg.valley
-		db := items[b].seg.hill - items[b].seg.valley
-		return da > db
-	})
-	out := make(profile, len(items))
-	for i, it := range items {
-		out[i] = it.seg
-	}
-	return out
-}
-
-// canonicalize rewrites a profile so that cumulative hills strictly
-// decrease and cumulative valleys strictly increase, merging offending
-// consecutive segments. The memory profile it denotes is unchanged.
-func canonicalize(p profile) profile {
-	// Work in cumulative coordinates for clarity.
-	type cum struct {
-		hill, valley int64
-		nodes        *nodeRope
-	}
-	var st []cum
-	var r int64
-	for _, s := range p {
-		c := cum{hill: r + s.hill, valley: r + s.valley, nodes: s.nodes}
-		r = c.valley
-		for len(st) > 0 {
-			top := st[len(st)-1]
-			if top.hill <= c.hill || top.valley >= c.valley {
-				if top.hill > c.hill {
-					c.hill = top.hill
-				}
-				c.nodes = ropeCat(top.nodes, c.nodes)
-				st = st[:len(st)-1]
-				continue
+	// Merge adjacent run pairs until one run remains; on equal keys the
+	// left (earlier-child) run wins, reproducing a stable sort.
+	for len(ends) > 1 {
+		dst = dst[:0]
+		newEnds = newEnds[:0]
+		var start int32
+		for i := 0; i < len(ends); i += 2 {
+			if i+1 == len(ends) {
+				dst = append(dst, src[start:ends[i]]...)
+				newEnds = append(newEnds, int32(len(dst)))
+				break
 			}
-			break
+			l, lEnd := start, ends[i]
+			r, rEnd := ends[i], ends[i+1]
+			for l < lEnd && r < rEnd {
+				if src[l].hill-src[l].valley >= src[r].hill-src[r].valley {
+					dst = append(dst, src[l])
+					l++
+				} else {
+					dst = append(dst, src[r])
+					r++
+				}
+			}
+			dst = append(dst, src[l:lEnd]...)
+			dst = append(dst, src[r:rEnd]...)
+			newEnds = append(newEnds, int32(len(dst)))
+			start = ends[i+1]
 		}
-		st = append(st, c)
+		src, dst = dst, src
+		ends, newEnds = newEnds, ends
 	}
-	out := make(profile, len(st))
-	var prev int64
-	for i, c := range st {
-		out[i] = segment{hill: c.hill - prev, valley: c.valley - prev, nodes: c.nodes}
-		prev = c.valley
-	}
-	return out
+	// Keep the (possibly grown) buffers, whichever roles they ended in.
+	ms.bufA, ms.bufB = src[:len(src):cap(src)], dst[:0:cap(dst)]
+	ms.endsA, ms.endsB = ends[:0:cap(ends)], newEnds[:0:cap(newEnds)]
+	return src
 }
 
 // PostOrderMinMem computes Liu's best postorder traversal for peak memory:
