@@ -1,4 +1,5 @@
 # Developer entry points; CI runs the same steps (.github/workflows/ci.yml).
+# Benchmark methodology and the BENCH_<n>.json format: see BENCH.md.
 
 GO ?= go
 # Benchmarks included in the BENCH_<n>.json trajectory record.

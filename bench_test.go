@@ -412,6 +412,48 @@ func BenchmarkRecExpandParallelForest100000(b *testing.B) {
 	benchRecExpandWorkers(b, experiments.Forest(8, 12500, 1))
 }
 
+// --- Bounded-memory profile cache ------------------------------------------
+
+// The cache-budget family runs RECEXPAND on a 200k-node slice of the
+// experiments.Huge staircase forest — the segment-heavy caterpillar-profile
+// regime where the resident profile set dwarfs the schedule ropes — under
+// residency budgets expressed as fractions of the unbounded footprint.
+// Results are bit-identical across rows (asserted); the metrics show what
+// the memory bound costs in rematerializations and saves in resident
+// bytes. The 10⁷-node tier lives in cmd/minio-bench -fig huge -scale paper
+// and TestHugeTreeBudgeted (see BENCH.md).
+func benchRecExpandCacheBudget(b *testing.B, divisor int64) {
+	in := experiments.Huge(200000, 1)
+	M := in.M(core.BoundMid)
+	eng := expand.NewEngine()
+	var budget int64
+	if divisor > 0 {
+		res, err := eng.RecExpand(in.Tree, M, expand.Options{MaxPerNode: 2, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+		budget = eng.CacheStats().PeakResidentBytes / divisor
+	}
+	b.ResetTimer()
+	var last *expand.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = eng.RecExpand(in.Tree, M, expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: budget})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := eng.CacheStats()
+	b.ReportMetric(float64(st.PeakResidentBytes)/(1<<20), "resident_MiB")
+	b.ReportMetric(float64(st.Rematerializations), "remats")
+	b.ReportMetric(float64(last.IO), "io")
+}
+
+func BenchmarkRecExpandCacheBudgetUnlimited200k(b *testing.B) { benchRecExpandCacheBudget(b, 0) }
+func BenchmarkRecExpandCacheBudgetTenth200k(b *testing.B)     { benchRecExpandCacheBudget(b, 10) }
+func BenchmarkRecExpandCacheBudgetHundredth200k(b *testing.B) { benchRecExpandCacheBudget(b, 100) }
+
 func BenchmarkFiFSimulator3000(b *testing.B) {
 	tr := synthTree(3000, 1)
 	in := core.NewInstance("x", tr)

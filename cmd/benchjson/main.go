@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -28,12 +29,19 @@ type Entry struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Document is the whole BENCH_<n>.json payload.
+// Document is the whole BENCH_<n>.json payload. HostCPUs and GoMaxProcs
+// are recorded from the machine running benchjson — the same machine that
+// ran the benchmarks in the `make bench-json` pipeline — so every
+// trajectory record carries the parallelism context its workers>1 rows
+// must be read against (see BENCH.md: on a single-core host those rows
+// measure sharding overhead, not speedup).
 type Document struct {
 	Goos       string  `json:"goos,omitempty"`
 	Goarch     string  `json:"goarch,omitempty"`
 	Pkg        string  `json:"pkg,omitempty"`
 	CPU        string  `json:"cpu,omitempty"`
+	HostCPUs   int     `json:"host_cpus"`
+	GoMaxProcs int     `json:"gomaxprocs"`
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
@@ -76,7 +84,7 @@ func main() {
 // entries. Lines it does not recognize are ignored, so piping the full
 // test output (including PASS/ok trailers) is fine.
 func Parse(r io.Reader) (*Document, error) {
-	doc := &Document{}
+	doc := &Document{HostCPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

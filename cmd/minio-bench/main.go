@@ -37,20 +37,26 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2a, 2b, 2c, 4, 5, 6, 7, 8, 9, 10, 11, perf, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2a, 2b, 2c, 4, 5, 6, 7, 8, 9, 10, 11, perf, huge, all")
 	scale := flag.String("scale", "small", "dataset scale: small or paper")
 	seed := flag.Int64("seed", 9025, "dataset seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	cacheBudgetStr := flag.String("cache-budget", "", "resident-byte budget of the expansion engine's profile caches, e.g. 64MiB (empty or 0 = unlimited); results are identical for every budget")
 	csv := flag.String("csv", "", "write the profile of the selected figure as CSV to this file")
 	flag.Parse()
 
-	if err := dispatch(*fig, *scale, *seed, *workers, *csv); err != nil {
+	cacheBudget, err := core.ParseByteSize(*cacheBudgetStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minio-bench:", err)
+		os.Exit(1)
+	}
+	if err := dispatch(*fig, *scale, *seed, *workers, cacheBudget, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "minio-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(fig, scale string, seed int64, workers int, csv string) error {
+func dispatch(fig, scale string, seed int64, workers int, cacheBudget int64, csv string) error {
 	all := fig == "all"
 	did := false
 	runFig := func(name string, f func() error) error {
@@ -74,17 +80,35 @@ func dispatch(fig, scale string, seed int64, workers int, csv string) error {
 		{"2c", fig2c},
 		{"6", fig6},
 		{"7", fig7},
-		{"4", func() error { return profileFigure("4", "synth", core.BoundMid, scale, seed, workers, csv, false) }},
-		{"5", func() error { return profileFigure("5", "trees", core.BoundMid, scale, seed, workers, csv, true) }},
-		{"8", func() error { return profileFigure("8", "synth", core.BoundLB, scale, seed, workers, csv, false) }},
-		{"9", func() error { return profileFigure("9", "trees", core.BoundLB, scale, seed, workers, csv, true) }},
+		{"4", func() error {
+			return profileFigure("4", "synth", core.BoundMid, scale, seed, workers, cacheBudget, csv, false)
+		}},
+		{"5", func() error {
+			return profileFigure("5", "trees", core.BoundMid, scale, seed, workers, cacheBudget, csv, true)
+		}},
+		{"8", func() error {
+			return profileFigure("8", "synth", core.BoundLB, scale, seed, workers, cacheBudget, csv, false)
+		}},
+		{"9", func() error {
+			return profileFigure("9", "trees", core.BoundLB, scale, seed, workers, cacheBudget, csv, true)
+		}},
 		{"10", func() error {
-			return profileFigure("10", "synth", core.BoundPeakMinus1, scale, seed, workers, csv, false)
+			return profileFigure("10", "synth", core.BoundPeakMinus1, scale, seed, workers, cacheBudget, csv, false)
 		}},
 		{"11", func() error {
-			return profileFigure("11", "trees", core.BoundPeakMinus1, scale, seed, workers, csv, true)
+			return profileFigure("11", "trees", core.BoundPeakMinus1, scale, seed, workers, cacheBudget, csv, true)
 		}},
-		{"perf", func() error { return perfFigure(scale, seed, workers) }},
+		{"perf", func() error { return perfFigure(scale, seed, workers, cacheBudget) }},
+	}
+	if fig == "huge" {
+		// Not part of "all": a 10⁶/10⁷-node instance takes a while and is
+		// its own exercise — run it explicitly.
+		did = true
+		fmt.Println("=== Figure huge ===")
+		if err := hugeFigure(scale, seed, workers, cacheBudget); err != nil {
+			return fmt.Errorf("figure huge: %w", err)
+		}
+		return nil
 	}
 	for _, s := range steps {
 		if err := runFig(s.name, s.f); err != nil {
@@ -205,7 +229,7 @@ func fig7() error {
 	return nil
 }
 
-func profileFigure(name, dataset string, bound core.Bound, scale string, seed int64, workers int, csv string, restrict bool) error {
+func profileFigure(name, dataset string, bound core.Bound, scale string, seed int64, workers int, cacheBudget int64, csv string, restrict bool) error {
 	var instances []*core.Instance
 	var algs []core.Algorithm
 	switch dataset {
@@ -234,7 +258,7 @@ func profileFigure(name, dataset string, bound core.Bound, scale string, seed in
 		return fmt.Errorf("unknown dataset %q", dataset)
 	}
 	fmt.Printf("%s dataset: %d instances (Peak > LB), bound %s\n", dataset, len(instances), bound)
-	run, err := experiments.Run(instances, algs, bound, workers)
+	run, err := experiments.RunBudgeted(instances, algs, bound, workers, cacheBudget)
 	if err != nil {
 		return err
 	}
@@ -275,7 +299,7 @@ func profileFigure(name, dataset string, bound core.Bound, scale string, seed in
 // parallel shape). All three engines produce identical results; the
 // reference is skipped where its quadratic behaviour would take minutes
 // ("-" in the table).
-func perfFigure(scale string, seed int64, workers int) error {
+func perfFigure(scale string, seed int64, workers int, cacheBudget int64) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -317,13 +341,13 @@ func perfFigure(scale string, seed int64, workers int) error {
 	for _, c := range cases {
 		M := c.in.M(core.BoundMid)
 		start := time.Now()
-		res, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: 1})
+		res, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: cacheBudget})
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.name, err)
 		}
 		seq := time.Since(start)
 		start = time.Now()
-		parRes, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: workers})
+		parRes, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: workers, CacheBudget: cacheBudget})
 		if err != nil {
 			return fmt.Errorf("%s (parallel): %w", c.name, err)
 		}
@@ -352,6 +376,75 @@ func perfFigure(scale string, seed int64, workers int) error {
 			fmt.Sprint(res.IO), fmt.Sprint(res.Expansions))
 	}
 	fmt.Println("RECEXPAND wall-clock: sequential vs sharded-parallel vs frozen reference (identical results):")
+	return tab.Write(os.Stdout)
+}
+
+// hugeFigure is the out-of-core-scale exercise of the budgeted profile
+// cache: RECEXPAND on a ~10⁶-node (-scale small) or ~10⁷-node (-scale
+// paper) forest, run once unbounded to calibrate the cache footprint and
+// then with budgets of 1/10 and 1/100 of that footprint. All runs produce
+// identical I/O volumes; the table shows what the memory bound costs in
+// wall-clock and saves in resident bytes. An explicit -cache-budget adds a
+// fourth row with that budget.
+//
+// The engine runs sequentially unless -workers is given explicitly: the
+// peak_resident column reports the SHARED cache, and in the parallel
+// driver every unit-local cache carries its own budget on top of it, so
+// an auto-parallel run would under-state the process footprint the table
+// is meant to bound. With -workers > 1 the caveat is printed.
+func hugeFigure(scale string, seed int64, workers int, cacheBudget int64) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > 1 {
+		fmt.Printf("note: workers=%d — peak_resident covers the shared cache only; each unit-local cache holds its own budget on top\n", workers)
+	}
+	n := 1_000_000
+	if scale == "paper" {
+		n = 10_000_000
+	}
+	fmt.Printf("building ~%d-node instance...\n", n)
+	start := time.Now()
+	in := experiments.Huge(n, seed)
+	fmt.Printf("%s: n=%d LB=%d Peak=%d (built in %s)\n",
+		in.Name, in.Tree.N(), in.LB, in.Peak, time.Since(start).Round(time.Millisecond))
+	M := in.M(core.BoundMid)
+	eng := expand.NewEngine()
+	type row struct {
+		label  string
+		budget int64
+	}
+	rows := []row{{"unlimited", 0}}
+	tab := stats.NewTable("budget", "time", "peak_resident", "evictions", "remats", "io", "expansions")
+	var baseIO int64
+	var baseExp int
+	for i := 0; i < len(rows); i++ {
+		r := rows[i]
+		start := time.Now()
+		res, err := eng.RecExpand(in.Tree, M, expand.Options{MaxPerNode: 2, Workers: workers, CacheBudget: r.budget})
+		if err != nil {
+			return fmt.Errorf("budget %s: %w", r.label, err)
+		}
+		dur := time.Since(start)
+		st := eng.CacheStats()
+		if i == 0 {
+			baseIO, baseExp = res.IO, res.Expansions
+			// Budget rows derive from the measured unbounded footprint.
+			rows = append(rows,
+				row{"1/10", st.PeakResidentBytes / 10},
+				row{"1/100", st.PeakResidentBytes / 100})
+			if cacheBudget > 0 {
+				rows = append(rows, row{fmt.Sprintf("%d", cacheBudget), cacheBudget})
+			}
+		} else if res.IO != baseIO || res.Expansions != baseExp {
+			return fmt.Errorf("budget %s changed the result: io %d vs %d", r.label, res.IO, baseIO)
+		}
+		tab.AddRow(r.label, dur.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fMiB", float64(st.PeakResidentBytes)/(1<<20)),
+			fmt.Sprint(st.Evictions), fmt.Sprint(st.Rematerializations),
+			fmt.Sprint(res.IO), fmt.Sprint(res.Expansions))
+	}
+	fmt.Println("RECEXPAND under shared-cache residency budgets (identical results):")
 	return tab.Write(os.Stdout)
 }
 

@@ -7,6 +7,11 @@
 //	sched -tree tree.json -M 5000 -alg RecExpand
 //	sched -tree tree.json -mid -alg all -trace
 //	sched -tree tree.json -M 5000 -alg OptMinMem -dot out.dot
+//	sched -tree big.json -mid -alg RecExpand -workers 8 -cache-budget 256MiB
+//
+// -workers shards the expansion engine's postorder walk; -cache-budget
+// bounds the resident bytes of its profile caches (out-of-core-scale
+// trees). Both knobs change only time and memory, never the result.
 package main
 
 import (
@@ -30,16 +35,22 @@ func main() {
 	dot := flag.String("dot", "", "write a Graphviz rendering (tree + schedule steps) to this file")
 	doSearch := flag.Bool("search", false, "post-optimize each schedule with local search")
 	workers := flag.Int("workers", 0, "expansion-engine workers: 0 = auto (GOMAXPROCS on large trees), 1 = sequential; results are identical for every setting")
+	cacheBudget := flag.String("cache-budget", "", "resident-byte budget of the expansion engine's profile caches, e.g. 64MiB (empty or 0 = unlimited); results are identical for every budget")
 	out := flag.String("o", "", "write the last algorithm's full traversal (σ, τ) as JSON to this file")
 	flag.Parse()
 
-	if err := run(*treePath, *M, *mid, *alg, *trace, *dot, *doSearch, *workers, *out); err != nil {
+	budget, err := core.ParseByteSize(*cacheBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sched:", err)
+		os.Exit(1)
+	}
+	if err := run(*treePath, *M, *mid, *alg, *trace, *dot, *doSearch, *workers, budget, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "sched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(treePath string, M int64, mid bool, alg string, trace bool, dot string, doSearch bool, workers int, out string) error {
+func run(treePath string, M int64, mid bool, alg string, trace bool, dot string, doSearch bool, workers int, cacheBudget int64, out string) error {
 	if treePath == "" {
 		return fmt.Errorf("-tree is required")
 	}
@@ -75,6 +86,7 @@ func run(treePath string, M int64, mid bool, alg string, trace bool, dot string,
 	}
 	tab := stats.NewTable(header...)
 	runner := core.NewRunner(workers)
+	runner.CacheBudget = cacheBudget
 	var lastSched tree.Schedule
 	for _, a := range algs {
 		res, err := runner.Run(a, t, M)

@@ -1,0 +1,141 @@
+package repro
+
+// Documentation-coverage lint, run as a plain test so it needs no external
+// tools and gates CI (the lint job runs it alongside go vet and gofmt):
+// every exported top-level declaration in every package of this module
+// must carry a doc comment, and every package must have a package comment.
+// The operating envelope of a reproduction is part of its correctness
+// story — an undocumented exported symbol is a regression here.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// lintSkipDirs are not part of the module's API surface.
+var lintSkipDirs = map[string]bool{".git": true, ".github": true, "testdata": true}
+
+func TestExportedSymbolsDocumented(t *testing.T) {
+	var violations []string
+	packagesSeen := map[string]bool{} // dir -> has package comment somewhere
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if lintSkipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		if f.Doc != nil {
+			packagesSeen[dir] = true
+		} else if _, ok := packagesSeen[dir]; !ok {
+			packagesSeen[dir] = false
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				// Methods on unexported receivers are not API surface
+				// (interface satisfiers like sort/heap methods included),
+				// matching staticcheck's ST1020 scope.
+				if d.Name.IsExported() && d.Doc == nil && receiverExported(d) {
+					violations = append(violations, pos(fset, d.Pos())+": exported func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				// A doc comment on the group covers its specs (the
+				// standard Go convention for const/var blocks).
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+							violations = append(violations, pos(fset, s.Pos())+": exported type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								violations = append(violations, pos(fset, n.Pos())+": exported "+declKind(d.Tok)+" "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir, ok := range packagesSeen {
+		if !ok {
+			violations = append(violations, dir+": package has no package comment (add a doc.go)")
+		}
+	}
+	if len(violations) > 0 {
+		t.Fatalf("undocumented exported symbols (%d):\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+}
+
+// receiverExported reports whether fn is a plain function or a method
+// whose receiver type is exported.
+func receiverExported(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func pos(fset *token.FileSet, p token.Pos) string {
+	pp := fset.Position(p)
+	return pp.Filename + ":" + strconv.Itoa(pp.Line)
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// Ensure the lint cannot silently pass by walking nothing (e.g. a future
+// layout change): the module root must contain the internal tree.
+func TestLintWalksTheModule(t *testing.T) {
+	if _, err := os.Stat("internal/liu/cache.go"); err != nil {
+		t.Fatal("doc lint is not running at the module root:", err)
+	}
+}

@@ -30,6 +30,26 @@ func ExampleSchedule() {
 	// I/O volume: 3
 }
 
+// ExampleScheduleTuned shows the engine knobs behind the -workers and
+// -cache-budget CLI flags (cmd/sched, cmd/minio-bench): sharding the
+// expansion walk and bounding the profile-cache memory never change the
+// result — even a 1-byte budget (constant cache thrash) reproduces the
+// exact I/O volume.
+func ExampleScheduleTuned() {
+	t := fig2bTree()
+	plain, err := repro.Schedule(t, 6, repro.RecExpand)
+	if err != nil {
+		panic(err)
+	}
+	tuned, err := repro.ScheduleTuned(t, 6, repro.RecExpand, repro.Tuning{Workers: 2, CacheBudget: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plain.IO, tuned.IO, plain.IO == tuned.IO)
+	// Output:
+	// 3 3 true
+}
+
 func ExampleMinMemory() {
 	t := fig2bTree()
 	fmt.Println(repro.MinMemory(t), repro.OptimalPeak(t))

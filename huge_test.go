@@ -1,0 +1,65 @@
+package repro
+
+// The out-of-core-scale acceptance check of the bounded-memory profile
+// cache. It is gated behind an environment variable because a 10⁷-node run
+// takes minutes and gigabytes: the tier-1 suite must stay fast, and the
+// claim it verifies ("RECEXPAND on a 10⁷-node tree completes under a
+// budget of ~1/10 of the unbounded cache footprint, bit-identically") is
+// recorded in DESIGN.md §3 from the cmd/minio-bench -fig huge runs.
+//
+// Run it with:
+//
+//	REPRO_HUGE=1000000  go test -run TestHugeTreeBudgeted -v .   # ~10 s
+//	REPRO_HUGE=10000000 go test -run TestHugeTreeBudgeted -v .   # minutes
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expand"
+	"repro/internal/experiments"
+)
+
+func TestHugeTreeBudgeted(t *testing.T) {
+	env := os.Getenv("REPRO_HUGE")
+	if env == "" {
+		t.Skip("set REPRO_HUGE=<nodes> (e.g. 1000000 or 10000000) to run the out-of-core-scale check")
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n < 1000 {
+		t.Fatalf("REPRO_HUGE=%q: want a node count >= 1000", env)
+	}
+	in := experiments.Huge(n, 1)
+	M := in.M(core.BoundMid)
+	eng := expand.NewEngine()
+
+	want, err := eng.RecExpand(in.Tree, M, expand.Options{MaxPerNode: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := eng.CacheStats().PeakResidentBytes
+	if full == 0 {
+		t.Fatal("unbounded run reported no footprint")
+	}
+	budget := full / 10
+	got, err := eng.RecExpand(in.Tree, M, expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded := eng.CacheStats()
+	if got.IO != want.IO || got.Expansions != want.Expansions || got.SimulatedIO != want.SimulatedIO {
+		t.Fatalf("budgeted run changed the result: io %d vs %d, expansions %d vs %d",
+			got.IO, want.IO, got.Expansions, want.Expansions)
+	}
+	// The budget is a soft target (the flatten working set is pinned), but
+	// on the staircase forest the slice tier reclaims the dominant part:
+	// the high-water mark must drop to a small multiple of the budget.
+	if bounded.PeakResidentBytes > 2*budget {
+		t.Fatalf("budget %d MiB: high-water %d MiB, unbounded %d MiB",
+			budget>>20, bounded.PeakResidentBytes>>20, full>>20)
+	}
+	t.Logf("n=%d unbounded=%dMiB budget=%dMiB high-water=%dMiB slices=%d evictions=%d remats=%d",
+		in.Tree.N(), full>>20, budget>>20, bounded.PeakResidentBytes>>20,
+		bounded.SlicedProfiles, bounded.Evictions, bounded.Rematerializations)
+}

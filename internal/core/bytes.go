@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a human-readable byte count as accepted by the
+// -cache-budget CLI flags: a non-negative integer with an optional
+// case-insensitive suffix K/M/G (or KB/MB/GB, KiB/MiB/GiB — all binary,
+// 1K = 1024). An empty string or "0" means 0 (unlimited).
+func ParseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	u := strings.ToUpper(s)
+	mult := int64(1)
+	for _, suf := range []struct {
+		s string
+		m int64
+	}{
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+	} {
+		if strings.HasSuffix(u, suf.s) {
+			u = strings.TrimSuffix(u, suf.s)
+			mult = suf.m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("core: invalid byte size %q", s)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("core: byte size %q overflows int64", s)
+	}
+	return n * mult, nil
+}

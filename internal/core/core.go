@@ -76,6 +76,12 @@ type Runner struct {
 	// driver, >1 shards the postorder walk. Results are identical for
 	// every setting.
 	Workers int
+	// CacheBudget is passed to the expansion engine
+	// (expand.Options.CacheBudget): a bound, in bytes, on the resident
+	// profile-cache footprint, under which clean subtree profiles are
+	// evicted and recomputed on demand. 0 means unlimited. Results are
+	// identical for every setting; only memory and time move.
+	CacheBudget int64
 
 	eng *expand.Engine
 }
@@ -111,7 +117,7 @@ func (rn *Runner) Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 		// The expansion engine already validated its transposed schedule
 		// and simulated it on the original tree under M; reuse that run
 		// instead of paying a redundant simulation here.
-		opts := expand.Options{MaxPerNode: 2, Workers: rn.Workers}
+		opts := expand.Options{MaxPerNode: 2, Workers: rn.Workers, CacheBudget: rn.CacheBudget}
 		if alg == FullRecExpand {
 			opts.MaxPerNode = 0
 		}

@@ -1,15 +1,3 @@
-// Package expand implements the node-expansion technique of Section 5 of
-// RR-9025 and the two heuristics built on it, FULLRECEXPAND and RECEXPAND,
-// as well as the constructive proof of Theorem 2 (computing a schedule for
-// a given I/O function).
-//
-// Expanding a node i under an I/O amount τ(i) replaces i by a chain
-// i1 → i2 → i3 of weights w_i, w_i − τ(i), w_i: the three weights model the
-// occupation of main memory when the data is produced, while part of it sits
-// on disk, and when it has been read back for the parent. A tree whose
-// optimal peak-memory traversal fits in M after a set of expansions yields a
-// valid traversal of the original tree whose I/O volume is the sum of the
-// expansion amounts.
 package expand
 
 import (
@@ -156,6 +144,10 @@ func (m *MutableTree) Expand(i int, amount int64) (i2, i3 int, err error) {
 		// sees a new shape.
 		m.profiles.Grow()
 		m.profiles.Invalidate(i3)
+		// i's clean subtree now hangs below the dirty chain: surface it to
+		// the residency policy, which cannot discover it from the root-path
+		// walk alone.
+		m.profiles.NoteCandidate(i)
 	}
 	return i2, i3, nil
 }
@@ -175,10 +167,51 @@ func (m *MutableTree) addNode(w int64, orig int, role Role) int {
 // SubtreePeak and AppendMinMemSchedule into incremental queries: after an
 // Expand, only the profiles on the path from the expansion site to the root
 // are recomputed. Enabling is idempotent.
-func (m *MutableTree) EnableProfiles() {
+func (m *MutableTree) EnableProfiles() { m.EnableProfilesOpts(liu.CacheOptions{}) }
+
+// EnableProfilesOpts is EnableProfiles with an explicit residency policy
+// (memory budget / segment cap; see liu.CacheOptions). The policy never
+// changes query results, only the cache's memory/time trade-off. Enabling
+// is idempotent; the first call's options win.
+func (m *MutableTree) EnableProfilesOpts(opts liu.CacheOptions) {
 	if m.profiles == nil {
-		m.profiles = liu.NewProfileCache(m)
+		m.profiles = liu.NewProfileCacheOpts(m, opts)
 	}
+}
+
+// ProfileStats returns the residency counters of the attached profile
+// cache (zero values if EnableProfiles was never called).
+func (m *MutableTree) ProfileStats() liu.CacheStats {
+	if m.profiles == nil {
+		return liu.CacheStats{}
+	}
+	return m.profiles.Stats()
+}
+
+// ProfileSnapshot captures a read-only view of the attached cache for
+// concurrent AdoptProfiles readers; see liu.CacheSnapshot for the pinning
+// contract. EnableProfiles must have been called.
+func (m *MutableTree) ProfileSnapshot() liu.CacheSnapshot { return m.profiles.Snapshot() }
+
+// PinProfiles marks v's subtree profile unevictable while a concurrent
+// snapshot reader may be walking it. EnableProfiles must have been called.
+func (m *MutableTree) PinProfiles(v int) { m.profiles.Pin(v) }
+
+// UnpinProfiles releases a PinProfiles.
+func (m *MutableTree) UnpinProfiles(v int) { m.profiles.Unpin(v) }
+
+// DropQueuedProfileSlices empties the cache's consumed-slice eviction
+// queue; see liu.(*ProfileCache).DropQueuedSlices for when the parallel
+// driver must do this.
+func (m *MutableTree) DropQueuedProfileSlices() { m.profiles.DropQueuedSlices() }
+
+// AdoptProfiles transplants the resident profiles of src's subtree at
+// srcRoot (over srcT, which must have the same shape and child order as
+// this tree's subtree at dstRoot) into the attached cache; see
+// liu.(*ProfileCache).AdoptSubtree. It returns the number of adopted node
+// profiles. EnableProfiles must have been called.
+func (m *MutableTree) AdoptProfiles(src liu.CacheSnapshot, srcT liu.TreeLike, srcRoot, dstRoot int) int {
+	return m.profiles.AdoptSubtree(src, srcT, srcRoot, dstRoot)
 }
 
 // SubtreePeak returns the optimal (OPTMINMEM) peak memory of r's current

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/liu"
 	"repro/internal/tree"
 )
 
@@ -63,12 +64,21 @@ type unit struct {
 	trace []nodeTrace
 	err   error
 	done  chan struct{}
+
+	// lm is the unit's local mutable tree, kept (with its warm profile
+	// cache) until the merger has replayed the trace: its final profiles
+	// are then transplanted into the shared cache, so the merger never
+	// recomputes inside the unit what the worker already computed.
+	lm *MutableTree
+	// l2g maps local ids (including replayed expansion chains) to
+	// shared-tree ids; filled by replayUnit.
+	l2g []int
 }
 
 // recExpandParallel is the sharded postorder driver behind Workers > 1.
 func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCap, workers int) (*Result, error) {
 	m := NewMutable(t)
-	m.EnableProfiles()
+	m.EnableProfilesOpts(opts.cacheOptions())
 	// Sharded bottom-up warm; see InitialPeaks for the skip contract.
 	initialPeaks := m.InitialPeaks(workers)
 
@@ -82,6 +92,25 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 		// the caller asked for it, and the determinism tests rely on
 		// exercising the machinery on arbitrary shapes.
 		units, unitIndex = nil, nil
+	}
+
+	// Unit workers seed their local caches from a snapshot of the shared
+	// cache (one warm per subtree instead of two). Pinning each unit root
+	// keeps the snapshot walkable: the merger's evictions and invalidations
+	// can touch everything except a pinned subtree, and the pin is lifted
+	// only once the unit's worker is done reading (its done channel gives
+	// the happens-before edge).
+	var snap liu.CacheSnapshot
+	unpinned := make([]bool, len(units))
+	if len(units) > 0 {
+		for _, u := range units {
+			m.PinProfiles(u.root)
+		}
+		// Warm-time consumed-slice queue entries may point inside the
+		// pinned units; the slice tier checks pins per node, not per
+		// subtree, so purge the queue before any reader starts walking.
+		m.DropQueuedProfileSlices()
+		snap = m.ProfileSnapshot()
 	}
 
 	// Worker pool: drain the unit queue (postorder order, matching the
@@ -110,7 +139,7 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 					default:
 					}
 					u := units[i]
-					u.runLocal(t, M, opts, globalCap, eng)
+					u.runLocal(t, M, opts, globalCap, eng, snap)
 					close(u.done)
 				}
 			}()
@@ -131,6 +160,10 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 			replayed[ui] = true
 			u := units[ui]
 			<-u.done
+			// The worker is done reading the shared snapshot; from here the
+			// unit's region may be invalidated, evicted and rewritten.
+			m.UnpinProfiles(u.root)
+			unpinned[ui] = true
 			if u.err != nil {
 				werr = u.err
 				break
@@ -143,6 +176,15 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 			if hit {
 				capHit = true
 				break
+			}
+			// Transplant the unit's final local profiles over the replayed
+			// region: the merger's later ensure passes then find the paths
+			// the replay dirtied already resident instead of re-merging
+			// them. Skipped on CapHit, where the local and shared trees
+			// may have diverged (the replay truncates at the real budget).
+			if u.lm != nil {
+				m.AdoptProfiles(u.lm.ProfileSnapshot(), u.lm, u.lm.Root(), u.l2g[u.lm.Root()])
+				u.lm, u.l2g, u.trace = nil, nil, nil
 			}
 			continue
 		}
@@ -161,6 +203,14 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 	}
 	close(cancel)
 	wg.Wait()
+	// An early break (CapHit, worker error) leaves later units pinned;
+	// release them now that no worker can still be reading the snapshot,
+	// so finish's final ensure/flatten runs with normal evictability.
+	for ui, u := range units {
+		if !unpinned[ui] {
+			m.UnpinProfiles(u.root)
+		}
+	}
 	if werr != nil {
 		return nil, werr
 	}
@@ -266,12 +316,18 @@ func planRoots(t *tree.Tree, initialPeaks []int64, M int64, sizes []int, grain i
 // runLocal expands the unit's subtree on a private extracted copy,
 // recording every loop's expansions. The local run pretends it owns the
 // whole global budget; the replay reconciles the trace against the real
-// budget in sequential order.
-func (u *unit) runLocal(t *tree.Tree, M int64, opts Options, globalCap int, eng *Engine) {
+// budget in sequential order. The local profile cache is seeded by
+// transplanting the shared cache's already-warm subtree profiles from the
+// snapshot (extraction preserves child order, so the trees walk in
+// lockstep), which removes the duplicate warm the fan-out used to pay;
+// snapshot holes (profiles the shared cache had evicted under its budget)
+// are recomputed locally by InitialPeaks.
+func (u *unit) runLocal(t *tree.Tree, M int64, opts Options, globalCap int, eng *Engine, snap liu.CacheSnapshot) {
 	sub, toOld := t.Subtree(u.root)
 	u.toOld = toOld
 	lm := NewMutable(sub)
-	lm.EnableProfiles()
+	lm.EnableProfilesOpts(opts.cacheOptions())
+	lm.AdoptProfiles(snap, t, u.root, lm.Root())
 	locPeaks := lm.InitialPeaks(1)
 	for _, r := range sub.NaturalPostorder() {
 		if sub.IsLeaf(r) || locPeaks[r] <= M {
@@ -288,9 +344,12 @@ func (u *unit) runLocal(t *tree.Tree, M int64, opts Options, globalCap int, eng 
 			// Even a unit-local run can exhaust the whole cap; the
 			// sequential engine would abort here, and so will the
 			// replay — nothing after this point can ever execute.
-			return
+			break
 		}
 	}
+	// Keep the local tree and its (warm) cache for the replay-time
+	// transplant back into the shared cache.
+	u.lm = lm
 }
 
 // replayUnit applies a unit's recorded expansions to the shared tree,
@@ -300,6 +359,7 @@ func (u *unit) runLocal(t *tree.Tree, M int64, opts Options, globalCap int, eng 
 // the sequential engine would have tripped it.
 func (m *MutableTree) replayUnit(u *unit, opts Options, globalCap int) (capHit bool, err error) {
 	l2g := u.toOld // local id -> shared-tree id, extended as chains are replayed
+	defer func() { u.l2g = l2g }()
 	for _, nt := range u.trace {
 		// k doubles as the loop's iteration counter: every pass either
 		// breaks or replays exactly one expansion, as in expandLoop.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/liu"
 	"repro/internal/memsim"
 	"repro/internal/tree"
 )
@@ -57,6 +58,20 @@ type Options struct {
 	// subtrees across that many workers. The Result is bit-identical
 	// for every worker count (see parallel.go).
 	Workers int
+	// CacheBudget bounds the resident bytes of each profile cache the
+	// engine creates (liu.CacheOptions.MaxResidentBytes): clean subtree
+	// profiles beyond the budget are evicted and recomputed on demand,
+	// trading time for a memory footprint that stays flat on 10⁷-node
+	// trees. 0 means unlimited. The Result is bit-identical for every
+	// budget — eviction is a residency policy, never a semantic one. In
+	// the parallel driver the budget applies per cache (the shared cache
+	// and each unit's local cache).
+	CacheBudget int64
+}
+
+// cacheOptions is the liu residency policy the engine derives from Options.
+func (o Options) cacheOptions() liu.CacheOptions {
+	return liu.CacheOptions{MaxResidentBytes: o.CacheBudget}
 }
 
 // Result is the outcome of a recursive-expansion heuristic.
@@ -125,7 +140,16 @@ type Engine struct {
 	sim    *memsim.Simulator
 	sched  []int   // reusable flattened-schedule scratch
 	bfsPos []int32 // reusable BFS-rank scratch (LargestTau ties only)
+
+	cacheStats liu.CacheStats // shared-cache counters of the last run
 }
+
+// CacheStats returns the profile-cache residency counters of the engine's
+// most recent RecExpand run (the shared cache in the parallel driver).
+// Budget calibration reads PeakResidentBytes here; the counters are not
+// part of Result so that the differential bit-identity tests can keep
+// comparing full Result values across engines and budgets.
+func (e *Engine) CacheStats() liu.CacheStats { return e.cacheStats }
 
 // NewEngine returns an engine with empty scratch; buffers grow on first
 // use and are retained across calls.
@@ -170,7 +194,7 @@ func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error)
 	}
 
 	m := NewMutable(t)
-	m.EnableProfiles()
+	m.EnableProfilesOpts(opts.cacheOptions())
 	capHit := false
 
 	// Skipping initially fitting subtrees wholesale is what keeps the
@@ -262,6 +286,7 @@ func (e *Engine) finish(t *tree.Tree, m *MutableTree, M int64, capHit bool) (*Re
 	if err != nil {
 		return nil, fmt.Errorf("expand: simulating transposed schedule: %w", err)
 	}
+	e.cacheStats = m.ProfileStats()
 	return &Result{
 		Schedule:      orig,
 		IO:            m.ExpansionIO() + finalIO,

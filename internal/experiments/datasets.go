@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/liu"
 	"repro/internal/randtree"
 	"repro/internal/sparse"
 	"repro/internal/tree"
@@ -124,6 +126,70 @@ func Forest(k, bushy int, seed int64) *core.Instance {
 	}
 	t := tree.MustNew(parent, weight)
 	return core.NewInstance(fmt.Sprintf("forest-%d-%d", k, bushy), t)
+}
+
+// Huge builds the out-of-core-scale regime of the budgeted profile cache:
+// roughly n nodes as a forest of identical hill–valley staircase branches
+// behind weight-1 buffer nodes. Each branch is a spine whose outputs grow
+// toward its top while a leaf of shrinking weight hangs at every step —
+// the shape whose canonical profiles retain one segment per spine level
+// (Σ segments = Θ(L²) per branch of spine length L), i.e. the
+// caterpillar-profile regime DESIGN.md §5 names as the cache's worst
+// case. Profile segments, not rope pages, dominate the footprint here, so
+// a resident-byte budget has real leverage: the unbounded warm holds tens
+// of segments per node while the floor (schedule ropes plus the live
+// merge frontier) is an order of magnitude smaller.
+//
+// Construction replicates one branch O(n); the instance analysis uses a
+// memory-budgeted, parallel-warmed liu.ProfileCache instead of
+// core.NewInstance's transient MinMem pass, so building a 10⁷-node
+// instance does not itself blow the memory the budget is there to bound.
+func Huge(n int, seed int64) *core.Instance {
+	const spine = 250 // branch = 2·spine nodes; Σ segments ≈ spine²/2
+	_ = seed          // the staircase is deterministic; seed kept for API symmetry
+	k := n / (2*spine + 1)
+	if k < 1 {
+		k = 1
+	}
+	total := 1 + k*(2*spine+1)
+	parent := make([]int, 1, total)
+	weight := make([]int64, 1, total)
+	parent[0] = tree.None
+	weight[0] = 1
+	for i := 0; i < k; i++ {
+		buf := len(parent)
+		parent = append(parent, 0)
+		weight = append(weight, 1)
+		// Spine j = spine..1 top-down: spine node weight j·C (outputs grow
+		// toward the branch top, so earlier valleys stay below later ones
+		// and segments survive canonicalization), leaf weight W − j·D
+		// (peaks shrink toward the bottom, keeping hills decreasing).
+		const C, W, D = 2, 5000, 10
+		prev := buf
+		for j := spine; j >= 1; j-- {
+			id := len(parent)
+			parent = append(parent, prev)
+			weight = append(weight, int64(j)*C)
+			lw := int64(W) - int64(j)*D
+			if lw < 1 {
+				lw = 1
+			}
+			parent = append(parent, id)
+			weight = append(weight, lw)
+			prev = id
+		}
+	}
+	t := tree.MustNew(parent, weight)
+	// Budgeted, sharded warm for the peak: the analysis of the huge
+	// instance is itself a bounded-memory workload.
+	c := liu.NewProfileCacheOpts(t, liu.CacheOptions{MaxResidentBytes: 64 << 20})
+	c.EnsureParallel(t.Root(), runtime.GOMAXPROCS(0))
+	return &core.Instance{
+		Name: fmt.Sprintf("huge-%d x%d", 2*spine, k),
+		Tree: t,
+		LB:   t.MaxWBar(),
+		Peak: c.Peak(t.Root()),
+	}
 }
 
 // TreesConfig parameterizes the TREES dataset: elimination task trees of

@@ -24,8 +24,16 @@ type RunResult struct {
 // Run evaluates algs on every instance under the bound rule, in parallel
 // across instances (the evaluation is embarrassingly parallel; a worker
 // pool sized to GOMAXPROCS keeps the dataset runs tractable at paper
-// scale).
+// scale), with unbounded profile caches.
 func Run(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, workers int) (*RunResult, error) {
+	return RunBudgeted(instances, algs, bound, workers, 0)
+}
+
+// RunBudgeted is Run with a resident-byte budget applied to every
+// expansion engine's profile cache (core.Runner.CacheBudget; 0 means
+// unlimited). I/O volumes are identical for every budget — the budget only
+// caps the evaluation's memory footprint.
+func RunBudgeted(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, workers int, cacheBudget int64) (*RunResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -60,6 +68,7 @@ func Run(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, wo
 			// already the parallelism here, and nested sharding would
 			// only add scheduling overhead.
 			rn := core.NewRunner(1)
+			rn.CacheBudget = cacheBudget
 			for j := range jobs {
 				in := instances[j.i]
 				M := in.M(bound)

@@ -8,15 +8,22 @@ import "math/bits"
 // (the merge/canonicalize scratch lives in cacheScratch; the arena owns the
 // objects that survive the recompute inside c.prof).
 //
-// Free-on-invalidate is what bounds the arena: Invalidate returns a node's
-// profile slice and its owned rope nodes to the free lists, so the arena's
-// footprint is proportional to the live profile set, not to the total
-// number of recomputations. Ownership is tracked per node: every rope node
-// allocated while recomputing v is chained (through nextOwned) into a list
-// the cache stores as owned[v]. Freeing the chain is safe exactly because
-// of the dirty-up-closure invariant: a rope owned by v is referenced only
-// by v's profile and by profiles of v's ancestors, and Invalidate always
-// frees the whole root path together.
+// Free-on-invalidate is what bounds the arena: Invalidate (and, under
+// CacheOptions, eviction) returns a node's profile slice and its owned rope
+// nodes to the free lists, so the arena's footprint is proportional to the
+// live profile set, not to the total number of recomputations. Ownership is
+// tracked per node: every rope node allocated while recomputing v is
+// chained (through nextOwned) into a list the cache stores as owned[v].
+// Freeing the chain is safe exactly because of the dirty-up-closure and
+// resident-down-closure invariants: a rope owned by v is referenced only
+// by v's profile and by profiles of v's ancestors, and both Invalidate and
+// eviction only ever free nodes whose ancestors hold no resident profile.
+//
+// When a residency budget is active, the free lists themselves are capped
+// (poolCap): pages freed beyond the cap are dropped for the garbage
+// collector instead of pooled, so pooled + resident memory stays within
+// twice the budget rather than ratcheting up to the largest transient
+// footprint ever reached.
 //
 // An arena is single-goroutine state. The sharded warm (EnsureParallel)
 // gives every worker a private cacheScratch — and hence a private arena —
@@ -26,8 +33,14 @@ import "math/bits"
 type profileArena struct {
 	freeRopes *nodeRope // free list, chained through nextOwned
 	owned     *nodeRope // ropes allocated since the last takeOwned
+	allocs    int32     // length of the owned chain
 	// freeSegs[k] holds released profile slices of capacity exactly 1<<k.
 	freeSegs [33][]profile
+	// pooled is the byte footprint of the free lists; poolCap (0 =
+	// unlimited) is the point beyond which freed objects are dropped
+	// rather than pooled.
+	pooled  int64
+	poolCap int64
 }
 
 // newRope hands out a cleared rope node and records it on the current
@@ -36,12 +49,14 @@ func (a *profileArena) newRope() *nodeRope {
 	r := a.freeRopes
 	if r != nil {
 		a.freeRopes = r.nextOwned
+		a.pooled -= ropeBytes
 		r.left, r.right, r.leaf = nil, nil, nil
 	} else {
 		r = &nodeRope{}
 	}
 	r.nextOwned = a.owned
 	a.owned = r
+	a.allocs++
 	return r
 }
 
@@ -69,21 +84,28 @@ func (a *profileArena) cat(x, y *nodeRope) *nodeRope {
 }
 
 // takeOwned detaches and returns the chain of ropes allocated since the
-// previous call; the caller stores it as the ownership record of the node
-// just recomputed.
-func (a *profileArena) takeOwned() *nodeRope {
-	r := a.owned
-	a.owned = nil
-	return r
+// previous call, along with its length; the caller stores the chain as the
+// ownership record of the node just recomputed and the length for byte
+// accounting.
+func (a *profileArena) takeOwned() (*nodeRope, int32) {
+	r, n := a.owned, a.allocs
+	a.owned, a.allocs = nil, 0
+	return r, n
 }
 
-// freeOwned returns a whole ownership chain to the free list.
+// freeOwned returns a whole ownership chain to the free list, dropping
+// nodes beyond poolCap for the garbage collector.
 func (a *profileArena) freeOwned(chain *nodeRope) {
 	for chain != nil {
 		next := chain.nextOwned
-		chain.left, chain.right, chain.leaf = nil, nil, nil
-		chain.nextOwned = a.freeRopes
-		a.freeRopes = chain
+		if a.poolCap > 0 && a.pooled+ropeBytes > a.poolCap {
+			chain.left, chain.right, chain.leaf, chain.nextOwned = nil, nil, nil, nil
+		} else {
+			chain.left, chain.right, chain.leaf = nil, nil, nil
+			chain.nextOwned = a.freeRopes
+			a.freeRopes = chain
+			a.pooled += ropeBytes
+		}
 		chain = next
 	}
 }
@@ -104,6 +126,7 @@ func (a *profileArena) newProfile(n int) profile {
 	if l := a.freeSegs[k]; len(l) > 0 {
 		p := l[len(l)-1]
 		a.freeSegs[k] = l[:len(l)-1]
+		a.pooled -= int64(cap(p)) * segmentBytes
 		return p
 	}
 	return make(profile, 0, 1<<k)
@@ -111,6 +134,7 @@ func (a *profileArena) newProfile(n int) profile {
 
 // freeProfile releases a profile slice back to its capacity bucket,
 // dropping its rope references so freed ropes are not kept reachable.
+// Slices beyond poolCap are left to the garbage collector.
 func (a *profileArena) freeProfile(p profile) {
 	if cap(p) == 0 {
 		return
@@ -122,5 +146,9 @@ func (a *profileArena) freeProfile(p profile) {
 	if 1<<k != cap(p) {
 		return // not arena-allocated; let the GC reclaim it
 	}
+	if a.poolCap > 0 && a.pooled+int64(cap(p))*segmentBytes > a.poolCap {
+		return
+	}
+	a.pooled += int64(cap(p)) * segmentBytes
 	a.freeSegs[k] = append(a.freeSegs[k], p[:0])
 }

@@ -3,6 +3,7 @@ package liu
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/tree"
 )
@@ -17,6 +18,44 @@ type TreeLike interface {
 	Weight(i int) int64
 }
 
+// CacheOptions tunes the residency policy of a ProfileCache. The zero value
+// is the unbounded cache of PR 1/PR 2: every computed profile stays resident
+// until invalidated, and the policy machinery adds no overhead.
+//
+// Residency never affects results: an evicted profile is recomputed on
+// demand from its (clean) children, and recomputation is deterministic, so
+// every query answer is bit-identical under every option setting. Only the
+// memory/time trade-off moves.
+type CacheOptions struct {
+	// MaxResidentBytes caps the bytes held by resident profile segment
+	// slices and rope nodes. Under pressure the cache evicts in two tiers
+	// (see DESIGN.md): the segment slices of already-merged profiles are
+	// dropped FIFO as soon as the budget is exceeded, and whole clean
+	// subtrees hanging off an invalidated path are dropped — slices and
+	// rope pages — the moment the path is dirtied. 0 means unlimited.
+	//
+	// The cap is a soft target: the working set of the query in flight
+	// (the profile being flattened, the child slices of the merge running
+	// now, and the schedule ropes of whatever subtree the caller asked
+	// for) cannot be evicted, so a query whose own working set exceeds
+	// the budget will exceed it for the duration of that query.
+	MaxResidentBytes int64
+	// MaxProfileSegments caps how long a pathological hill–valley profile
+	// stays resident: a profile with more than this many segments
+	// (caterpillar weight patterns can reach O(depth) segments) has its
+	// segment slice dropped as soon as its parent has consumed it, and is
+	// evicted with its subtree at the first invalidation that exposes it,
+	// budget or no budget. 0 means no segment-count capping.
+	MaxProfileSegments int
+}
+
+// segmentBytes and ropeBytes are the accounting units of the residency
+// budget: the sizes of the two object kinds the arena hands out.
+const (
+	segmentBytes = int64(unsafe.Sizeof(segment{}))
+	ropeBytes    = int64(unsafe.Sizeof(nodeRope{}))
+)
+
 // ProfileCache memoizes, per node, the canonical optimal hill–valley
 // profile of the node's subtree (the object MinMem computes transiently).
 // It is the engine behind incremental recursive expansion: after a local
@@ -27,24 +66,54 @@ type TreeLike interface {
 // work as MinMem); a query after k expansions costs O(Σ path merge work)
 // instead of re-running MinMem on the whole subtree.
 //
-// Invariants (see DESIGN.md):
-//   - a dirty node's ancestors are all dirty (Invalidate walks to the root),
-//     hence a clean node's entire subtree is clean and its profile reusable;
-//   - profiles are immutable once computed: merging copies segments and rope
-//     concatenation never mutates its operands, so a parent recomputation
-//     can share child profiles without spoiling them;
+// Node states. Every node is in one of four states:
+//
+//   - dirty (valid[v] == false): peak and profile are stale;
+//   - resident (valid[v], prof[v] != nil): peak and profile are usable;
+//   - sliceless (valid[v], prof[v] == nil, owned[v] != nil): the peak is
+//     correct and the node's rope pages are still live (they are shared
+//     upward into resident ancestors' profiles), but the profile's segment
+//     slice was reclaimed after its parent consumed it; it is rebuilt
+//     (deterministically) if the parent is ever recomputed;
+//   - evicted (valid[v], prof[v] == nil, owned[v] == nil): slice and ropes
+//     both reclaimed; the whole subtree below is in the same state.
+//
+// Invariants (see DESIGN.md for the full memory-model write-up):
+//
+//   - dirty-up-closure: a dirty node's ancestors are all dirty (Invalidate
+//     walks to the root), hence a clean node's entire subtree is clean;
+//   - rope-reference locality: a rope owned by v is referenced only by v's
+//     profile and by profiles of v's ancestors. Rope pages are therefore
+//     freed only when no ancestor holds a profile slice — which is
+//     guaranteed O(1) at exactly one moment, inside Invalidate, right
+//     after the whole root path has been dirtied; that is the only place
+//     subtree eviction runs;
+//   - slice locality: a profile's segment slice is referenced by nobody
+//     but the node itself (merging copies segments), so it can be dropped
+//     whenever its parent is not mid-merge — the cache drops it right
+//     after the parent's merge consumes it;
+//   - profiles are immutable once computed: merging copies segments and
+//     rope concatenation never mutates its operands, so a parent
+//     recomputation can share child profiles without spoiling them;
 //   - nodes appended to the tree after Grow start dirty.
 //
 // Allocation discipline: the transient state of a recomputation lives in a
 // cacheScratch, and the objects that survive it (the profile slice and the
 // rope nodes it created) come from the scratch's arena and are returned to
-// it by Invalidate, so steady-state recomputation is allocation-free and
-// arena memory is bounded by the live profile set (see arena.go).
+// it by Invalidate and by eviction, so steady-state recomputation is
+// allocation-free and arena memory is bounded by the live profile set (see
+// arena.go). Under CacheOptions the free lists themselves are capped so
+// that pooled pages beyond the budget are released to the garbage
+// collector.
 //
 // Concurrency discipline: a ProfileCache is single-writer. The one
 // exception is EnsureParallel, which shards a warm across disjoint
 // subtrees, each owned by exactly one worker with a private cacheScratch —
 // the per-subtree cache regions the parallel expansion driver relies on.
+// Under a residency policy each worker also evicts, but only within its own
+// shard and only into its private arena, so the sharded warm stays
+// race-free. Snapshot provides the read-only view concurrent adopters use;
+// Pin keeps a snapshot-read subtree safe from the writer's evictions.
 type ProfileCache struct {
 	t     TreeLike
 	prof  []profile
@@ -52,18 +121,65 @@ type ProfileCache struct {
 	valid []bool
 	owned []*nodeRope // head of the rope-ownership chain per node
 
+	// Residency-policy state (all zero-cost when opts is the zero value).
+	opts       CacheOptions
+	ownedCount []int32 // ropes on the owned chain, for byte accounting
+	pinned     []int32 // >0 while a reader or in-flight merge relies on v
+	inSliceQ   []bool  // dedupe flag for the consumed-slice queue
+
+	residentBytes atomic.Int64
+	peakResident  atomic.Int64
+	evictions     atomic.Int64
+	evictedNodes  atomic.Int64
+	slicedProfs   atomic.Int64
+	remats        atomic.Int64
+	adopted       atomic.Int64
+
 	sc    *cacheScratch // primary scratch (sequential queries)
 	ropes []*nodeRope   // reusable flatten stack for AppendSchedule
 }
 
+// CacheStats reports the residency counters of a ProfileCache. All values
+// are monotone except ResidentBytes.
+type CacheStats struct {
+	// ResidentBytes is the current footprint of resident profile slices
+	// and rope nodes (free-list pages excluded).
+	ResidentBytes int64
+	// PeakResidentBytes is the high-water mark of ResidentBytes, the
+	// number the MaxResidentBytes budget is calibrated against.
+	PeakResidentBytes int64
+	// Evictions counts subtree evictions; EvictedNodes the node profiles
+	// they reclaimed (slices and rope pages).
+	Evictions    int64
+	EvictedNodes int64
+	// SlicedProfiles counts consumed segment slices dropped by the
+	// budget's slice tier (rope pages retained).
+	SlicedProfiles int64
+	// Rematerializations counts recomputations of clean-but-reclaimed
+	// profiles — the time cost paid for the memory bound.
+	Rematerializations int64
+	// AdoptedNodes counts profiles transplanted in from another cache
+	// (see AdoptSubtree).
+	AdoptedNodes int64
+}
+
 // cacheScratch is the transient state of ensure/recompute. Each concurrent
-// warmer owns one; the embedded arena provides the pooled allocations.
+// warmer owns one; the embedded arena provides the pooled allocations and
+// sliceQ holds that warmer's consumed-slice eviction candidates.
 type cacheScratch struct {
 	stack []cacheFrame
 	parts []profile
 	merge mergeScratch
 	cum   []cumSeg
 	arena profileArena
+
+	// sliceQ is the FIFO of consumed profiles (nodes whose parent has
+	// merged them); entries are validated lazily at pop.
+	sliceQ      []int
+	sliceHead   int
+	evictStack  []int       // reusable eviction traversal scratch
+	candScratch []int       // reusable Invalidate candidate scratch
+	adoptRopes  []*nodeRope // reusable chain-reversal scratch for adoptNode
 }
 
 type cacheFrame struct {
@@ -78,13 +194,56 @@ type cumSeg struct {
 	nodes        *nodeRope
 }
 
-// NewProfileCache creates an empty cache over t; nothing is computed until
-// the first query.
+// NewProfileCache creates an empty, unbounded cache over t; nothing is
+// computed until the first query.
 func NewProfileCache(t TreeLike) *ProfileCache {
-	c := &ProfileCache{t: t, sc: &cacheScratch{}}
+	return NewProfileCacheOpts(t, CacheOptions{})
+}
+
+// NewProfileCacheOpts creates an empty cache over t with the given
+// residency policy.
+func NewProfileCacheOpts(t TreeLike, opts CacheOptions) *ProfileCache {
+	c := &ProfileCache{t: t, opts: opts, sc: &cacheScratch{}}
+	c.sc.arena.poolCap = opts.MaxResidentBytes
 	c.Grow()
 	return c
 }
+
+// Options returns the cache's residency policy.
+func (c *ProfileCache) Options() CacheOptions { return c.opts }
+
+// Stats returns the current residency counters.
+func (c *ProfileCache) Stats() CacheStats {
+	return CacheStats{
+		ResidentBytes:      c.residentBytes.Load(),
+		PeakResidentBytes:  c.peakResident.Load(),
+		Evictions:          c.evictions.Load(),
+		EvictedNodes:       c.evictedNodes.Load(),
+		SlicedProfiles:     c.slicedProfs.Load(),
+		Rematerializations: c.remats.Load(),
+		AdoptedNodes:       c.adopted.Load(),
+	}
+}
+
+// policied reports whether any residency policy is active; when false, the
+// eviction machinery is skipped entirely and the cache behaves exactly like
+// the unbounded PR 1/PR 2 cache.
+func (c *ProfileCache) policied() bool {
+	return c.opts.MaxResidentBytes > 0 || c.opts.MaxProfileSegments > 0
+}
+
+// overBudget reports that the resident footprint exceeds the byte budget.
+func (c *ProfileCache) overBudget() bool {
+	return c.opts.MaxResidentBytes > 0 && c.residentBytes.Load() > c.opts.MaxResidentBytes
+}
+
+// heavyProfile reports that p trips the segment-count cap.
+func (c *ProfileCache) heavyProfile(p profile) bool {
+	return c.opts.MaxProfileSegments > 0 && len(p) > c.opts.MaxProfileSegments
+}
+
+// availNode reports that v's profile is resident and usable as-is.
+func (c *ProfileCache) availNode(v int) bool { return c.valid[v] && c.prof[v] != nil }
 
 // Grow extends the cache to the tree's current node count. Call it after
 // nodes have been appended to the underlying tree; the new nodes start
@@ -95,8 +254,21 @@ func (c *ProfileCache) Grow() {
 		c.peak = append(c.peak, 0)
 		c.valid = append(c.valid, false)
 		c.owned = append(c.owned, nil)
+		c.ownedCount = append(c.ownedCount, 0)
+		c.pinned = append(c.pinned, 0)
+		c.inSliceQ = append(c.inSliceQ, false)
 	}
 }
+
+// Pin marks v (and, for subtree eviction, everything below it) as
+// unevictable until the matching Unpin. The parallel expansion driver pins
+// the roots of its planned units so that concurrent snapshot readers never
+// observe an eviction; AppendSchedule pins the queried root across its
+// flatten. Pinning nests.
+func (c *ProfileCache) Pin(v int) { c.pinned[v]++ }
+
+// Unpin releases a Pin.
+func (c *ProfileCache) Unpin(v int) { c.pinned[v]-- }
 
 // Invalidate marks v and every ancestor of v dirty, releasing their cached
 // profiles and rope nodes back to the arena. Call it with the topmost node
@@ -105,26 +277,88 @@ func (c *ProfileCache) Grow() {
 // root path at once is what makes eager reclamation safe: a rope owned by
 // a freed node is referenced only by profiles of its ancestors, all of
 // which are freed by the same call.
+//
+// Under a residency policy this is also the subtree-eviction point: once
+// the path is dirty, the clean subtrees hanging off it are exactly the
+// nodes with no profile-holding ancestor, so their rope pages can be freed
+// with no further checks. While the footprint exceeds the budget (or a
+// hanging subtree's profile trips the segment cap), those subtrees are
+// evicted deepest-first.
 func (c *ProfileCache) Invalidate(v int) {
 	a := &c.sc.arena
+	policied := c.policied()
+	cand := c.sc.candScratch[:0]
 	for ; v != tree.None; v = c.t.Parent(v) {
+		if policied && c.valid[v] {
+			// The walk's previous path node is already dirty, so the valid
+			// check keeps exactly the clean subtrees hanging off the path.
+			for _, ch := range c.t.Children(v) {
+				if c.valid[ch] {
+					cand = append(cand, ch)
+				}
+			}
+		}
 		c.valid[v] = false
+		var freed int64
 		if c.prof[v] != nil {
+			freed += int64(cap(c.prof[v])) * segmentBytes
 			a.freeProfile(c.prof[v])
 			c.prof[v] = nil
 		}
 		if c.owned[v] != nil {
+			freed += int64(c.ownedCount[v]) * ropeBytes
+			c.ownedCount[v] = 0
 			a.freeOwned(c.owned[v])
 			c.owned[v] = nil
 		}
+		if freed != 0 {
+			c.residentBytes.Add(-freed)
+		}
+	}
+	if len(cand) > 0 {
+		c.evictHanging(cand, c.sc)
+	}
+	c.sc.candScratch = cand[:0]
+}
+
+// evictHanging evicts the clean subtrees hanging off a freshly dirtied
+// path, deepest-first, while the budget is exceeded; subtrees whose root
+// profile trips the segment cap are evicted unconditionally. Safe exactly
+// here: every candidate's ancestors have just been dirtied, so no resident
+// profile references the candidates' rope pages.
+func (c *ProfileCache) evictHanging(cand []int, sc *cacheScratch) {
+	for _, v := range cand {
+		if !c.valid[v] || c.pinned[v] != 0 {
+			continue
+		}
+		if c.heavyProfile(c.prof[v]) || c.overBudget() {
+			c.evictSubtree(v, sc)
+		}
+	}
+}
+
+// NoteCandidate offers v for immediate subtree eviction. Mutators call it
+// for a clean subtree that ends up below freshly appended dirty nodes (the
+// expanded node i under its new chain), which the Invalidate walk cannot
+// see; the contract is the same as Invalidate's — every ancestor of v must
+// be dirty at the time of the call.
+func (c *ProfileCache) NoteCandidate(v int) {
+	if !c.policied() || !c.valid[v] || c.pinned[v] != 0 {
+		return
+	}
+	if (c.prof[v] != nil && c.heavyProfile(c.prof[v])) || c.overBudget() {
+		c.evictSubtree(v, c.sc)
 	}
 }
 
 // Peak returns the optimal peak memory of v's subtree (what
 // liu.MinMemPeak would report on an extracted copy), recomputing dirty
-// profiles as needed.
+// profiles as needed. The peak of a clean-but-reclaimed profile is served
+// without rematerializing it.
 func (c *ProfileCache) Peak(v int) int64 {
-	c.ensure(v)
+	if !c.valid[v] {
+		c.ensure(v)
+	}
 	return c.peak[v]
 }
 
@@ -132,6 +366,13 @@ func (c *ProfileCache) Peak(v int) int64 {
 // liu.MinMem would return on an extracted copy, expressed in the underlying
 // tree's node ids) to dst and returns the extended slice.
 func (c *ProfileCache) AppendSchedule(v int, dst []int) []int {
+	policied := c.policied()
+	if policied {
+		// Hold v's profile across ensure → flatten: the slice tier may
+		// otherwise reclaim it the moment a later merge consumes it, and
+		// the flatten below reads both the slice and the subtree's ropes.
+		c.pinned[v]++
+	}
 	c.ensure(v)
 	st := c.ropes[:0]
 	for _, seg := range c.prof[v] {
@@ -150,46 +391,86 @@ func (c *ProfileCache) AppendSchedule(v int, dst []int) []int {
 		}
 	}
 	c.ropes = st[:0]
+	if policied {
+		c.pinned[v]--
+	}
 	return dst
 }
 
-// ensure recomputes every dirty profile in v's subtree, bottom-up, using
-// the primary scratch.
+// ensure recomputes every dirty or reclaimed profile in v's subtree,
+// bottom-up, using the primary scratch.
 func (c *ProfileCache) ensure(v int) { c.ensureWith(v, c.sc) }
 
-// ensureWith recomputes every dirty profile in v's subtree, bottom-up,
-// reusing clean children. It works on an explicit stack to survive
-// elimination-tree depths far beyond the goroutine recursion limit. The
-// caller must guarantee exclusive ownership of v's subtree region of the
-// cache arrays for the duration of the call (trivially true for the
-// sequential entry points; EnsureParallel enforces it by sharding).
+// ensureWith makes v's profile resident, recomputing every dirty or
+// reclaimed profile in v's subtree bottom-up and reusing resident
+// children. It works on an explicit stack to survive elimination-tree
+// depths far beyond the goroutine recursion limit. The caller must
+// guarantee exclusive ownership of v's subtree region of the cache arrays
+// for the duration of the call (trivially true for the sequential entry
+// points; EnsureParallel enforces it by sharding).
+//
+// Under a residency policy the pass streams: each merge enqueues the child
+// slices it just consumed, and the budget reclaims them FIFO while the
+// pass continues — the slice tier never touches a profile that a merge
+// still ahead of it will read (only consumed slices are enqueued, and
+// subtree eviction runs exclusively inside Invalidate), so the pass
+// terminates after exactly one recomputation per non-resident node.
 func (c *ProfileCache) ensureWith(v int, sc *cacheScratch) {
-	if c.valid[v] {
+	if c.availNode(v) {
 		return
 	}
+	policied := c.policied()
 	st := sc.stack[:0]
-	st = append(st, cacheFrame{v, false})
+	st = append(st, cacheFrame{node: v})
 	for len(st) > 0 {
 		f := st[len(st)-1]
 		if !f.expanded {
 			st[len(st)-1].expanded = true
 			for _, ch := range c.t.Children(f.node) {
-				if !c.valid[ch] {
-					st = append(st, cacheFrame{ch, false})
+				if !c.availNode(ch) {
+					st = append(st, cacheFrame{node: ch})
 				}
 			}
 			continue
 		}
 		st = st[:len(st)-1]
 		c.recompute(f.node, sc)
+		if policied {
+			for _, ch := range c.t.Children(f.node) {
+				c.pushConsumed(sc, ch)
+			}
+			c.slicePressure(sc)
+		}
 	}
 	sc.stack = st[:0]
 }
 
-// recompute rebuilds v's profile from its children's (all clean) profiles:
-// exactly the per-node step of minMemProfileWithPeaks, with every surviving
-// allocation drawn from the scratch's arena.
+// recompute rebuilds v's profile from its children's (all resident)
+// profiles: exactly the per-node step of minMemProfileWithPeaks, with every
+// surviving allocation drawn from the scratch's arena.
 func (c *ProfileCache) recompute(v int, sc *cacheScratch) {
+	if c.valid[v] {
+		// v was clean but reclaimed: this recomputation is the deferred
+		// cost of an earlier eviction.
+		c.remats.Add(1)
+	}
+	if c.owned[v] != nil {
+		// A sliceless node being rebuilt. Its old rope pages may be pooled
+		// for reuse only when no ancestor profile references them, i.e.
+		// when the parent is dirty (dirty-up-closure then covers the whole
+		// path) — the ordinary in-engine case, where this recompute is one
+		// step of an ensure over an invalidated region. When the node is
+		// queried directly while its ancestors are still resident (a
+		// public AppendSchedule on an interior node), the old pages stay
+		// referenced from above: drop the ownership record and let the
+		// garbage collector reclaim them once the ancestors do.
+		c.residentBytes.Add(-int64(c.ownedCount[v]) * ropeBytes)
+		c.ownedCount[v] = 0
+		if p := c.t.Parent(v); p == tree.None || !c.valid[p] {
+			sc.arena.freeOwned(c.owned[v])
+		}
+		c.owned[v] = nil
+	}
 	children := c.t.Children(v)
 	var merged profile
 	if len(children) > 0 {
@@ -221,10 +502,142 @@ func (c *ProfileCache) recompute(v int, sc *cacheScratch) {
 		}
 		r += s.valley
 	}
+	chain, nropes := sc.arena.takeOwned()
 	c.prof[v] = canon
-	c.owned[v] = sc.arena.takeOwned()
+	c.owned[v] = chain
+	c.ownedCount[v] = nropes
 	c.peak[v] = pk
 	c.valid[v] = true
+	c.addResident(int64(cap(canon))*segmentBytes + int64(nropes)*ropeBytes)
+}
+
+// addResident adjusts the resident-byte counter and maintains its
+// high-water mark.
+func (c *ProfileCache) addResident(n int64) {
+	r := c.residentBytes.Add(n)
+	for {
+		p := c.peakResident.Load()
+		if r <= p || c.peakResident.CompareAndSwap(p, r) {
+			return
+		}
+	}
+}
+
+// pushConsumed registers a child profile whose parent has just merged it:
+// from here until the next invalidation of its parent, the segment slice
+// is dead weight. Heavy (over-the-segment-cap) slices are dropped on the
+// spot; the rest queue FIFO for the budget's slice tier.
+func (c *ProfileCache) pushConsumed(sc *cacheScratch, v int) {
+	if c.prof[v] == nil || c.inSliceQ[v] {
+		return
+	}
+	if c.heavyProfile(c.prof[v]) && c.pinned[v] == 0 {
+		c.evictSlice(v, sc)
+		return
+	}
+	if c.opts.MaxResidentBytes > 0 {
+		c.inSliceQ[v] = true
+		sc.sliceQ = append(sc.sliceQ, v)
+	}
+}
+
+// slicePressure drops consumed segment slices, oldest first, until the
+// footprint fits the budget or the queue runs dry. Validation at pop keeps
+// it safe: only resident, unpinned nodes whose parent holds its own
+// profile (i.e. the merge that read this slice has completed and not been
+// invalidated since) are dropped, so no merge still ahead of the current
+// pass can lose an input. Entries skipped because the node is pinned are
+// re-queued — the pin is transient (a flatten or a snapshot reader) and
+// the slice stays evictable once it lifts; every other skip is stale and
+// dropped.
+func (c *ProfileCache) slicePressure(sc *cacheScratch) {
+	// Borrow the eviction scratch for the pinned re-queue (evictSubtree
+	// never runs inside this loop).
+	requeue := sc.evictStack[:0]
+	for c.overBudget() && sc.sliceHead < len(sc.sliceQ) {
+		v := sc.sliceQ[sc.sliceHead]
+		sc.sliceHead++
+		if c.pinned[v] != 0 {
+			requeue = append(requeue, v)
+			continue
+		}
+		c.inSliceQ[v] = false
+		p := c.t.Parent(v)
+		if c.availNode(v) && p != tree.None && c.availNode(p) {
+			c.evictSlice(v, sc)
+		}
+	}
+	if sc.sliceHead >= len(sc.sliceQ) {
+		sc.sliceQ, sc.sliceHead = sc.sliceQ[:0], 0
+	}
+	sc.sliceQ = append(sc.sliceQ, requeue...)
+	sc.evictStack = requeue[:0]
+}
+
+// DropQueuedSlices empties the consumed-slice queue without evicting
+// anything. The parallel expansion driver calls it right after pinning its
+// unit roots: queue entries recorded during the warm may point inside unit
+// subtrees that concurrent snapshot readers are about to walk, and the
+// slice tier's per-node pin check cannot see a pinned ancestor. Dropped
+// slices are reclaimed later through re-consumption or the subtree tier.
+func (c *ProfileCache) DropQueuedSlices() {
+	sc := c.sc
+	for _, v := range sc.sliceQ[sc.sliceHead:] {
+		c.inSliceQ[v] = false
+	}
+	sc.sliceQ, sc.sliceHead = sc.sliceQ[:0], 0
+}
+
+// evictSlice reclaims v's segment slice (rope pages stay: they are shared
+// into resident ancestors' profiles), leaving v sliceless.
+func (c *ProfileCache) evictSlice(v int, sc *cacheScratch) {
+	c.residentBytes.Add(-int64(cap(c.prof[v])) * segmentBytes)
+	sc.arena.freeProfile(c.prof[v])
+	c.prof[v] = nil
+	c.slicedProfs.Add(1)
+}
+
+// evictSubtree reclaims everything v's whole clean subtree holds — segment
+// slices and rope chains — returning the pages to the evicting scratch's
+// arena. Peaks and validity are untouched: the subtree stays clean, only
+// its memory is gone until rematerialized. Only Invalidate/NoteCandidate
+// call this, on subtrees whose ancestors were all just dirtied; pinned
+// descendants (concurrent snapshot readers) are skipped with their whole
+// subtrees, which is safe because a skipped subtree's ropes are referenced
+// only from within itself once everything above it is profile-free.
+func (c *ProfileCache) evictSubtree(v int, sc *cacheScratch) {
+	a := &sc.arena
+	st := append(sc.evictStack[:0], v)
+	var nodes int64
+	for len(st) > 0 {
+		x := st[len(st)-1]
+		st = st[:len(st)-1]
+		if c.pinned[x] != 0 {
+			continue
+		}
+		var freed int64
+		if c.prof[x] != nil {
+			freed += int64(cap(c.prof[x])) * segmentBytes
+			a.freeProfile(c.prof[x])
+			c.prof[x] = nil
+		}
+		if c.owned[x] != nil {
+			freed += int64(c.ownedCount[x]) * ropeBytes
+			c.ownedCount[x] = 0
+			a.freeOwned(c.owned[x])
+			c.owned[x] = nil
+		}
+		if freed != 0 {
+			c.residentBytes.Add(-freed)
+			nodes++
+		}
+		st = append(st, c.t.Children(x)...)
+	}
+	sc.evictStack = st[:0]
+	if nodes > 0 {
+		c.evictions.Add(1)
+		c.evictedNodes.Add(nodes)
+	}
 }
 
 // canonicalize rewrites a profile so that cumulative hills strictly
@@ -269,9 +682,15 @@ func (sc *cacheScratch) canonicalize(p profile) profile {
 // the residual top of the region is finished sequentially. The cached
 // values are identical to a sequential ensure — only the wall-clock
 // changes — and the sharding is race-clean because workers write disjoint
-// index ranges of the cache arrays and never resize them.
+// index ranges of the cache arrays and never resize them. Under a
+// residency policy every worker drops consumed slices within its own shard
+// into its own arena; surviving queue entries are handed to the primary
+// scratch at the join.
 func (c *ProfileCache) EnsureParallel(v, workers int) {
-	if workers <= 1 || c.valid[v] {
+	if c.availNode(v) {
+		return
+	}
+	if workers <= 1 {
 		c.ensure(v)
 		return
 	}
@@ -283,13 +702,16 @@ func (c *ProfileCache) EnsureParallel(v, workers int) {
 	if workers > len(roots) {
 		workers = len(roots)
 	}
+	scratches := make([]*cacheScratch, workers)
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		sc := &cacheScratch{}
+		sc.arena.poolCap = c.sc.arena.poolCap
+		scratches[w] = sc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := &cacheScratch{}
 			for {
 				i := atomic.AddInt64(&next, 1) - 1
 				if i >= int64(len(roots)) {
@@ -300,13 +722,18 @@ func (c *ProfileCache) EnsureParallel(v, workers int) {
 		}()
 	}
 	wg.Wait()
+	for _, sc := range scratches {
+		c.sc.sliceQ = append(c.sc.sliceQ, sc.sliceQ[sc.sliceHead:]...)
+	}
 	c.ensure(v)
 }
 
 // shardRoots picks the roots of the parallel warm: maximal dirty subtrees
 // under v whose dirty-node count is at most a grain chosen to yield several
 // shards per worker. Shards are disjoint by maximality, so each can be
-// ensured by an independent worker.
+// ensured by an independent worker. Clean-but-reclaimed subtrees below a
+// shard are rematerialized by that shard's worker as the bottom-up pass
+// reaches their parents.
 func (c *ProfileCache) shardRoots(v, workers int) []int {
 	// Preorder over the dirty region (clean subtrees cost a warm nothing).
 	order := make([]int, 0, 1024)

@@ -1,0 +1,206 @@
+package liu
+
+// Profile transplant: copying the memoized profiles of one cache into
+// another across an id remap, instead of recomputing them from scratch.
+//
+// The parallel expansion driver maintains two caches per work unit: the
+// shared cache over the full mutable tree, and a local cache over the
+// unit's extracted copy. Both describe the same subtree shape, so their
+// canonical profiles are equal segment-for-segment — only the node ids
+// inside the schedule ropes differ, and every leaf rope by construction
+// holds exactly the id of the node that owns it. Transplanting therefore
+// needs no explicit id map at all: a lockstep walk over the two trees
+// (extraction preserves child order) pairs the nodes, and each cloned leaf
+// rope is re-labelled with its destination owner. Internal (concatenation)
+// ropes are cloned through a memo keyed by source rope pointer, which
+// preserves the structural sharing between a parent's profile and its
+// descendants' ropes — without the memo, cloning a subtree's profiles
+// node-by-node would duplicate the whole subtree's ropes once per
+// ancestor.
+//
+// Determinism makes the transplant invisible to results: recomputation
+// would produce byte-identical profiles (same hills, valleys and node
+// sequences), so adopting is purely a time/memory optimization and every
+// bit-identity guarantee of the expansion engine is preserved.
+//
+// Residency states complicate the walk but not the contract. A source
+// node may be sliceless (segment slice reclaimed, rope pages live): its
+// ropes are still cloned — resident source ancestors reference them — and
+// the destination node becomes sliceless too. A destination node that is
+// already resident prunes the walk and seeds the memo from its existing
+// segment ropes; if the source lost the matching slice, that seeding is
+// impossible, and the nodes above the pruned subtree are left dirty
+// (poisoned) rather than adopted with dangling ropes — they recompute
+// later through the ordinary ensure path.
+
+// CacheSnapshot is a read-only view of a cache's per-node arrays, stable
+// under subsequent Grow calls of the source cache (Grow appends, so the
+// snapshotted backing arrays keep describing the nodes that existed at
+// snapshot time). The parallel driver hands snapshots of the shared cache
+// to its unit workers; the driver pins the unit roots so no concurrent
+// eviction can reclaim the profiles a snapshot reader is walking.
+type CacheSnapshot struct {
+	prof  []profile
+	owned []*nodeRope
+	peak  []int64
+	valid []bool
+}
+
+// Snapshot captures the read-only view used by AdoptSubtree.
+func (c *ProfileCache) Snapshot() CacheSnapshot {
+	return CacheSnapshot{prof: c.prof, owned: c.owned, peak: c.peak, valid: c.valid}
+}
+
+// avail reports that s held a resident profile at snapshot time (and still
+// does, as long as the pinning contract above is honored).
+func (s *CacheSnapshot) avail(v int) bool {
+	return v < len(s.valid) && s.valid[v] && s.prof[v] != nil
+}
+
+// adoptPair is one lockstep frame: the same structural node in the source
+// and destination trees, plus the destination id of its parent for poison
+// propagation (-1 at the walk root).
+type adoptPair struct {
+	s, d, pd int
+	expanded bool
+}
+
+// AdoptSubtree transplants the clean profiles of src's subtree rooted at
+// srcRoot into c at dstRoot. srcT is the tree the source cache was built
+// over; its subtree at srcRoot must have exactly the shape (and child
+// order) of c's subtree at dstRoot — the contract extraction and trace
+// replay both guarantee. Dirty source nodes are skipped (their destination
+// counterparts stay dirty), sliceless source nodes transplant their rope
+// pages only, and already-resident destination subtrees are kept as-is.
+// It returns the number of node profiles adopted.
+func (c *ProfileCache) AdoptSubtree(src CacheSnapshot, srcT TreeLike, srcRoot, dstRoot int) int {
+	memo := make(map[*nodeRope]*nodeRope)
+	// poisoned marks destination nodes that must not be adopted because a
+	// descendant's memo seeding was impossible (resident destination with
+	// a slice-evicted source); the mark propagates to the walk root.
+	var poisoned map[int]bool
+	poison := func(d int) {
+		if d >= 0 {
+			if poisoned == nil {
+				poisoned = make(map[int]bool)
+			}
+			poisoned[d] = true
+		}
+	}
+	st := []adoptPair{{s: srcRoot, d: dstRoot, pd: -1}}
+	adopted := 0
+	for len(st) > 0 {
+		f := st[len(st)-1]
+		if !f.expanded {
+			st[len(st)-1].expanded = true
+			if c.availNode(f.d) {
+				// Already resident here: identical content by determinism.
+				// Seed the memo so an adopting ancestor can reference the
+				// existing ropes instead of cloning the subtree again —
+				// possible only while the source still has the matching
+				// slice to read the correspondence from.
+				st = st[:len(st)-1]
+				if !src.avail(f.s) {
+					poison(f.pd)
+					continue
+				}
+				sp, dp := src.prof[f.s], c.prof[f.d]
+				for k := range sp {
+					memo[sp[k].nodes] = dp[k].nodes
+				}
+				continue
+			}
+			sch, dch := srcT.Children(f.s), c.t.Children(f.d)
+			for k := range sch {
+				st = append(st, adoptPair{s: sch[k], d: dch[k], pd: f.d})
+			}
+			continue
+		}
+		st = st[:len(st)-1]
+		if !src.valid[f.s] || c.availNode(f.d) {
+			if !src.valid[f.s] {
+				poison(f.pd)
+			}
+			continue
+		}
+		if poisoned[f.d] {
+			poison(f.pd)
+			continue
+		}
+		if c.adoptNode(src, f.s, f.d, memo) {
+			adopted++
+		}
+	}
+	if adopted > 0 {
+		c.adopted.Add(int64(adopted))
+		if c.policied() {
+			c.slicePressure(c.sc)
+		}
+	}
+	return adopted
+}
+
+// adoptNode clones one clean source node into the destination cache: its
+// rope chain always (resident ancestors share those pages), its segment
+// slice and residency when the source still holds them. The caller
+// guarantees (by postorder) that every rope the node references through
+// descendants is already in the memo; the node's own ropes are cloned here
+// in allocation order, so concatenations always find their operands cloned
+// first. It reports whether a profile slice was adopted.
+func (c *ProfileCache) adoptNode(src CacheSnapshot, s, d int, memo map[*nodeRope]*nodeRope) bool {
+	sc := c.sc
+	if c.owned[d] != nil {
+		// A sliceless destination being overwritten: its stale rope pages
+		// are unreferenced (every destination ancestor on the walk is
+		// profile-free, or the walk would have pruned), so recycle them.
+		c.residentBytes.Add(-int64(c.ownedCount[d]) * ropeBytes)
+		c.ownedCount[d] = 0
+		sc.arena.freeOwned(c.owned[d])
+		c.owned[d] = nil
+	}
+	// The owned chain is LIFO (newest first); reverse it to clone in
+	// allocation order.
+	chain := sc.adoptRopes[:0]
+	for r := src.owned[s]; r != nil; r = r.nextOwned {
+		chain = append(chain, r)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		r := chain[i]
+		var nr *nodeRope
+		if r.leaf != nil {
+			// Every leaf rope holds exactly its owning node's id; the
+			// remap is therefore just the destination owner.
+			nr = sc.arena.leafRope(d)
+		} else {
+			nr = sc.arena.newRope()
+			nr.left, nr.right = memo[r.left], memo[r.right]
+		}
+		memo[r] = nr
+	}
+	sc.adoptRopes = chain[:0]
+	ropes, nropes := sc.arena.takeOwned()
+	c.owned[d] = ropes
+	c.ownedCount[d] = nropes
+	c.peak[d] = src.peak[s]
+	c.valid[d] = true
+	bytes := int64(nropes) * ropeBytes
+	slice := false
+	if sp := src.prof[s]; sp != nil {
+		p := sc.arena.newProfile(len(sp))
+		for _, seg := range sp {
+			p = append(p, segment{hill: seg.hill, valley: seg.valley, nodes: memo[seg.nodes]})
+		}
+		c.prof[d] = p
+		bytes += int64(cap(p)) * segmentBytes
+		slice = true
+	} else {
+		c.prof[d] = nil // sliceless, like the source
+	}
+	c.addResident(bytes)
+	if slice && c.policied() {
+		// Queue the fresh slice for the budget's slice tier (its parent's
+		// adoption, if any, reads only the memo, never this slice).
+		c.pushConsumed(sc, d)
+	}
+	return slice
+}

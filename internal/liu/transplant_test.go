@@ -1,0 +1,114 @@
+package liu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAdoptSubtreeMatchesRecompute transplants whole random trees between
+// caches (via the extraction renumbering) and checks the adopted cache is
+// indistinguishable from a recomputed one: same peaks, same schedules, and
+// no recomputation triggered by the queries.
+func TestAdoptSubtreeMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 80; trial++ {
+		tr := cacheRandomTree(2+rng.Intn(200), rng)
+		src := NewProfileCache(tr)
+		src.Peak(tr.Root())
+
+		// The destination tree is the BFS extraction of the same tree
+		// (identity here, but through the generic lockstep machinery).
+		m := newWeightedMutable(tr)
+		frozen, toNew := m.freeze()
+		dst := NewProfileCache(frozen)
+		adopted := dst.AdoptSubtree(src.Snapshot(), tr, tr.Root(), frozen.Root())
+		if adopted != tr.N() {
+			t.Fatalf("trial %d: adopted %d of %d nodes", trial, adopted, tr.N())
+		}
+		for v := 0; v < tr.N(); v++ {
+			if !dst.availNode(toNew[v]) {
+				t.Fatalf("trial %d: node %d not resident after adopt", trial, v)
+			}
+			if dst.peak[toNew[v]] != src.peak[v] {
+				t.Fatalf("trial %d: node %d peak %d, src %d", trial, v, dst.peak[toNew[v]], src.peak[v])
+			}
+		}
+		got := dst.AppendSchedule(frozen.Root(), nil)
+		want, _ := MinMem(frozen)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: adopted schedule differs at %d", trial, i)
+			}
+		}
+		if st := dst.Stats(); st.Rematerializations != 0 {
+			t.Fatalf("trial %d: queries after a full adopt recomputed %d nodes", trial, st.Rematerializations)
+		}
+	}
+}
+
+// TestAdoptSubtreePartial checks the mixed-residency walk: the source has
+// dirty, sliceless and resident regions (driven by a tight budget plus
+// invalidations); adoption takes what is usable, leaves the rest dirty,
+// and a subsequent ensure converges to the exact unbounded answers.
+func TestAdoptSubtreePartial(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 80; trial++ {
+		tr := cacheRandomTree(10+rng.Intn(200), rng)
+		opts := CacheOptions{MaxResidentBytes: []int64{1, 2048, 0}[trial%3]}
+		src := NewProfileCacheOpts(tr, opts)
+		src.Peak(tr.Root())
+		// Dirty a random path so the source has holes.
+		src.Invalidate(rng.Intn(tr.N()))
+		if trial%2 == 0 {
+			src.Peak(tr.Root()) // re-warm part of it
+		}
+
+		m := newWeightedMutable(tr)
+		frozen, _ := m.freeze()
+		dst := NewProfileCacheOpts(frozen, opts)
+		dst.AdoptSubtree(src.Snapshot(), tr, tr.Root(), frozen.Root())
+		got := dst.AppendSchedule(frozen.Root(), nil)
+		want, wantPeak := MinMem(frozen)
+		if dst.Peak(frozen.Root()) != wantPeak {
+			t.Fatalf("trial %d: peak %d, want %d", trial, dst.Peak(frozen.Root()), wantPeak)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: schedule differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestAdoptSubtreeIntoDirtyRegion adopts into a destination that already
+// holds resident profiles for part of the subtree (the replay-time
+// direction of the parallel driver): resident destination subtrees are
+// pruned, dirty ones adopted, and the merged state must answer like a
+// fresh cache.
+func TestAdoptSubtreeIntoDirtyRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 80; trial++ {
+		tr := cacheRandomTree(10+rng.Intn(200), rng)
+		src := NewProfileCache(tr)
+		src.Peak(tr.Root())
+
+		m := newWeightedMutable(tr)
+		frozen, _ := m.freeze()
+		dst := NewProfileCache(frozen)
+		dst.Peak(frozen.Root())
+		// Dirty a path in the destination, as a replayed expansion would.
+		dst.Invalidate(rng.Intn(frozen.N()))
+		dst.AdoptSubtree(src.Snapshot(), tr, tr.Root(), frozen.Root())
+		got := dst.AppendSchedule(frozen.Root(), nil)
+		want, _ := MinMem(frozen)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: schedule differs at %d", trial, i)
+			}
+		}
+		// The dirtied path must have been adopted, not recomputed.
+		if st := dst.Stats(); st.AdoptedNodes == 0 {
+			t.Fatalf("trial %d: nothing adopted into the dirty path", trial)
+		}
+	}
+}

@@ -1,13 +1,3 @@
-// Package search provides a schedule-space local-search improver for the
-// MinIO problem: a simple baseline for the "designing competitive
-// algorithms" future-work direction of Section 7. Starting from any
-// topological schedule, it repeatedly applies the best of a neighbourhood
-// of *block moves* — relocating one node (together with nothing else; the
-// tree constraints are re-checked) to an earlier or later feasible slot —
-// and keeps the move if the FiF I/O volume drops.
-//
-// It is not part of the paper; the benchmarks use it to gauge how much
-// head-room the heuristics leave on small instances.
 package search
 
 import (

@@ -1,16 +1,3 @@
-// Package sparse provides the sparse-matrix substrate backing the paper's
-// TREES dataset: symmetric sparse-matrix patterns, symbolic Cholesky
-// analysis (elimination tree, factor column counts, fundamental-supernode
-// amalgamation) and conversion of the resulting assembly trees into task
-// trees whose node weights are multifrontal contribution-block sizes.
-//
-// The paper evaluates on 329 elimination trees built from matrices of the
-// University of Florida collection. That collection is not redistributable
-// here, so the package generates structurally comparable matrices (2-D and
-// 3-D grid Laplacians under natural and nested-dissection orderings, and
-// random symmetric patterns) spanning the same tree-size range; a Matrix
-// Market reader is included so real matrices can be substituted when
-// available. See DESIGN.md for the substitution rationale.
 package sparse
 
 import (

@@ -1,5 +1,3 @@
-// Package stats provides the small statistical helpers used by the
-// experiment harness: summaries (mean, quantiles) and aligned text tables.
 package stats
 
 import (

@@ -1,18 +1,3 @@
-// Package tree implements the rooted in-tree task model of Marchal,
-// McCauley, Simon and Vivien, "Minimizing I/Os in Out-of-Core Task Tree
-// Scheduling" (INRIA RR-9025, 2017).
-//
-// Every node i of the tree is a task that produces a single output data of
-// size Weight(i). A task may execute only after all of its children; its
-// execution needs the outputs of all its children simultaneously in main
-// memory and, upon completion, replaces them by its own output. The memory
-// needed to execute node i in isolation is therefore
-//
-//	w̄(i) = max(Weight(i), Σ_{j child of i} Weight(j))
-//
-// exposed as WBar. The package is purely structural: scheduling algorithms
-// live in sibling packages (liu, postorder, expand) and the out-of-core
-// memory semantics in package memsim.
 package tree
 
 import (

@@ -74,6 +74,28 @@ func Schedule(t *Tree, M int64, alg Algorithm) (*Result, error) {
 	return core.Run(alg, t, M)
 }
 
+// Tuning carries the expansion-engine knobs that trade wall-clock against
+// memory without ever changing results — the library counterparts of the
+// -workers and -cache-budget flags of cmd/sched and cmd/minio-bench.
+type Tuning struct {
+	// Workers shards the expansion heuristics' postorder walk: 0 = auto
+	// (GOMAXPROCS on large trees), 1 = sequential, >1 = that many workers.
+	Workers int
+	// CacheBudget bounds the resident bytes of the engine's profile
+	// caches; clean profiles beyond it are evicted and recomputed on
+	// demand (10⁷-node trees schedule in a flat memory envelope).
+	// 0 = unlimited.
+	CacheBudget int64
+}
+
+// ScheduleTuned is Schedule with explicit engine tuning. The result is
+// bit-identical to Schedule's for every Tuning value.
+func ScheduleTuned(t *Tree, M int64, alg Algorithm, tn Tuning) (*Result, error) {
+	rn := core.NewRunner(tn.Workers)
+	rn.CacheBudget = tn.CacheBudget
+	return rn.Run(alg, t, M)
+}
+
 // MinMemory returns LB = max_i w̄(i), the smallest memory size for which
 // the tree can be processed at all.
 func MinMemory(t *Tree) int64 { return t.MaxWBar() }
