@@ -448,11 +448,75 @@ func benchRecExpandCacheBudget(b *testing.B, divisor int64) {
 	b.ReportMetric(float64(st.PeakResidentBytes)/(1<<20), "resident_MiB")
 	b.ReportMetric(float64(st.Rematerializations), "remats")
 	b.ReportMetric(float64(last.IO), "io")
+	b.ReportMetric(float64(peakRSSBytes()), "peak_rss_bytes")
 }
 
 func BenchmarkRecExpandCacheBudgetUnlimited200k(b *testing.B) { benchRecExpandCacheBudget(b, 0) }
 func BenchmarkRecExpandCacheBudgetTenth200k(b *testing.B)     { benchRecExpandCacheBudget(b, 10) }
 func BenchmarkRecExpandCacheBudgetHundredth200k(b *testing.B) { benchRecExpandCacheBudget(b, 100) }
+
+// --- Streaming schedule emission (DESIGN.md §2.8) ---------------------------
+
+// The streamed-emission pair A/Bs the two finishes of the expansion engine
+// on the budgeted 200k-node staircase slice: RecExpandStream (segments
+// consumed and dropped; ropes released to the arena as the traversal
+// streams out) against the materializing RecExpand (n-word schedule built
+// by the flatten). Results are bit-identical — the pair differs only in
+// wall-clock and in the peak_rss_bytes / resident_MiB columns, which is
+// the point: the streamed row is the one a >10⁸-node run scales by.
+//
+// The budget is FIXED (not calibrated from an unbounded run: that run
+// would itself materialize the schedule and set the monotone process RSS
+// high-water, voiding the pair's delta), and the Stream benchmark is
+// defined (and thus runs) before the Materialized one. The delta reading
+// still requires benchmarking the pair in isolation —
+// `-bench 'RecExpand(Stream|Materialized)200k'` — because in a full
+// combined run earlier, larger benchmarks (the unbudgeted CacheBudget
+// calibration on the same input) have already set the process high-water
+// above anything the budgeted pair reaches (see BENCH.md).
+func benchRecExpandEmit(b *testing.B, stream bool) {
+	in := experiments.Huge(200000, 1)
+	M := in.M(core.BoundMid)
+	eng := expand.NewEngine()
+	// ≈ the 1/10 tier of the 200k staircase's unbounded footprint (BENCH_4).
+	opts := expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: 40 << 20}
+	res, err := eng.RecExpandStream(in.Tree, M, opts, func(seg []int) bool { return true })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *expand.Result
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		var err error
+		if stream {
+			steps = 0
+			last, err = eng.RecExpandStream(in.Tree, M, opts, func(seg []int) bool {
+				steps += int64(len(seg))
+				return true
+			})
+		} else {
+			last, err = eng.RecExpand(in.Tree, M, opts)
+			steps = int64(len(last.Schedule))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if last.IO != res.IO || last.Expansions != res.Expansions {
+		b.Fatalf("engines disagree: io %d vs %d", last.IO, res.IO)
+	}
+	st := eng.CacheStats()
+	b.ReportMetric(float64(st.PeakResidentBytes)/(1<<20), "resident_MiB")
+	b.ReportMetric(float64(st.StreamedNodes), "streamed")
+	b.ReportMetric(float64(steps), "steps")
+	b.ReportMetric(float64(last.IO), "io")
+	b.ReportMetric(float64(peakRSSBytes()), "peak_rss_bytes")
+}
+
+func BenchmarkRecExpandStream200k(b *testing.B)       { benchRecExpandEmit(b, true) }
+func BenchmarkRecExpandMaterialized200k(b *testing.B) { benchRecExpandEmit(b, false) }
 
 func BenchmarkFiFSimulator3000(b *testing.B) {
 	tr := synthTree(3000, 1)

@@ -23,10 +23,17 @@ import (
 
 // Entry is one parsed benchmark line.
 type Entry struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// PeakRSSBytes is the process resident-memory high-water mark the
+	// benchmark reported via the peak_rss_bytes metric (getrusage
+	// ru_maxrss), promoted out of Metrics so the trajectory's residency
+	// claims are first-class schema. Monotone within one benchmark
+	// process: read deltas between rows, or isolate a benchmark per run
+	// (see BENCH.md). 0 when the benchmark does not report it.
+	PeakRSSBytes int64              `json:"peak_rss_bytes,omitempty"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the whole BENCH_<n>.json payload. HostCPUs and GoMaxProcs
@@ -135,6 +142,10 @@ func parseBenchLine(line string) (Entry, bool) {
 		unit := fields[i+1]
 		if unit == "ns/op" {
 			e.NsPerOp = val
+			continue
+		}
+		if unit == "peak_rss_bytes" {
+			e.PeakRSSBytes = int64(val)
 			continue
 		}
 		if e.Metrics == nil {

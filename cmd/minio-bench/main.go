@@ -34,6 +34,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/randtree"
 	"repro/internal/stats"
+	"repro/internal/tree"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	cacheBudgetStr := flag.String("cache-budget", "", "resident-byte budget of the expansion engine's profile caches, e.g. 64MiB (empty or 0 = unlimited); results are identical for every budget")
 	csv := flag.String("csv", "", "write the profile of the selected figure as CSV to this file")
+	schedOut := flag.String("sched-out", "", "with -fig huge: stream the unbounded run's schedule to this file (one id per line) instead of discarding it")
 	flag.Parse()
 
 	cacheBudget, err := core.ParseByteSize(*cacheBudgetStr)
@@ -50,13 +52,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "minio-bench:", err)
 		os.Exit(1)
 	}
-	if err := dispatch(*fig, *scale, *seed, *workers, cacheBudget, *csv); err != nil {
+	if err := dispatch(*fig, *scale, *seed, *workers, cacheBudget, *csv, *schedOut); err != nil {
 		fmt.Fprintln(os.Stderr, "minio-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(fig, scale string, seed int64, workers int, cacheBudget int64, csv string) error {
+func dispatch(fig, scale string, seed int64, workers int, cacheBudget int64, csv, schedOut string) error {
 	all := fig == "all"
 	did := false
 	runFig := func(name string, f func() error) error {
@@ -105,7 +107,7 @@ func dispatch(fig, scale string, seed int64, workers int, cacheBudget int64, csv
 		// its own exercise — run it explicitly.
 		did = true
 		fmt.Println("=== Figure huge ===")
-		if err := hugeFigure(scale, seed, workers, cacheBudget); err != nil {
+		if err := hugeFigure(scale, seed, workers, cacheBudget, schedOut); err != nil {
 			return fmt.Errorf("figure huge: %w", err)
 		}
 		return nil
@@ -387,12 +389,18 @@ func perfFigure(scale string, seed int64, workers int, cacheBudget int64) error 
 // wall-clock and saves in resident bytes. An explicit -cache-budget adds a
 // fourth row with that budget.
 //
+// Every run uses the streaming finish (expand.RecExpandStream): the final
+// schedule is consumed segment by segment — written to -sched-out or
+// counted and discarded — so the n-word schedule slice is never built and
+// the schedule ropes are handed back to the cache arena as the traversal
+// streams out (DESIGN.md §2.8).
+//
 // The engine runs sequentially unless -workers is given explicitly: the
 // peak_resident column reports the SHARED cache, and in the parallel
 // driver every unit-local cache carries its own budget on top of it, so
 // an auto-parallel run would under-state the process footprint the table
 // is meant to bound. With -workers > 1 the caveat is printed.
-func hugeFigure(scale string, seed int64, workers int, cacheBudget int64) error {
+func hugeFigure(scale string, seed int64, workers int, cacheBudget int64, schedOut string) error {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -415,13 +423,41 @@ func hugeFigure(scale string, seed int64, workers int, cacheBudget int64) error 
 		budget int64
 	}
 	rows := []row{{"unlimited", 0}}
-	tab := stats.NewTable("budget", "time", "peak_resident", "evictions", "remats", "io", "expansions")
+	tab := stats.NewTable("budget", "time", "peak_resident", "evictions", "remats", "streamed", "io", "expansions")
 	var baseIO int64
 	var baseExp int
 	for i := 0; i < len(rows); i++ {
 		r := rows[i]
+		opts := expand.Options{MaxPerNode: 2, Workers: workers, CacheBudget: r.budget}
 		start := time.Now()
-		res, err := eng.RecExpand(in.Tree, M, expand.Options{MaxPerNode: 2, Workers: workers, CacheBudget: r.budget})
+		var res *expand.Result
+		var err error
+		var steps int64
+		if i == 0 && schedOut != "" {
+			var f *os.File
+			if f, err = os.Create(schedOut); err != nil {
+				return err
+			}
+			var rerr error
+			steps, err = tree.WriteSchedule(f, func(yield func(seg []int) bool) bool {
+				res, rerr = eng.RecExpandStream(in.Tree, M, opts, yield)
+				return rerr == nil
+			})
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr // write-back errors can surface at close
+			}
+			if rerr != nil && rerr != expand.ErrEmissionStopped {
+				// A real engine failure beats WriteSchedule's generic
+				// truncation error; a write failure already sits in err
+				// (the engine then only reports the consumer stop).
+				err = rerr
+			}
+		} else {
+			res, err = eng.RecExpandStream(in.Tree, M, opts, func(seg []int) bool {
+				steps += int64(len(seg))
+				return true
+			})
+		}
 		if err != nil {
 			return fmt.Errorf("budget %s: %w", r.label, err)
 		}
@@ -429,6 +465,9 @@ func hugeFigure(scale string, seed int64, workers int, cacheBudget int64) error 
 		st := eng.CacheStats()
 		if i == 0 {
 			baseIO, baseExp = res.IO, res.Expansions
+			if schedOut != "" {
+				fmt.Printf("%d-step schedule streamed to %s\n", steps, schedOut)
+			}
 			// Budget rows derive from the measured unbounded footprint.
 			rows = append(rows,
 				row{"1/10", st.PeakResidentBytes / 10},
@@ -442,9 +481,10 @@ func hugeFigure(scale string, seed int64, workers int, cacheBudget int64) error 
 		tab.AddRow(r.label, dur.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.1fMiB", float64(st.PeakResidentBytes)/(1<<20)),
 			fmt.Sprint(st.Evictions), fmt.Sprint(st.Rematerializations),
+			fmt.Sprint(st.StreamedNodes),
 			fmt.Sprint(res.IO), fmt.Sprint(res.Expansions))
 	}
-	fmt.Println("RECEXPAND under shared-cache residency budgets (identical results):")
+	fmt.Println("RECEXPAND with streamed emission under shared-cache residency budgets (identical results):")
 	return tab.Write(os.Stdout)
 }
 

@@ -8,10 +8,14 @@
 //	sched -tree tree.json -mid -alg all -trace
 //	sched -tree tree.json -M 5000 -alg OptMinMem -dot out.dot
 //	sched -tree big.json -mid -alg RecExpand -workers 8 -cache-budget 256MiB
+//	sched -tree huge.json -mid -alg RecExpand -cache-budget 1GiB -stream-sched sched.txt
 //
 // -workers shards the expansion engine's postorder walk; -cache-budget
 // bounds the resident bytes of its profile caches (out-of-core-scale
 // trees). Both knobs change only time and memory, never the result.
+// -stream-sched writes the traversal straight to disk segment by segment
+// (tree.WriteSchedule over the engine's streamed emission), so huge trees
+// are scheduled without ever materializing the n-word schedule slice.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/expand"
 	"repro/internal/memsim"
 	"repro/internal/search"
 	"repro/internal/stats"
@@ -37,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "expansion-engine workers: 0 = auto (GOMAXPROCS on large trees), 1 = sequential; results are identical for every setting")
 	cacheBudget := flag.String("cache-budget", "", "resident-byte budget of the expansion engine's profile caches, e.g. 64MiB (empty or 0 = unlimited); results are identical for every budget")
 	out := flag.String("o", "", "write the last algorithm's full traversal (σ, τ) as JSON to this file")
+	streamSched := flag.String("stream-sched", "", "stream the schedule to this file, one node id per line, without materializing it (RecExpand/FullRecExpand only)")
 	flag.Parse()
 
 	budget, err := core.ParseByteSize(*cacheBudget)
@@ -44,36 +50,109 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sched:", err)
 		os.Exit(1)
 	}
-	if err := run(*treePath, *M, *mid, *alg, *trace, *dot, *doSearch, *workers, budget, *out); err != nil {
+	switch {
+	case *streamSched != "" && (*out != "" || *trace || *dot != "" || *doSearch):
+		// The streaming path never materializes the schedule these flags
+		// need; dropping them silently would report success for work that
+		// was not done.
+		err = fmt.Errorf("-stream-sched cannot be combined with -o, -trace, -dot or -search")
+	case *streamSched != "":
+		err = runStream(*treePath, *M, *mid, *alg, *workers, budget, *streamSched)
+	default:
+		err = run(*treePath, *M, *mid, *alg, *trace, *dot, *doSearch, *workers, budget, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(treePath string, M int64, mid bool, alg string, trace bool, dot string, doSearch bool, workers int, cacheBudget int64, out string) error {
+// loadInstance reads the tree and resolves the memory bound.
+func loadInstance(treePath string, M int64, mid bool) (*core.Instance, int64, error) {
 	if treePath == "" {
-		return fmt.Errorf("-tree is required")
+		return nil, 0, fmt.Errorf("-tree is required")
 	}
 	f, err := os.Open(treePath)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	t, err := tree.ReadJSON(f)
 	f.Close()
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	in := core.NewInstance(treePath, t)
-	fmt.Printf("%s  LB=%d Peak_incore=%d\n", t.String(), in.LB, in.Peak)
 	if mid {
 		M = in.M(core.BoundMid)
 		if M < in.LB {
 			M = in.LB // Peak == LB: the tree never needs I/O
 		}
-		fmt.Printf("using mid bound M=%d\n", M)
 	}
 	if M <= 0 {
-		return fmt.Errorf("need -M > 0 or -mid")
+		return nil, 0, fmt.Errorf("need -M > 0 or -mid")
+	}
+	return in, M, nil
+}
+
+// runStream is the out-of-core path: the expansion engine streams the
+// final schedule straight to the output file, so no n-word slice is ever
+// built (see expand.(*Engine).RecExpandStream and tree.WriteSchedule).
+func runStream(treePath string, M int64, mid bool, alg string, workers int, cacheBudget int64, out string) error {
+	maxPerNode := 0
+	switch core.Algorithm(alg) {
+	case core.RecExpand:
+		maxPerNode = 2
+	case core.FullRecExpand:
+		maxPerNode = 0
+	default:
+		return fmt.Errorf("-stream-sched supports RecExpand and FullRecExpand, not %q", alg)
+	}
+	in, M, err := loadInstance(treePath, M, mid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  LB=%d Peak_incore=%d M=%d\n", in.Tree.String(), in.LB, in.Peak, M)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	eng := expand.NewEngine()
+	var res *expand.Result
+	var rerr error
+	n, werr := tree.WriteSchedule(f, func(yield func(seg []int) bool) bool {
+		res, rerr = eng.RecExpandStream(in.Tree, M, expand.Options{
+			MaxPerNode: maxPerNode, Workers: workers, CacheBudget: cacheBudget,
+		}, yield)
+		return rerr == nil
+	})
+	if cerr := f.Close(); cerr != nil && werr == nil {
+		// Write-back errors surfacing at close would otherwise leave a
+		// truncated file reported as success.
+		werr = cerr
+	}
+	if rerr != nil && rerr != expand.ErrEmissionStopped {
+		return rerr
+	}
+	if werr != nil {
+		return werr
+	}
+	st := eng.CacheStats()
+	fmt.Printf("%s IO=%d performance=%.4f expansions=%d peak_resident_cache=%.1fMiB\n",
+		alg, res.IO, float64(M+res.IO)/float64(M), res.Expansions,
+		float64(st.PeakResidentBytes)/(1<<20))
+	fmt.Printf("%d-step schedule streamed to %s\n", n, out)
+	return nil
+}
+
+func run(treePath string, M int64, mid bool, alg string, trace bool, dot string, doSearch bool, workers int, cacheBudget int64, out string) error {
+	in, M, err := loadInstance(treePath, M, mid)
+	if err != nil {
+		return err
+	}
+	t := in.Tree
+	fmt.Printf("%s  LB=%d Peak_incore=%d\n", t.String(), in.LB, in.Peak)
+	if mid {
+		fmt.Printf("using mid bound M=%d\n", M)
 	}
 
 	algs := []core.Algorithm{core.Algorithm(alg)}

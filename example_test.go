@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"fmt"
+	"strings"
 
 	"repro"
 )
@@ -48,6 +49,37 @@ func ExampleScheduleTuned() {
 	fmt.Println(plain.IO, tuned.IO, plain.IO == tuned.IO)
 	// Output:
 	// 3 3 true
+}
+
+func ExampleScheduleStreamed() {
+	t := fig2bTree()
+	plain, err := repro.Schedule(t, 6, repro.RecExpand)
+	if err != nil {
+		panic(err)
+	}
+	// Stream the traversal to a writer instead of materializing it: the
+	// segments concatenate to exactly plain.Schedule, and on huge trees
+	// the n-word slice never exists (see DESIGN.md §2.8).
+	var sb strings.Builder
+	var streamed *repro.Result
+	var serr error
+	steps, err := repro.WriteSchedule(&sb, func(yield func(seg []int) bool) bool {
+		streamed, serr = repro.ScheduleStreamed(t, 6, repro.RecExpand, repro.Tuning{CacheBudget: 1}, yield)
+		return serr == nil
+	})
+	if serr != nil {
+		panic(serr) // the engine's own error, not the writer's truncation notice
+	}
+	if err != nil {
+		panic(err)
+	}
+	back, err := repro.ReadSchedule(strings.NewReader(sb.String()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(steps, streamed.IO == plain.IO, fmt.Sprint(back) == fmt.Sprint(plain.Schedule))
+	// Output:
+	// 9 true true
 }
 
 func ExampleMinMemory() {

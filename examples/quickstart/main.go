@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"repro"
 )
@@ -71,4 +72,25 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("tuned engine (workers=2, cache budget 64MiB): I/O volume %d — identical\n", tuned.IO)
+
+	// Beyond ~10⁸ tasks even the answer itself is too big to hold: stream
+	// the traversal to a writer segment by segment instead (WriteSchedule
+	// + ScheduleStreamed never build the n-word schedule; cmd/sched
+	// exposes the same path as `-stream-sched file`).
+	var sb strings.Builder
+	var streamed *repro.Result
+	var serr error
+	steps, err := repro.WriteSchedule(&sb, func(yield func(seg []int) bool) bool {
+		streamed, serr = repro.ScheduleStreamed(t, M, repro.RecExpand,
+			repro.Tuning{CacheBudget: 64 << 20}, yield)
+		return serr == nil
+	})
+	if serr != nil {
+		log.Fatal(serr) // the engine's own error, not the writer's truncation notice
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d-step schedule (%d bytes on the wire): I/O volume %d — identical\n",
+		steps, sb.Len(), streamed.IO)
 }

@@ -11,6 +11,19 @@ package repro
 //
 //	REPRO_HUGE=1000000  go test -run TestHugeTreeBudgeted -v .   # ~10 s
 //	REPRO_HUGE=10000000 go test -run TestHugeTreeBudgeted -v .   # minutes
+//
+// TestHugeTreeStreamed is the PR 5 extension: the same staircase forest
+// under a FIXED byte budget (REPRO_HUGE_BUDGET, default 1GiB) with the
+// schedule consumed as a stream (expand.RecExpandStream), so neither the
+// n-word schedule slice nor the full rope set survives the emission. It
+// runs the streamed engine first and the old materializing path second in
+// the same process, and requires the materialized run to push the
+// process's resident high-water (getrusage) strictly above the streamed
+// one — the measured claim that the streamed finish peaks below the old
+// AppendSchedule path at the same scale. A 10⁸-node run
+// (REPRO_HUGE=100000000) needs ~40 GiB of RAM and half an hour or more on
+// one core; set REPRO_HUGE_COMPARE=0 to skip the second (materializing)
+// run and only demonstrate the streamed completion.
 import (
 	"os"
 	"strconv"
@@ -62,4 +75,85 @@ func TestHugeTreeBudgeted(t *testing.T) {
 	t.Logf("n=%d unbounded=%dMiB budget=%dMiB high-water=%dMiB slices=%d evictions=%d remats=%d",
 		in.Tree.N(), full>>20, budget>>20, bounded.PeakResidentBytes>>20,
 		bounded.SlicedProfiles, bounded.Evictions, bounded.Rematerializations)
+}
+
+func TestHugeTreeStreamed(t *testing.T) {
+	env := os.Getenv("REPRO_HUGE")
+	if env == "" {
+		t.Skip("set REPRO_HUGE=<nodes> (e.g. 1000000, 10000000 or 100000000) to run the streamed out-of-core check")
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n < 1000 {
+		t.Fatalf("REPRO_HUGE=%q: want a node count >= 1000", env)
+	}
+	budget := int64(1 << 30)
+	if b := os.Getenv("REPRO_HUGE_BUDGET"); b != "" {
+		budget, err = core.ParseByteSize(b)
+		if err != nil || budget <= 0 {
+			t.Fatalf("REPRO_HUGE_BUDGET=%q: %v", b, err)
+		}
+	}
+	in := experiments.Huge(n, 1)
+	M := in.M(core.BoundMid)
+	eng := expand.NewEngine()
+	opts := expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: budget}
+
+	// Streamed run first: process RSS is a monotone high-water, so the
+	// streamed engine must set its mark before the materializing
+	// comparison run gets a chance to raise it. baseRSS guards the other
+	// direction — an earlier test in the same process (TestHugeTreeBudgeted
+	// under the same REPRO_HUGE) may already have pushed the high-water
+	// past anything this run reaches, voiding the comparison.
+	baseRSS := peakRSSBytes()
+	var steps int64
+	res, err := eng.RecExpandStream(in.Tree, M, opts, func(seg []int) bool {
+		steps += int64(len(seg))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := eng.CacheStats()
+	rssStream := peakRSSBytes()
+	if steps != int64(in.Tree.N()) {
+		t.Fatalf("streamed %d schedule steps for %d nodes", steps, in.Tree.N())
+	}
+	if streamed.StreamedNodes == 0 {
+		t.Fatal("releasing emission never engaged")
+	}
+	t.Logf("streamed: n=%d budget=%dMiB cache-high-water=%dMiB released=%d remats=%d rss=%dMiB io=%d expansions=%d",
+		in.Tree.N(), budget>>20, streamed.PeakResidentBytes>>20, streamed.StreamedNodes,
+		streamed.Rematerializations, rssStream>>20, res.IO, res.Expansions)
+
+	if os.Getenv("REPRO_HUGE_COMPARE") == "0" {
+		return
+	}
+	// The old path at the same scale and budget: materializes the n-word
+	// expanded and original schedules and keeps every rope pinned across
+	// the flatten. Identical Result required; strictly higher process
+	// high-water required.
+	matRes, err := eng.RecExpand(in.Tree, M, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rssMat := peakRSSBytes()
+	if matRes.IO != res.IO || matRes.Expansions != res.Expansions || matRes.SimulatedIO != res.SimulatedIO {
+		t.Fatalf("materialized run changed the result: io %d vs %d", matRes.IO, res.IO)
+	}
+	if int64(len(matRes.Schedule)) != steps {
+		t.Fatalf("materialized schedule has %d steps, streamed %d", len(matRes.Schedule), steps)
+	}
+	if rssStream == 0 {
+		t.Log("peak RSS unavailable on this platform; skipping the high-water comparison")
+		return
+	}
+	if rssStream <= baseRSS {
+		t.Logf("process high-water %dMiB predates the streamed run (earlier tests in this process); skipping the comparison — run with -run TestHugeTreeStreamed for the measured claim", baseRSS>>20)
+		return
+	}
+	if rssMat <= rssStream {
+		t.Fatalf("materialized path did not exceed the streamed high-water: %dMiB <= %dMiB",
+			rssMat>>20, rssStream>>20)
+	}
+	t.Logf("materialized: rss=%dMiB (+%dMiB over streamed)", rssMat>>20, (rssMat-rssStream)>>20)
 }

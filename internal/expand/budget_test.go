@@ -143,6 +143,88 @@ func TestRecExpandBudgetStats(t *testing.T) {
 	}
 }
 
+// deepChainForest builds k deep-chain branches — a unit-weight spine of
+// `spine` nodes over one shared I/O-bound SYNTH bottom of `bushy` nodes —
+// directly under a weight-1 root. Every spine prefix inherits the bottom's
+// peak, so the whole forest overflows the mid bound at once: maximal unit
+// fan-out for the parallel driver and maximal adopt pressure at replay
+// (each unit transplants its full warm cache back into the shared one).
+func deepChainForest(k, spine, bushy int, seed int64) *tree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	sub := randtree.Synth(bushy, rng)
+	parent := []int{tree.None}
+	weight := []int64{1}
+	for i := 0; i < k; i++ {
+		prev := 0
+		for j := 0; j < spine; j++ {
+			id := len(parent)
+			parent = append(parent, prev)
+			weight = append(weight, 1)
+			prev = id
+		}
+		off := len(parent)
+		for v := 0; v < sub.N(); v++ {
+			if p := sub.Parent(v); p == tree.None {
+				parent = append(parent, prev)
+			} else {
+				parent = append(parent, p+off)
+			}
+			weight = append(weight, sub.Weight(v))
+		}
+	}
+	return tree.MustNew(parent, weight)
+}
+
+// TestAdoptBudgetNoOvershoot pins the end-to-end residency envelope of an
+// adopt-heavy parallel run under budget: on a forest whose every branch
+// overflows, the shared cache's high-water must stay within the budget
+// plus the warm-phase rope floor (ropes are unevictable while a monotone
+// bottom-up warm is still referencing them upward), instead of stacking
+// transplanted unit caches on top. The mechanism itself — AdoptSubtree
+// offering the freshly clean subtree for eviction immediately rather than
+// waiting for the next Invalidate exposure — is pinned sharply by
+// liu's TestAdoptSubtreeImmediateEviction; this test guards the composed
+// behaviour, Result bit-identity included.
+func TestAdoptBudgetNoOvershoot(t *testing.T) {
+	tr := deepChainForest(8, 300, 500, 97)
+	lb := tr.MaxWBar()
+	_, peak := liu.MinMem(tr)
+	if peak <= lb {
+		t.Fatal("deep-chain forest not I/O-bound")
+	}
+	M := (lb + peak) / 2
+	eng := NewEngine()
+	want, err := eng.RecExpand(tr, M, Options{MaxPerNode: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := eng.CacheStats().PeakResidentBytes
+	if full == 0 {
+		t.Fatal("unbounded run reported no footprint")
+	}
+	budget := full / 5
+	got, err := eng.RecExpand(tr, M, Options{MaxPerNode: 2, Workers: 4, CacheBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded := eng.CacheStats()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("budgeted sharded run changed the Result")
+	}
+	if bounded.AdoptedNodes == 0 {
+		t.Fatal("run adopted nothing: the shape no longer exercises the transplant path")
+	}
+	// Rope floor allowance: ≈ 2.2 rope nodes per tree node (leaf ropes plus
+	// concatenations) at the current ~56-byte rope size, with headroom.
+	ropeFloor := int64(tr.N()) * 56 * 5 / 2
+	if limit := budget + ropeFloor; bounded.PeakResidentBytes > limit {
+		t.Fatalf("adopt-heavy run overshot: budget %d + rope floor %d < high-water %d (unbounded %d)",
+			budget, ropeFloor, bounded.PeakResidentBytes, full)
+	}
+	t.Logf("unbounded=%d budget=%d high-water=%d adopted=%d",
+		full, budget, bounded.PeakResidentBytes, bounded.AdoptedNodes)
+}
+
 // TestAdoptAcrossReplayReducesWork checks the fan-out transplant actually
 // engages on a unit-friendly shape: a sharded run on a forest must adopt
 // profiles into the shared cache (replay direction) and into unit-local

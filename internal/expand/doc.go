@@ -39,6 +39,21 @@
 // Options.CacheBudget bounds the resident bytes of every profile cache the
 // engines create (liu.CacheOptions.MaxResidentBytes); evicted profiles are
 // rematerialized on demand, so 10⁷-node trees schedule within a flat
-// memory envelope at identical results. DESIGN.md documents the cache
-// memory model, the eviction tiers and the measured envelopes.
+// memory envelope at identical results. Options.MaxUnitLead bounds how far
+// the parallel fan-out runs ahead of the merger, capping the pending
+// unit-local caches. DESIGN.md documents the cache memory model, the
+// eviction tiers and the measured envelopes.
+//
+// # Streaming emission
+//
+// (*Engine).RecExpandStream delivers the final original-tree schedule to a
+// yield function segment by segment instead of materializing
+// Result.Schedule: the expanded-tree evaluation and the original-tree
+// validation/simulation run on memsim.RunStream's two-pass streaming
+// protocol, and the last pass emits in releasing mode
+// (liu.EmitScheduleRelease), handing each schedule rope back to the cache
+// arena as the traversal streams out. tree.WriteSchedule writes such a
+// stream to disk with O(segment) memory — the path that opens >10⁸-node
+// trees (DESIGN.md §2.8). Streamed segments concatenate to exactly the
+// materialized Schedule, pinned by the streaming differential grid.
 package expand

@@ -247,9 +247,27 @@ func (m *MutableTree) InitialPeaks(workers int) []int64 {
 // AppendMinMemSchedule appends an optimal peak-memory traversal of r's
 // current subtree — what liu.MinMem would return on an extracted copy,
 // expressed in mutable-tree ids — to dst and returns the extended slice.
-// EnableProfiles must have been called.
+// It is a thin collector over EmitMinMemSchedule. EnableProfiles must have
+// been called.
 func (m *MutableTree) AppendMinMemSchedule(r int, dst []int) []int {
 	return m.profiles.AppendSchedule(r, dst)
+}
+
+// EmitMinMemSchedule streams the optimal traversal of r's current subtree
+// to yield segment by segment (mutable-tree ids, reusable chunks) without
+// materializing it; see liu.(*ProfileCache).EmitSchedule. EnableProfiles
+// must have been called.
+func (m *MutableTree) EmitMinMemSchedule(r int, yield func(seg []int) bool) bool {
+	return m.profiles.EmitSchedule(r, yield)
+}
+
+// EmitMinMemScheduleRelease is EmitMinMemSchedule in releasing mode: rope
+// pages return to the cache arena as the traversal streams out and r's
+// subtree is left clean-but-evicted; see
+// liu.(*ProfileCache).EmitScheduleRelease for when releasing engages.
+// EnableProfiles must have been called.
+func (m *MutableTree) EmitMinMemScheduleRelease(r int, yield func(seg []int) bool) bool {
+	return m.profiles.EmitScheduleRelease(r, yield)
 }
 
 // SubtreeNodes returns the nodes of r's current subtree, r first.

@@ -76,7 +76,9 @@ type unit struct {
 }
 
 // recExpandParallel is the sharded postorder driver behind Workers > 1.
-func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCap, workers int) (*Result, error) {
+// It returns the expanded shared tree; the caller picks the finish
+// (materializing or streaming).
+func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCap, workers int) (*MutableTree, bool, error) {
 	m := NewMutable(t)
 	m.EnableProfilesOpts(opts.cacheOptions())
 	// Sharded bottom-up warm; see InitialPeaks for the skip contract.
@@ -116,9 +118,34 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 	// Worker pool: drain the unit queue (postorder order, matching the
 	// merger's consumption order) with per-worker engines. cancel stops
 	// the pool early when the merger aborts on CapHit or an error.
+	//
+	// The pool's lead over the merger is bounded by a token bucket: a
+	// worker takes a token before starting a unit and the merger returns
+	// one after replaying a unit and dropping its local tree/cache, so at
+	// most `lead` units hold their extracted copies and warm local caches
+	// at any moment. Units are taken in postorder (the merger's
+	// consumption order), so the unit the merger waits for is always among
+	// the started ones — no deadlock for any lead ≥ 1 — and the bound
+	// keeps pending unit-local caches from stacking up to a second
+	// shared-cache footprint (DESIGN.md §2.8).
 	cancel := make(chan struct{})
 	var wg sync.WaitGroup
+	var tokens chan struct{}
 	if len(units) > 0 {
+		lead := opts.MaxUnitLead
+		switch {
+		case lead < 0:
+			lead = len(units)
+		case lead == 0:
+			lead = 2 * workers
+		}
+		if lead > len(units) {
+			lead = len(units)
+		}
+		tokens = make(chan struct{}, len(units)+lead)
+		for i := 0; i < lead; i++ {
+			tokens <- struct{}{}
+		}
 		var next int64
 		if workers > len(units) {
 			workers = len(units)
@@ -129,14 +156,23 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 				defer wg.Done()
 				eng := NewEngine()
 				for {
-					i := atomic.AddInt64(&next, 1) - 1
-					if i >= int64(len(units)) {
+					select {
+					case <-cancel:
 						return
+					case <-tokens:
 					}
+					// A closed cancel and an available token race in the
+					// select above; re-check so an aborting merger (CapHit,
+					// worker error) is not delayed by up to `lead` units of
+					// discarded work.
 					select {
 					case <-cancel:
 						return
 					default:
+					}
+					i := atomic.AddInt64(&next, 1) - 1
+					if i >= int64(len(units)) {
+						return
 					}
 					u := units[i]
 					u.runLocal(t, M, opts, globalCap, eng, snap)
@@ -186,6 +222,9 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 				m.AdoptProfiles(u.lm.ProfileSnapshot(), u.lm, u.lm.Root(), u.l2g[u.lm.Root()])
 				u.lm, u.l2g, u.trace = nil, nil, nil
 			}
+			// The unit's local tree and cache are gone: let the pool start
+			// the next pending unit.
+			tokens <- struct{}{}
 			continue
 		}
 		if t.IsLeaf(r) || initialPeaks[r] <= M {
@@ -212,9 +251,9 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 		}
 	}
 	if werr != nil {
-		return nil, werr
+		return nil, false, werr
 	}
-	return e.finish(t, m, M, capHit)
+	return m, capHit, nil
 }
 
 // unitAt is unitIndex[r] tolerating the nil index of the no-units

@@ -1,6 +1,7 @@
 package expand
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -67,6 +68,16 @@ type Options struct {
 	// the parallel driver the budget applies per cache (the shared cache
 	// and each unit's local cache).
 	CacheBudget int64
+	// MaxUnitLead bounds how many units of the parallel driver may be
+	// in flight or finished-but-unreplayed at once: each pending unit
+	// holds its extracted tree and warm local profile cache until the
+	// merger replays it, so an unbounded pool running far ahead of the
+	// merger can stack up to a second shared-cache footprint. 0 means
+	// the default of 2×workers (enough to keep every worker busy while
+	// the merger drains in postorder); negative means unbounded. Like
+	// Workers and CacheBudget it never changes the Result, only the
+	// memory/time trade-off.
+	MaxUnitLead int
 }
 
 // cacheOptions is the liu residency policy the engine derives from Options.
@@ -137,9 +148,10 @@ func RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
 // per instance. An Engine is not safe for concurrent use; the parallel
 // driver creates private engines for its workers.
 type Engine struct {
-	sim    *memsim.Simulator
-	sched  []int   // reusable flattened-schedule scratch
-	bfsPos []int32 // reusable BFS-rank scratch (LargestTau ties only)
+	sim     *memsim.Simulator
+	sched   []int   // reusable flattened-schedule scratch
+	bfsPos  []int32 // reusable BFS-rank scratch (LargestTau ties only)
+	primBuf []int   // reusable primary-filter chunk (streaming finish)
 
 	cacheStats liu.CacheStats // shared-cache counters of the last run
 }
@@ -172,8 +184,46 @@ const (
 
 // RecExpand is the Engine-bound form of the package-level RecExpand.
 func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
+	m, capHit, err := e.expandTree(t, M, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.finish(t, m, M, capHit)
+}
+
+// RecExpandStream is RecExpand for out-of-core-scale trees: instead of
+// materializing Result.Schedule (an n-word slice), the final original-tree
+// schedule is streamed to yield segment by segment, in traversal order.
+// Each yielded segment aliases a reusable chunk, valid only for the
+// duration of the call — write it out (tree.WriteSchedule) or fold it
+// immediately. The returned Result carries a nil Schedule; every other
+// field (IO, expansion accounting, SimulatedIO/SimulatedPeak, CapHit) is
+// bit-identical to the materializing path, and the streamed segments
+// concatenate to exactly Result.Schedule of that path (pinned by the
+// streaming differential grid).
+//
+// The streamed finish also releases the engine's schedule ropes back to
+// the profile-cache arena as the emission advances
+// (liu.EmitScheduleRelease), so the Θ(n) working set the old flatten held
+// — every rope of the tree plus the n-word slice — shrinks progressively
+// instead of peaking at the end; under a CacheBudget this is what opens
+// >10⁸-node trees (DESIGN.md §2.8).
+//
+// If yield returns false the run aborts and returns ErrEmissionStopped.
+func (e *Engine) RecExpandStream(t *tree.Tree, M int64, opts Options, yield func(seg []int) bool) (*Result, error) {
+	m, capHit, err := e.expandTree(t, M, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.finishStream(t, m, M, capHit, yield)
+}
+
+// expandTree runs the expansion phase — everything up to, but not
+// including, the final schedule emission — and returns the expanded
+// mutable tree. Shared by the materializing and streaming entry points.
+func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, bool, error) {
 	if lb := t.MaxWBar(); M < lb {
-		return nil, fmt.Errorf("expand: M=%d below LB=%d", M, lb)
+		return nil, false, fmt.Errorf("expand: M=%d below LB=%d", M, lb)
 	}
 	globalCap := opts.GlobalCap
 	if globalCap == 0 {
@@ -215,14 +265,14 @@ func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error)
 		}
 		exit, err := e.expandLoop(m, r, M, opts, globalCap, nil)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if exit == exitCap {
 			capHit = true
 			break
 		}
 	}
-	return e.finish(t, m, M, capHit)
+	return m, capHit, nil
 }
 
 // expandLoop runs the while-loop of Algorithm 2 at recursion node r of m:
@@ -263,6 +313,77 @@ func (e *Engine) expandLoop(m *MutableTree, r int, M int64, opts Options, global
 		}
 		iter++
 	}
+}
+
+// ErrEmissionStopped is returned by RecExpandStream when the caller's
+// yield function stopped the emission before the schedule was complete.
+var ErrEmissionStopped = errors.New("expand: schedule emission stopped by consumer")
+
+// finishStream is finish without the n-word schedules: the expanded-tree
+// FiF evaluation and the original-tree validation/simulation both run on
+// streamed emissions (memsim.RunStream's two deterministic passes), and
+// the caller receives the original-tree schedule segment by segment during
+// the last pass — which emits in releasing mode, handing each schedule
+// rope back to the cache arena as it streams out.
+func (e *Engine) finishStream(t *tree.Tree, m *MutableTree, M int64, capHit bool, yield func(seg []int) bool) (*Result, error) {
+	peak := m.SubtreePeak(m.Root())
+	root := m.Root()
+	emitExpanded := func(y func(seg []int) bool) bool {
+		return m.EmitMinMemSchedule(root, y)
+	}
+	finalIO, _, err := e.sim.RunStream(m, root, M, emitExpanded, memsim.FiF)
+	if err != nil {
+		return nil, fmt.Errorf("expand: simulating final tree: %w", err)
+	}
+	// The original-tree pass filters the emission down to primary nodes in
+	// original ids. RunStream invokes the source exactly twice; only the
+	// second (last) pass releases ropes and tees segments to the caller.
+	pass := 0
+	stopped := false
+	emitPrimary := func(y func(seg []int) bool) bool {
+		pass++
+		last := pass == 2
+		filter := func(seg []int) bool {
+			buf := e.primBuf[:0]
+			for _, v := range seg {
+				if m.role[v] == RolePrimary {
+					buf = append(buf, m.orig[v])
+				}
+			}
+			e.primBuf = buf
+			if len(buf) == 0 {
+				return true
+			}
+			if last && yield != nil && !yield(buf) {
+				stopped = true
+				return false
+			}
+			return y(buf)
+		}
+		if last {
+			return m.EmitMinMemScheduleRelease(root, filter)
+		}
+		return m.EmitMinMemSchedule(root, filter)
+	}
+	simIO, simPeak, err := e.sim.RunStream(t, t.Root(), M, emitPrimary, memsim.FiF)
+	if err != nil {
+		if stopped {
+			return nil, ErrEmissionStopped
+		}
+		return nil, fmt.Errorf("expand: simulating transposed schedule: %w", err)
+	}
+	e.cacheStats = m.ProfileStats()
+	return &Result{
+		Schedule:      nil, // streamed to yield instead
+		IO:            m.ExpansionIO() + finalIO,
+		ExpansionIO:   m.ExpansionIO(),
+		ResidualIO:    finalIO,
+		SimulatedIO:   simIO,
+		SimulatedPeak: simPeak,
+		Expansions:    m.Expansions(),
+		CapHit:        capHit,
+		FinalPeak:     peak,
+	}, nil
 }
 
 // finish computes the final expanded-tree schedule, transposes it to the

@@ -98,16 +98,23 @@ func (a *profileArena) takeOwned() (*nodeRope, int32) {
 func (a *profileArena) freeOwned(chain *nodeRope) {
 	for chain != nil {
 		next := chain.nextOwned
-		if a.poolCap > 0 && a.pooled+ropeBytes > a.poolCap {
-			chain.left, chain.right, chain.leaf, chain.nextOwned = nil, nil, nil, nil
-		} else {
-			chain.left, chain.right, chain.leaf = nil, nil, nil
-			chain.nextOwned = a.freeRopes
-			a.freeRopes = chain
-			a.pooled += ropeBytes
-		}
+		a.release(chain)
 		chain = next
 	}
+}
+
+// release returns one rope node to the free list (or, beyond poolCap,
+// clears it for the garbage collector). Streaming emission uses it to hand
+// back each page the moment the traversal walk has consumed it.
+func (a *profileArena) release(r *nodeRope) {
+	if a.poolCap > 0 && a.pooled+ropeBytes > a.poolCap {
+		r.left, r.right, r.leaf, r.nextOwned = nil, nil, nil, nil
+		return
+	}
+	r.left, r.right, r.leaf = nil, nil, nil
+	r.nextOwned = a.freeRopes
+	a.freeRopes = r
+	a.pooled += ropeBytes
 }
 
 // segClass returns the bucket index of a capacity: the smallest k with

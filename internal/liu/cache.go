@@ -125,6 +125,7 @@ type ProfileCache struct {
 	opts       CacheOptions
 	ownedCount []int32 // ropes on the owned chain, for byte accounting
 	pinned     []int32 // >0 while a reader or in-flight merge relies on v
+	pinCount   int64   // outstanding pins cache-wide (writer-side count)
 	inSliceQ   []bool  // dedupe flag for the consumed-slice queue
 
 	residentBytes atomic.Int64
@@ -134,9 +135,10 @@ type ProfileCache struct {
 	slicedProfs   atomic.Int64
 	remats        atomic.Int64
 	adopted       atomic.Int64
+	streamedNodes atomic.Int64
 
-	sc    *cacheScratch // primary scratch (sequential queries)
-	ropes []*nodeRope   // reusable flatten stack for AppendSchedule
+	sc       *cacheScratch // primary scratch (sequential queries)
+	freeIter *ScheduleIter // pooled emission iterator (see emit.go)
 }
 
 // CacheStats reports the residency counters of a ProfileCache. All values
@@ -161,6 +163,10 @@ type CacheStats struct {
 	// AdoptedNodes counts profiles transplanted in from another cache
 	// (see AdoptSubtree).
 	AdoptedNodes int64
+	// StreamedNodes counts node profiles consumed by releasing schedule
+	// emissions (EmitScheduleRelease): their slices and rope pages were
+	// handed back to the arena as the traversal streamed out.
+	StreamedNodes int64
 }
 
 // cacheScratch is the transient state of ensure/recompute. Each concurrent
@@ -222,6 +228,7 @@ func (c *ProfileCache) Stats() CacheStats {
 		SlicedProfiles:     c.slicedProfs.Load(),
 		Rematerializations: c.remats.Load(),
 		AdoptedNodes:       c.adopted.Load(),
+		StreamedNodes:      c.streamedNodes.Load(),
 	}
 }
 
@@ -265,10 +272,10 @@ func (c *ProfileCache) Grow() {
 // the roots of its planned units so that concurrent snapshot readers never
 // observe an eviction; AppendSchedule pins the queried root across its
 // flatten. Pinning nests.
-func (c *ProfileCache) Pin(v int) { c.pinned[v]++ }
+func (c *ProfileCache) Pin(v int) { c.pinned[v]++; c.pinCount++ }
 
 // Unpin releases a Pin.
-func (c *ProfileCache) Unpin(v int) { c.pinned[v]-- }
+func (c *ProfileCache) Unpin(v int) { c.pinned[v]--; c.pinCount-- }
 
 // Invalidate marks v and every ancestor of v dirty, releasing their cached
 // profiles and rope nodes back to the arena. Call it with the topmost node
@@ -364,36 +371,14 @@ func (c *ProfileCache) Peak(v int) int64 {
 
 // AppendSchedule appends the optimal traversal of v's subtree (what
 // liu.MinMem would return on an extracted copy, expressed in the underlying
-// tree's node ids) to dst and returns the extended slice.
+// tree's node ids) to dst and returns the extended slice. It is a thin
+// collector over EmitSchedule; callers that can consume the traversal
+// segment by segment should use the emitter directly and skip the slice.
 func (c *ProfileCache) AppendSchedule(v int, dst []int) []int {
-	policied := c.policied()
-	if policied {
-		// Hold v's profile across ensure → flatten: the slice tier may
-		// otherwise reclaim it the moment a later merge consumes it, and
-		// the flatten below reads both the slice and the subtree's ropes.
-		c.pinned[v]++
-	}
-	c.ensure(v)
-	st := c.ropes[:0]
-	for _, seg := range c.prof[v] {
-		st = append(st, seg.nodes)
-		for len(st) > 0 {
-			cur := st[len(st)-1]
-			st = st[:len(st)-1]
-			if cur == nil {
-				continue
-			}
-			if cur.leaf != nil {
-				dst = append(dst, cur.leaf...)
-				continue
-			}
-			st = append(st, cur.right, cur.left)
-		}
-	}
-	c.ropes = st[:0]
-	if policied {
-		c.pinned[v]--
-	}
+	c.EmitSchedule(v, func(seg []int) bool {
+		dst = append(dst, seg...)
+		return true
+	})
 	return dst
 }
 

@@ -133,8 +133,19 @@ func (c *ProfileCache) AdoptSubtree(src CacheSnapshot, srcT TreeLike, srcRoot, d
 	}
 	if adopted > 0 {
 		c.adopted.Add(int64(adopted))
-		if c.policied() {
-			c.slicePressure(c.sc)
+	}
+	if c.policied() {
+		c.slicePressure(c.sc)
+		// Offer the freshly clean subtree for subtree eviction right away
+		// instead of waiting for its next Invalidate exposure: an
+		// adopt-heavy parallel run would otherwise stack transplanted rope
+		// pages past the budget between invalidations (the §5 overshoot).
+		// NoteCandidate's contract — every ancestor dirty — holds whenever
+		// the adoption wrote anything at dstRoot (a resident ancestor
+		// implies a resident destination subtree, which the walk prunes),
+		// but check the parent anyway so a fully pruned walk stays safe.
+		if p := c.t.Parent(dstRoot); p < 0 || !c.valid[p] {
+			c.NoteCandidate(dstRoot)
 		}
 	}
 	return adopted
@@ -199,7 +210,10 @@ func (c *ProfileCache) adoptNode(src CacheSnapshot, s, d int, memo map[*nodeRope
 	c.addResident(bytes)
 	if slice && c.policied() {
 		// Queue the fresh slice for the budget's slice tier (its parent's
-		// adoption, if any, reads only the memo, never this slice).
+		// adoption, if any, reads only the memo, never this slice). The
+		// pressure itself runs once after the walk: adoption is bottom-up,
+		// so popping these entries any earlier would find parents not yet
+		// adopted and drop the entries unevicted.
 		c.pushConsumed(sc, d)
 	}
 	return slice

@@ -3,6 +3,8 @@ package liu
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/randtree"
 )
 
 // TestAdoptSubtreeMatchesRecompute transplants whole random trees between
@@ -109,6 +111,55 @@ func TestAdoptSubtreeIntoDirtyRegion(t *testing.T) {
 		// The dirtied path must have been adopted, not recomputed.
 		if st := dst.Stats(); st.AdoptedNodes == 0 {
 			t.Fatalf("trial %d: nothing adopted into the dirty path", trial)
+		}
+	}
+}
+
+// TestAdoptSubtreeImmediateEviction is the regression test for the §5
+// adopt-heavy budget overshoot: a transplant that lands over budget must
+// offer the freshly clean subtree for eviction immediately — rope pages
+// included — instead of parking the bytes until the next Invalidate
+// happens to expose them. Before the fix the adopted rope pages stayed
+// resident indefinitely (the post-adopt slice pressure reclaims slices
+// only), so ResidentBytes right after AdoptSubtree tracked the donor's
+// full footprint rather than the budget.
+func TestAdoptSubtreeImmediateEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	tr := randtree.Synth(3000, rng)
+	donor := NewProfileCache(tr)
+	donor.Peak(tr.Root())
+	full := donor.Stats().ResidentBytes
+	if full == 0 {
+		t.Fatal("donor warmed nothing")
+	}
+	budget := full / 20
+
+	c := NewProfileCacheOpts(tr, CacheOptions{MaxResidentBytes: budget})
+	adopted := c.AdoptSubtree(donor.Snapshot(), tr, tr.Root(), tr.Root())
+	if adopted != tr.N() {
+		t.Fatalf("adopted %d of %d nodes", adopted, tr.N())
+	}
+	st := c.Stats()
+	if st.ResidentBytes > budget {
+		t.Fatalf("adopt left %d bytes resident under a %d budget (donor holds %d)",
+			st.ResidentBytes, budget, full)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("over-budget adopt triggered no subtree eviction")
+	}
+	// The evicted state must still answer correctly (clean peaks, profiles
+	// rematerialized on demand).
+	if got, want := c.Peak(tr.Root()), donor.Peak(tr.Root()); got != want {
+		t.Fatalf("peak after immediate eviction: %d, want %d", got, want)
+	}
+	got := c.AppendSchedule(tr.Root(), nil)
+	want := donor.AppendSchedule(tr.Root(), nil)
+	if len(got) != len(want) {
+		t.Fatalf("schedule length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule differs at step %d", i)
 		}
 	}
 }

@@ -6,8 +6,10 @@
 // the I/O function τ using the Furthest-in-the-Future (FiF) eviction policy,
 // which Theorem 1 of the paper proves optimal for a fixed σ. The package
 // also provides Validate for checking arbitrary (σ, τ) traversals against
-// the paper's validity conditions, and Peak for the M = ∞ peak-memory
-// evaluation used by the MinMem algorithms.
+// the paper's validity conditions, Peak for the M = ∞ peak-memory
+// evaluation used by the MinMem algorithms, and (*Simulator).RunStream for
+// evaluating a schedule delivered as a stream of segments without ever
+// materializing it (stream.go).
 package memsim
 
 import (

@@ -100,41 +100,82 @@ func (s *Simulator) run(ts TreeView, root int, M int64, sched []int, policy Evic
 	if len(sched) == 0 {
 		return 0, 0, fmt.Errorf("memsim: empty schedule")
 	}
+	s.begin(ts, n)
+	if err := s.index(n, sched, 0); err != nil {
+		return 0, 0, err
+	}
+	if traced {
+		s.trace = s.trace[:0]
+	}
+	var st simState
+	if err := s.steps(&st, ts, root, M, sched, policy, traced); err != nil {
+		return 0, 0, err
+	}
+	return st.io, st.peak, nil
+}
+
+// simState is the running state of one simulation, persisted across the
+// segments of a streamed schedule.
+type simState struct {
+	residentSum int64
+	io          int64
+	peak        int64
+	step        int
+}
+
+// begin resets the simulator for a fresh run over ts.
+func (s *Simulator) begin(ts TreeView, n int) {
 	s.ensure(n)
 	s.gen++
-	gen := s.gen
 	s.h.clear()
 	if rk, ok := ts.(ChildRanker); ok {
 		s.h.rank = rk.ChildRanks()
 	} else {
 		s.h.rank = nil
 	}
-	// First pass: positions plus permutation check. Resetting resident and
-	// τ for exactly the scheduled nodes keeps the run correct after an
-	// earlier errored run left stale entries (stale entries of other nodes
-	// are never read: every node the simulation touches is validated to be
-	// in sched).
-	for k, v := range sched {
+}
+
+// index is the position-assignment pass over one schedule segment starting
+// at global position offset: range and permutation checks plus pos/τ/
+// resident resets. Resetting resident and τ for exactly the scheduled
+// nodes keeps the run correct after an earlier errored run left stale
+// entries (stale entries of other nodes are never read: every node the
+// simulation touches is validated to be in the schedule).
+func (s *Simulator) index(n int, seg []int, offset int) error {
+	gen := s.gen
+	for k, v := range seg {
 		if v < 0 || v >= n {
-			return 0, 0, fmt.Errorf("memsim: schedule entry %d out of range [0, %d)", v, n)
+			return fmt.Errorf("memsim: schedule entry %d out of range [0, %d)", v, n)
 		}
 		if s.stamp[v] == gen {
-			return 0, 0, fmt.Errorf("memsim: node %d scheduled twice", v)
+			return fmt.Errorf("memsim: node %d scheduled twice", v)
 		}
 		s.stamp[v] = gen
-		s.pos[v] = int32(k)
+		s.pos[v] = int32(offset + k)
 		s.resident[v] = 0
 		s.tau[v] = 0
 	}
-	if traced {
-		s.trace = s.trace[:0]
-	}
-	var residentSum, ioSum, peak int64
-	for step, v := range sched {
+	return nil
+}
+
+// steps executes the simulation over one schedule segment, continuing from
+// st. Every node must have been indexed first; a node arriving out of its
+// indexed position (a second streaming pass that diverged from the first)
+// is rejected.
+func (s *Simulator) steps(st *simState, ts TreeView, root int, M int64, seg []int, policy EvictionPolicy, traced bool) error {
+	n := ts.N()
+	gen := s.gen
+	residentSum, ioSum, peak := st.residentSum, st.io, st.peak
+	for _, v := range seg {
+		step := st.step
+		st.step++
+		if v < 0 || v >= n || s.stamp[v] != gen || s.pos[v] != int32(step) {
+			return fmt.Errorf("memsim: node %d at step %d does not match the indexing pass", v, step)
+		}
 		if v != root {
 			p := ts.Parent(v)
 			if p < 0 || p >= n || s.stamp[p] != gen || s.pos[p] < int32(step) {
-				return 0, 0, fmt.Errorf("memsim: node %d executed without its parent scheduled later", v)
+				return fmt.Errorf("memsim: node %d executed without its parent scheduled later", v)
 			}
 		}
 		// The children of v leave the active set: their outputs are
@@ -143,7 +184,7 @@ func (s *Simulator) run(ts TreeView, root int, M int64, sched []int, policy Evic
 		var cs int64
 		for _, c := range ts.Children(v) {
 			if s.stamp[c] != gen || s.pos[c] > int32(step) {
-				return 0, 0, fmt.Errorf("memsim: node %d executed before its child %d", v, c)
+				return fmt.Errorf("memsim: node %d executed before its child %d", v, c)
 			}
 			residentSum -= s.resident[c]
 			s.resident[c] = 0
@@ -154,7 +195,7 @@ func (s *Simulator) run(ts TreeView, root int, M int64, sched []int, policy Evic
 			need = w
 		}
 		if need > M {
-			return 0, 0, fmt.Errorf("memsim: node %d needs w̄=%d > M=%d", v, need, M)
+			return fmt.Errorf("memsim: node %d needs w̄=%d > M=%d", v, need, M)
 		}
 		before := residentSum + need
 		if before > peak {
@@ -169,7 +210,7 @@ func (s *Simulator) run(ts TreeView, root int, M int64, sched []int, policy Evic
 				victim = s.h.peek()
 			}
 			if victim < 0 {
-				return 0, 0, fmt.Errorf("memsim: internal error: overflow with empty active set at step %d", step)
+				return fmt.Errorf("memsim: internal error: overflow with empty active set at step %d", step)
 			}
 			overflow := residentSum + need - M
 			take := s.resident[victim]
@@ -213,5 +254,6 @@ func (s *Simulator) run(ts TreeView, root int, M int64, sched []int, policy Evic
 			})
 		}
 	}
-	return ioSum, peak, nil
+	st.residentSum, st.io, st.peak = residentSum, ioSum, peak
+	return nil
 }

@@ -1,0 +1,72 @@
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ScheduleSource produces a schedule as a stream of segments: it calls
+// yield with successive segments in traversal order and stops early if
+// yield returns false, reporting whether the full schedule was delivered.
+// liu.ProfileCache.EmitSchedule and expand.(*Engine).RecExpandStream both
+// have this shape.
+type ScheduleSource = func(yield func(seg []int) bool) bool
+
+// ErrStreamStopped is returned by RunStream when the source stopped
+// delivering segments before the schedule was complete (its own consumer
+// cancelled, or it failed mid-stream).
+var ErrStreamStopped = errors.New("memsim: schedule stream stopped early")
+
+// RunStream simulates a schedule delivered as a stream of segments — the
+// subtree rooted at root on ts under memory bound M, deriving τ with the
+// given eviction policy — without ever materializing the schedule slice.
+// It returns the same I/O volume and no-eviction peak as Run on the
+// flattened schedule (pinned by TestRunStreamMatchesRun).
+//
+// The source is invoked exactly twice and must deliver the identical node
+// sequence both times (streamed emissions are deterministic walks, so this
+// holds for them by construction): the first pass assigns schedule
+// positions — the future knowledge the FiF/NiF eviction keys need — and
+// validates the permutation; the second pass runs the simulation. A
+// divergence between the passes is detected and rejected. The only
+// per-run transient beyond the simulator's preallocated node-indexed
+// scratch is the source's segment, so verifying a streamed schedule adds
+// O(segment) resident memory, not O(n): the n-word schedule of the old
+// Run path never exists.
+func (s *Simulator) RunStream(ts TreeView, root int, M int64, source ScheduleSource, policy EvictionPolicy) (io, peak int64, err error) {
+	n := ts.N()
+	s.begin(ts, n)
+	total := 0
+	var serr error
+	complete := source(func(seg []int) bool {
+		if serr = s.index(n, seg, total); serr != nil {
+			return false
+		}
+		total += len(seg)
+		return true
+	})
+	if serr != nil {
+		return 0, 0, serr
+	}
+	if !complete {
+		return 0, 0, ErrStreamStopped
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("memsim: empty schedule")
+	}
+	var st simState
+	complete = source(func(seg []int) bool {
+		serr = s.steps(&st, ts, root, M, seg, policy, false)
+		return serr == nil
+	})
+	if serr != nil {
+		return 0, 0, serr
+	}
+	if !complete || st.step != total {
+		if serr == nil && !complete {
+			return 0, 0, ErrStreamStopped
+		}
+		return 0, 0, fmt.Errorf("memsim: stream delivered %d nodes on the second pass, %d on the first", st.step, total)
+	}
+	return st.io, st.peak, nil
+}

@@ -1,0 +1,109 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/liu"
+	"repro/internal/randtree"
+)
+
+// chunkedSource streams sched in chunks of at most k ids.
+func chunkedSource(sched []int, k int) ScheduleSource {
+	return func(yield func(seg []int) bool) bool {
+		for i := 0; i < len(sched); i += k {
+			end := i + k
+			if end > len(sched) {
+				end = len(sched)
+			}
+			if !yield(sched[i:end]) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// TestRunStreamMatchesRun pins the streaming simulator against the
+// materialized path: identical I/O and peak for every policy across random
+// instances, chunk sizes and memory bounds, on a reused (warm) simulator.
+func TestRunStreamMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	sim := NewSimulator()
+	for trial := 0; trial < 60; trial++ {
+		tr := randtree.Synth(20+rng.Intn(400), rng)
+		sched, peak := liu.MinMem(tr)
+		lb := tr.MaxWBar()
+		M := lb
+		if peak > lb {
+			M = lb + rng.Int63n(peak-lb+1)
+		}
+		for _, policy := range []EvictionPolicy{FiF, NiF, LargestFirst} {
+			want, err := Run(tr, M, sched, policy)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for _, k := range []int{1, 7, 64, len(sched)} {
+				io, pk, err := sim.RunStream(tr, tr.Root(), M, chunkedSource(sched, k), policy)
+				if err != nil {
+					t.Fatalf("trial %d chunk=%d: %v", trial, k, err)
+				}
+				if io != want.IO || pk != want.Peak {
+					t.Fatalf("trial %d chunk=%d policy=%v: stream io=%d peak=%d, run io=%d peak=%d",
+						trial, k, policy, io, pk, want.IO, want.Peak)
+				}
+			}
+		}
+	}
+}
+
+// TestRunStreamRejectsBadStreams covers the failure modes: a source that
+// stops early, a non-topological stream, and a second pass that diverges
+// from the first.
+func TestRunStreamRejectsBadStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	tr := randtree.Synth(200, rng)
+	sched, peak := liu.MinMem(tr)
+	sim := NewSimulator()
+
+	stopped := func(yield func(seg []int) bool) bool {
+		yield(sched[:10])
+		return false
+	}
+	if _, _, err := sim.RunStream(tr, tr.Root(), peak, stopped, FiF); err != ErrStreamStopped {
+		t.Fatalf("early-stopping source: got %v, want ErrStreamStopped", err)
+	}
+
+	reversed := make([]int, len(sched))
+	for i, v := range sched {
+		reversed[len(sched)-1-i] = v
+	}
+	if _, _, err := sim.RunStream(tr, tr.Root(), peak, chunkedSource(reversed, 16), FiF); err == nil {
+		t.Fatal("reversed schedule accepted")
+	}
+
+	pass := 0
+	diverging := func(yield func(seg []int) bool) bool {
+		pass++
+		if pass == 1 {
+			return chunkedSource(sched, 16)(yield)
+		}
+		return chunkedSource(reversed, 16)(yield)
+	}
+	if _, _, err := sim.RunStream(tr, tr.Root(), peak, diverging, FiF); err == nil {
+		t.Fatal("diverging second pass accepted")
+	}
+
+	// The simulator must stay usable after every failure.
+	want, err := Run(tr, peak, sched, FiF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io, pk, err := sim.RunStream(tr, tr.Root(), peak, chunkedSource(sched, 16), FiF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io != want.IO || pk != want.Peak {
+		t.Fatalf("post-failure stream io=%d peak=%d, want io=%d peak=%d", io, pk, want.IO, want.Peak)
+	}
+}

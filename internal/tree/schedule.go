@@ -1,6 +1,11 @@
 package tree
 
-import "fmt"
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
 
 // Schedule is a permutation of the node indices: Schedule[t] is the node
 // executed at step t. The paper writes σ(i) = t for the inverse mapping.
@@ -73,6 +78,73 @@ func IsPostorder(t *Tree, s Schedule) bool {
 		}
 	}
 	return true
+}
+
+// Emit streams the materialized schedule as one segment — the adapter that
+// lets a plain Schedule feed the segment-oriented consumers
+// (WriteSchedule, memsim.RunStream).
+func (s Schedule) Emit(yield func(seg []int) bool) bool {
+	if len(s) == 0 {
+		return true
+	}
+	return yield(s)
+}
+
+// WriteSchedule streams a schedule to w in the textual format of
+// ReadSchedule — one node id per line — consuming it segment by segment
+// from source, so a traversal of any length is written with O(segment)
+// memory and the n-word slice never exists (the out-of-core emission path
+// of liu.(*ProfileCache).EmitSchedule and expand.(*Engine).RecExpandStream;
+// a materialized Schedule streams through its Emit method). It returns the
+// number of ids written; an error from w aborts the source via its yield
+// and is returned, and a source that stops on its own is reported as a
+// truncated stream.
+func WriteSchedule(w io.Writer, source func(yield func(seg []int) bool) bool) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	var werr error
+	buf := make([]byte, 0, 24)
+	complete := source(func(seg []int) bool {
+		for _, v := range seg {
+			buf = strconv.AppendInt(buf[:0], int64(v), 10)
+			buf = append(buf, '\n')
+			if _, werr = bw.Write(buf); werr != nil {
+				return false
+			}
+			n++
+		}
+		return true
+	})
+	if werr != nil {
+		return n, werr
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	if !complete {
+		return n, fmt.Errorf("schedule: stream stopped after %d ids", n)
+	}
+	return n, nil
+}
+
+// ReadSchedule reads a schedule written by WriteSchedule: one decimal node
+// id per line (blank lines and '#' comments skipped).
+func ReadSchedule(r io.Reader) (Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var s Schedule
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: bad line %q: %v", line, err)
+		}
+		s = append(s, v)
+	}
+	return s, sc.Err()
 }
 
 // Validate returns an error unless s is a topological schedule of t.

@@ -1,0 +1,80 @@
+package tree
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWriteScheduleRoundTrip(t *testing.T) {
+	want := Schedule{5, 0, 12, 3, 1, 4, 2}
+	var buf bytes.Buffer
+	n, err := WriteSchedule(&buf, want.Emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(want)) {
+		t.Fatalf("wrote %d ids, want %d", n, len(want))
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %v, want %v", got, want)
+	}
+}
+
+func TestWriteScheduleSegments(t *testing.T) {
+	segs := [][]int{{9, 8}, {7}, {}, {6, 5, 4}}
+	source := func(yield func(seg []int) bool) bool {
+		for _, s := range segs {
+			if !yield(s) {
+				return false
+			}
+		}
+		return true
+	}
+	var buf bytes.Buffer
+	n, err := WriteSchedule(&buf, source)
+	if err != nil || n != 6 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, Schedule{9, 8, 7, 6, 5, 4}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// errWriter fails after k bytes.
+type errWriter struct{ k int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.k -= len(p); w.k < 0 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWriteScheduleErrors(t *testing.T) {
+	big := make(Schedule, 100000)
+	for i := range big {
+		big[i] = i
+	}
+	if _, err := WriteSchedule(&errWriter{k: 1024}, big.Emit); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("write error not surfaced: %v", err)
+	}
+	stopping := func(yield func(seg []int) bool) bool {
+		yield([]int{1, 2})
+		return false
+	}
+	var buf bytes.Buffer
+	if _, err := WriteSchedule(&buf, stopping); err == nil {
+		t.Fatal("truncated stream not reported")
+	}
+}

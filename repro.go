@@ -21,6 +21,9 @@
 package repro
 
 import (
+	"fmt"
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/expand"
 	"repro/internal/liu"
@@ -94,6 +97,46 @@ func ScheduleTuned(t *Tree, M int64, alg Algorithm, tn Tuning) (*Result, error) 
 	rn := core.NewRunner(tn.Workers)
 	rn.CacheBudget = tn.CacheBudget
 	return rn.Run(alg, t, M)
+}
+
+// ScheduleStreamed is ScheduleTuned for out-of-core scale: instead of
+// materializing the n-word Result.Schedule, the traversal is handed to
+// yield segment by segment in execution order (each segment aliases a
+// reusable chunk, valid only during the call — write it out or fold it
+// immediately; WriteSchedule streams it to an io.Writer). Only the
+// expansion heuristics (RecExpand, FullRecExpand) support streaming. The
+// returned Result carries a nil Schedule; IO and Peak are bit-identical
+// to ScheduleTuned's, and the streamed segments concatenate to exactly
+// its Schedule. See DESIGN.md §2.8 for why this is the path that opens
+// >10⁸-node trees: the engine's schedule ropes are released as the
+// emission advances, so no Θ(n) answer is ever resident.
+func ScheduleStreamed(t *Tree, M int64, alg Algorithm, tn Tuning, yield func(seg []int) bool) (*Result, error) {
+	opts := expand.Options{MaxPerNode: 2, Workers: tn.Workers, CacheBudget: tn.CacheBudget}
+	switch alg {
+	case RecExpand:
+	case FullRecExpand:
+		opts.MaxPerNode = 0
+	default:
+		return nil, fmt.Errorf("repro: ScheduleStreamed supports RecExpand and FullRecExpand, not %q", alg)
+	}
+	res, err := expand.NewEngine().RecExpandStream(t, M, opts, yield)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Algorithm: alg, IO: res.IO, Peak: res.SimulatedPeak}, nil
+}
+
+// WriteSchedule streams a schedule to w, one node id per line, consuming
+// it segment by segment from source — the io counterpart of
+// ScheduleStreamed (a materialized TaskSchedule streams through its Emit
+// method). It returns the number of ids written.
+func WriteSchedule(w io.Writer, source func(yield func(seg []int) bool) bool) (int64, error) {
+	return tree.WriteSchedule(w, source)
+}
+
+// ReadSchedule reads a schedule written by WriteSchedule.
+func ReadSchedule(r io.Reader) (TaskSchedule, error) {
+	return tree.ReadSchedule(r)
 }
 
 // MinMemory returns LB = max_i w̄(i), the smallest memory size for which

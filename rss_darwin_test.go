@@ -1,0 +1,16 @@
+//go:build darwin
+
+package repro
+
+import "syscall"
+
+// peakRSSBytes reports the process's resident-memory high-water mark via
+// getrusage; macOS reports ru_maxrss in bytes. See rss_linux_test.go for
+// the monotonicity caveat.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss
+}

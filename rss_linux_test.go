@@ -1,0 +1,19 @@
+//go:build linux
+
+package repro
+
+import "syscall"
+
+// peakRSSBytes reports the process's resident-memory high-water mark via
+// getrusage; Linux reports ru_maxrss in KiB. The value is monotone for the
+// process lifetime, so within one `go test -bench` invocation later rows
+// inherit earlier rows' peaks: read deltas between adjacent rows, or run a
+// single benchmark (-bench '^BenchmarkX$') for an isolated number (see
+// BENCH.md).
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

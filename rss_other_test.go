@@ -1,0 +1,8 @@
+//go:build !linux && !darwin
+
+package repro
+
+// peakRSSBytes is unavailable on platforms without getrusage; consumers
+// (the residency benchmarks and TestHugeTreeStreamed) treat 0 as "no
+// measurement" and skip their RSS assertions.
+func peakRSSBytes() int64 { return 0 }
