@@ -7,7 +7,7 @@ BENCH ?= RecExpand|FiFSimulator|OptMinMem3000
 # Trajectory index: bench-json writes BENCH_$(N).json at the repo root.
 N ?= 1
 
-.PHONY: test test-race build vet bench bench-json bench-smoke
+.PHONY: test test-race test-faultinject fuzz-smoke build vet bench bench-json bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,18 @@ test: build
 # race-clean; CI runs this as a separate job.
 test-race:
 	$(GO) test -race ./...
+
+# Fault-injection build: the seed-driven registry is live and the grid
+# replays the instance corpus with one fault armed per run (DESIGN.md §2.9).
+test-faultinject:
+	$(GO) test -tags faultinject ./...
+
+# 20s-per-target smoke of the reader fuzz surface; crashers land in
+# internal/tree/testdata/fuzz. CI runs the same three steps.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadJSON$$' -fuzztime 20s ./internal/tree
+	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 20s ./internal/tree
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSchedule$$' -fuzztime 20s ./internal/tree
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .

@@ -17,9 +17,12 @@ package repro
 // M2=Peak−1.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/expand"
@@ -130,7 +133,10 @@ func profileBench(b *testing.B, dataset string, bound core.Bound) {
 		instances = experiments.Synth(experiments.SmallSynth)
 		algs = core.PaperAlgorithms
 	case "trees":
-		instances = experiments.Trees(experiments.SmallTrees)
+		var err error
+		if instances, err = experiments.Trees(experiments.SmallTrees); err != nil {
+			b.Fatal(err)
+		}
 		algs = core.FastAlgorithms
 	}
 	if len(instances) == 0 {
@@ -350,7 +356,10 @@ func BenchmarkRecExpand100000(b *testing.B) { benchRecExpandSynth(b, 100000) }
 // in the spine length. The reference pair runs at a tenth of the spine to
 // stay affordable; compare ns/op against the quadratic growth it implies.
 func benchRecExpandDeepChain(b *testing.B, spine, bushy int, reference bool) {
-	in := experiments.DeepChain(spine, bushy, 1)
+	in, err := experiments.DeepChain(spine, bushy, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	M := in.M(core.BoundMid)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -405,11 +414,19 @@ func BenchmarkRecExpandParallelWide100000(b *testing.B) {
 }
 
 func BenchmarkRecExpandParallelDeepChain30000(b *testing.B) {
-	benchRecExpandWorkers(b, experiments.DeepChain(29000, 1000, 1))
+	in, err := experiments.DeepChain(29000, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRecExpandWorkers(b, in)
 }
 
 func BenchmarkRecExpandParallelForest100000(b *testing.B) {
-	benchRecExpandWorkers(b, experiments.Forest(8, 12500, 1))
+	in, err := experiments.Forest(8, 12500, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRecExpandWorkers(b, in)
 }
 
 // --- Bounded-memory profile cache ------------------------------------------
@@ -474,12 +491,12 @@ func BenchmarkRecExpandCacheBudgetHundredth200k(b *testing.B) { benchRecExpandCa
 // combined run earlier, larger benchmarks (the unbudgeted CacheBudget
 // calibration on the same input) have already set the process high-water
 // above anything the budgeted pair reaches (see BENCH.md).
-func benchRecExpandEmit(b *testing.B, stream bool) {
+func benchRecExpandEmit(b *testing.B, stream bool, ctx context.Context) {
 	in := experiments.Huge(200000, 1)
 	M := in.M(core.BoundMid)
 	eng := expand.NewEngine()
 	// ≈ the 1/10 tier of the 200k staircase's unbounded footprint (BENCH_4).
-	opts := expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: 40 << 20}
+	opts := expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: 40 << 20, Ctx: ctx}
 	res, err := eng.RecExpandStream(in.Tree, M, opts, func(seg []int) bool { return true })
 	if err != nil {
 		b.Fatal(err)
@@ -515,8 +532,85 @@ func benchRecExpandEmit(b *testing.B, stream bool) {
 	b.ReportMetric(float64(peakRSSBytes()), "peak_rss_bytes")
 }
 
-func BenchmarkRecExpandStream200k(b *testing.B)       { benchRecExpandEmit(b, true) }
-func BenchmarkRecExpandMaterialized200k(b *testing.B) { benchRecExpandEmit(b, false) }
+func BenchmarkRecExpandStream200k(b *testing.B)       { benchRecExpandEmit(b, true, nil) }
+func BenchmarkRecExpandMaterialized200k(b *testing.B) { benchRecExpandEmit(b, false, nil) }
+
+// BenchmarkRecExpandStreamCancelable200k is BenchmarkRecExpandStream200k
+// with a live (never-fired) cancellation context, measuring what arming
+// cancellation costs a run that is not cancelled. A plain
+// context.Background() would not do: its Done() is nil, which the engine
+// detects and strips back to the zero-overhead path, so the benchmark uses
+// context.WithCancel to force a real Done channel through every per-segment
+// and per-iteration check. The acceptance bar (BENCH.md) is <2% over the
+// Stream row — but read that delta from
+// BenchmarkRecExpandStreamCancelOverhead200k's paired cancel_overhead_pct
+// metric, not by subtracting this row from the Stream row: consecutive
+// half-second benchmarks in one process drift by ~5-10% from heap and GC
+// state alone, swamping the real cost.
+func BenchmarkRecExpandStreamCancelable200k(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	benchRecExpandEmit(b, true, ctx)
+}
+
+// BenchmarkRecExpandStreamCancelOverhead200k measures the cancellation
+// arming cost with a paired design: each loop iteration times one unarmed
+// run and one armed run (live WithCancel context) back to back on the same
+// engine, so process-lifetime drift (heap high-water, GC pacing) hits both
+// arms equally and cancels out of the reported delta. cancel_overhead_pct
+// is the headline number for the <2% acceptance bar; ns/op for this
+// benchmark covers BOTH runs of a pair and is not comparable to the
+// Stream/Materialized rows.
+func BenchmarkRecExpandStreamCancelOverhead200k(b *testing.B) {
+	in := experiments.Huge(200000, 1)
+	M := in.M(core.BoundMid)
+	eng := expand.NewEngine()
+	plain := expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: 40 << 20}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	armed := plain
+	armed.Ctx = ctx
+	yield := func(seg []int) bool { return true }
+	for _, o := range []expand.Options{plain, armed} {
+		if _, err := eng.RecExpandStream(in.Tree, M, o, yield); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run := func(o expand.Options) time.Duration {
+		s := time.Now()
+		if _, err := eng.RecExpandStream(in.Tree, M, o, yield); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(s)
+	}
+	var tPlain, tArmed time.Duration
+	deltas := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate which arm runs first so a position-in-pair bias (GC
+		// pacing tends to hit the same slot of every iteration) cannot
+		// masquerade as cancellation cost.
+		var dp, da time.Duration
+		if i%2 == 0 {
+			dp = run(plain)
+			da = run(armed)
+		} else {
+			da = run(armed)
+			dp = run(plain)
+		}
+		tPlain += dp
+		tArmed += da
+		deltas = append(deltas, (float64(da)/float64(dp)-1)*100)
+	}
+	b.StopTimer()
+	// The median per-pair delta is the headline: a single GC-interrupted
+	// run skews a ratio-of-sums by several percent at small pair counts,
+	// but moves the median not at all.
+	sort.Float64s(deltas)
+	b.ReportMetric(float64(tPlain.Nanoseconds())/float64(b.N), "plain_ns")
+	b.ReportMetric(float64(tArmed.Nanoseconds())/float64(b.N), "armed_ns")
+	b.ReportMetric(deltas[len(deltas)/2], "cancel_overhead_pct")
+}
 
 func BenchmarkFiFSimulator3000(b *testing.B) {
 	tr := synthTree(3000, 1)
@@ -532,7 +626,10 @@ func BenchmarkFiFSimulator3000(b *testing.B) {
 }
 
 func BenchmarkEtreeAnalysis(b *testing.B) {
-	pat := sparse.Grid2D(64, 64)
+	pat, err := sparse.Grid2D(64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		parent := sparse.Etree(pat)

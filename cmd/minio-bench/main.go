@@ -18,11 +18,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -36,6 +40,11 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tree"
 )
+
+// runCtx is the process-wide cancellation signal: main arms it with
+// SIGINT/SIGTERM so the long figure runs (dataset sweeps, the huge
+// streaming run) abort gracefully instead of being killed mid-write.
+var runCtx = context.Background()
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2a, 2b, 2c, 4, 5, 6, 7, 8, 9, 10, 11, perf, huge, all")
@@ -52,8 +61,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "minio-bench:", err)
 		os.Exit(1)
 	}
+	// First SIGINT/SIGTERM cancels runCtx for a graceful stop; once it is
+	// done the handler is uninstalled, so a second signal force-kills.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+	runCtx = ctx
 	if err := dispatch(*fig, *scale, *seed, *workers, cacheBudget, *csv, *schedOut); err != nil {
 		fmt.Fprintln(os.Stderr, "minio-bench:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // interrupted, 128+SIGINT
+		}
 		os.Exit(1)
 	}
 }
@@ -254,13 +275,16 @@ func profileFigure(name, dataset string, bound core.Bound, scale string, seed in
 			cfg = experiments.PaperTrees
 		}
 		cfg.Seed = seed
-		instances = experiments.Trees(cfg)
+		var err error
+		if instances, err = experiments.Trees(cfg); err != nil {
+			return err
+		}
 		algs = core.FastAlgorithms
 	default:
 		return fmt.Errorf("unknown dataset %q", dataset)
 	}
 	fmt.Printf("%s dataset: %d instances (Peak > LB), bound %s\n", dataset, len(instances), bound)
-	run, err := experiments.RunBudgeted(instances, algs, bound, workers, cacheBudget)
+	run, err := experiments.RunBudgetedCtx(runCtx, instances, algs, bound, workers, cacheBudget)
 	if err != nil {
 		return err
 	}
@@ -328,14 +352,21 @@ func perfFigure(scale string, seed int64, workers int, cacheBudget int64) error 
 		})
 	}
 	for _, s := range spines {
+		in, err := experiments.DeepChain(s.spine, s.bushy, seed)
+		if err != nil {
+			return err
+		}
 		cases = append(cases, caze{
 			name:   fmt.Sprintf("deepchain-%d", s.spine+s.bushy),
-			in:     experiments.DeepChain(s.spine, s.bushy, seed),
+			in:     in,
 			refToo: s.spine <= 3000,
 		})
 	}
 	for _, f := range forests {
-		in := experiments.Forest(f.k, f.m, seed)
+		in, err := experiments.Forest(f.k, f.m, seed)
+		if err != nil {
+			return err
+		}
 		cases = append(cases, caze{name: fmt.Sprintf("forest-%d", in.Tree.N()), in: in})
 	}
 	tab := stats.NewTable("instance", "n", "sequential", fmt.Sprintf("workers=%d", workers),
@@ -343,13 +374,13 @@ func perfFigure(scale string, seed int64, workers int, cacheBudget int64) error 
 	for _, c := range cases {
 		M := c.in.M(core.BoundMid)
 		start := time.Now()
-		res, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: cacheBudget})
+		res, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: cacheBudget, Ctx: runCtx})
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.name, err)
 		}
 		seq := time.Since(start)
 		start = time.Now()
-		parRes, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: workers, CacheBudget: cacheBudget})
+		parRes, err := expand.RecExpand(c.in.Tree, M, expand.Options{MaxPerNode: 2, Workers: workers, CacheBudget: cacheBudget, Ctx: runCtx})
 		if err != nil {
 			return fmt.Errorf("%s (parallel): %w", c.name, err)
 		}
@@ -428,7 +459,7 @@ func hugeFigure(scale string, seed int64, workers int, cacheBudget int64, schedO
 	var baseExp int
 	for i := 0; i < len(rows); i++ {
 		r := rows[i]
-		opts := expand.Options{MaxPerNode: 2, Workers: workers, CacheBudget: r.budget}
+		opts := expand.Options{MaxPerNode: 2, Workers: workers, CacheBudget: r.budget, Ctx: runCtx}
 		start := time.Now()
 		var res *expand.Result
 		var err error
@@ -451,6 +482,11 @@ func hugeFigure(scale string, seed int64, workers int, cacheBudget int64, schedO
 				// truncation error; a write failure already sits in err
 				// (the engine then only reports the consumer stop).
 				err = rerr
+			}
+			if errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
+				// Graceful interruption: the stream already carries
+				// WriteSchedule's truncation marker.
+				fmt.Fprintf(os.Stderr, "minio-bench: interrupted: %d schedule ids flushed to %s (stream carries a truncation marker)\n", steps, schedOut)
 			}
 		} else {
 			res, err = eng.RecExpandStream(in.Tree, M, opts, func(seg []int) bool {

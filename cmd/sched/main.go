@@ -19,12 +19,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/expand"
+	"repro/internal/faultinject"
 	"repro/internal/memsim"
 	"repro/internal/search"
 	"repro/internal/stats"
@@ -50,6 +55,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sched:", err)
 		os.Exit(1)
 	}
+	// First SIGINT/SIGTERM: cancel the context and let the engine stop
+	// gracefully (the streaming path flushes a truncation-marked stream
+	// and reports progress). Once the context is done the handler is
+	// uninstalled, so a second signal force-kills a stuck run.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
 	switch {
 	case *streamSched != "" && (*out != "" || *trace || *dot != "" || *doSearch):
 		// The streaming path never materializes the schedule these flags
@@ -57,12 +72,15 @@ func main() {
 		// was not done.
 		err = fmt.Errorf("-stream-sched cannot be combined with -o, -trace, -dot or -search")
 	case *streamSched != "":
-		err = runStream(*treePath, *M, *mid, *alg, *workers, budget, *streamSched)
+		err = runStream(ctx, *treePath, *M, *mid, *alg, *workers, budget, *streamSched)
 	default:
-		err = run(*treePath, *M, *mid, *alg, *trace, *dot, *doSearch, *workers, budget, *out)
+		err = run(ctx, *treePath, *M, *mid, *alg, *trace, *dot, *doSearch, *workers, budget, *out)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sched:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // interrupted, 128+SIGINT: scripts can tell a cancel from a failure
+		}
 		os.Exit(1)
 	}
 }
@@ -97,7 +115,7 @@ func loadInstance(treePath string, M int64, mid bool) (*core.Instance, int64, er
 // runStream is the out-of-core path: the expansion engine streams the
 // final schedule straight to the output file, so no n-word slice is ever
 // built (see expand.(*Engine).RecExpandStream and tree.WriteSchedule).
-func runStream(treePath string, M int64, mid bool, alg string, workers int, cacheBudget int64, out string) error {
+func runStream(ctx context.Context, treePath string, M int64, mid bool, alg string, workers int, cacheBudget int64, out string) error {
 	maxPerNode := 0
 	switch core.Algorithm(alg) {
 	case core.RecExpand:
@@ -119,9 +137,12 @@ func runStream(treePath string, M int64, mid bool, alg string, workers int, cach
 	eng := expand.NewEngine()
 	var res *expand.Result
 	var rerr error
-	n, werr := tree.WriteSchedule(f, func(yield func(seg []int) bool) bool {
+	// faultinject.NewWriter is an identity wrapper on default builds; under
+	// the faultinject tag it lets the robustness harness fail this stream
+	// at an exact byte offset.
+	n, werr := tree.WriteSchedule(faultinject.NewWriter(f), func(yield func(seg []int) bool) bool {
 		res, rerr = eng.RecExpandStream(in.Tree, M, expand.Options{
-			MaxPerNode: maxPerNode, Workers: workers, CacheBudget: cacheBudget,
+			MaxPerNode: maxPerNode, Workers: workers, CacheBudget: cacheBudget, Ctx: ctx,
 		}, yield)
 		return rerr == nil
 	})
@@ -129,6 +150,13 @@ func runStream(treePath string, M int64, mid bool, alg string, workers int, cach
 		// Write-back errors surfacing at close would otherwise leave a
 		// truncated file reported as success.
 		werr = cerr
+	}
+	if errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
+		// Graceful interruption: WriteSchedule has already flushed the
+		// truncation marker, so a strict reader can never mistake the
+		// partial stream for a complete schedule.
+		fmt.Fprintf(os.Stderr, "sched: interrupted: %d schedule ids flushed to %s (stream carries a truncation marker)\n", n, out)
+		return rerr
 	}
 	if rerr != nil && rerr != expand.ErrEmissionStopped {
 		return rerr
@@ -144,7 +172,7 @@ func runStream(treePath string, M int64, mid bool, alg string, workers int, cach
 	return nil
 }
 
-func run(treePath string, M int64, mid bool, alg string, trace bool, dot string, doSearch bool, workers int, cacheBudget int64, out string) error {
+func run(ctx context.Context, treePath string, M int64, mid bool, alg string, trace bool, dot string, doSearch bool, workers int, cacheBudget int64, out string) error {
 	in, M, err := loadInstance(treePath, M, mid)
 	if err != nil {
 		return err
@@ -166,6 +194,7 @@ func run(treePath string, M int64, mid bool, alg string, trace bool, dot string,
 	tab := stats.NewTable(header...)
 	runner := core.NewRunner(workers)
 	runner.CacheBudget = cacheBudget
+	runner.Ctx = ctx
 	var lastSched tree.Schedule
 	for _, a := range algs {
 		res, err := runner.Run(a, t, M)

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/tree"
+)
+
+// TestStreamSchedSIGINTCancel is the end-to-end contract of the graceful
+// interrupt path: a real sched binary streaming a schedule to disk, a real
+// SIGINT mid-run. Whatever the race between the signal and the engine, the
+// stream on disk must be crash-evident — either it carries the "# end"
+// trailer and passes the strict reader (the run won), or the process exits
+// 130 and the strict reader rejects the truncated stream (the signal won).
+// A silent third state — partial stream that parses as complete — is the
+// bug this test exists to rule out.
+func TestStreamSchedSIGINTCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a real binary; skipped under -short")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal semantics required")
+	}
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "sched")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sched: %v\n%s", err, out)
+	}
+
+	// Big enough that the expansion takes long enough to be interrupted,
+	// small enough that the completed-before-signal outcome stays cheap.
+	in := experiments.Huge(400000, 1)
+	treePath := filepath.Join(dir, "tree.json")
+	f, err := os.Create(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Tree.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	schedPath := filepath.Join(dir, "sched.txt")
+	cmd := exec.Command(bin, "-tree", treePath, "-mid", "-alg", "RecExpand", "-stream-sched", schedPath)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The instance header is printed after the tree is loaded and before
+	// the engine starts: signalling shortly after it maximizes the chance
+	// of landing mid-expansion rather than mid-parse.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Wait()
+		t.Fatalf("sched exited before printing the instance header: %v", sc.Err())
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("SIGINT: %v", err)
+	}
+	for sc.Scan() {
+		// Drain so the child never blocks on a full stdout pipe.
+	}
+	werr := cmd.Wait()
+
+	sf, err := os.Open(schedPath)
+	if err != nil {
+		t.Fatalf("stream file missing after interrupt: %v", err)
+	}
+	defer sf.Close()
+	sched, serr := tree.ReadScheduleStrict(sf)
+
+	switch {
+	case werr == nil:
+		// The run beat the signal: the stream must be complete and strict.
+		if serr != nil {
+			t.Fatalf("run completed but strict read failed: %v", serr)
+		}
+		if len(sched) != in.Tree.N() {
+			t.Fatalf("complete stream has %d ids, want %d", len(sched), in.Tree.N())
+		}
+	default:
+		var xerr *exec.ExitError
+		if !errors.As(werr, &xerr) {
+			t.Fatalf("wait: %v", werr)
+		}
+		if code := xerr.ExitCode(); code != 130 {
+			t.Fatalf("interrupted sched exited %d, want 130", code)
+		}
+		if serr == nil {
+			t.Fatalf("interrupted run left a stream that passes the strict reader (%d ids): truncation is not crash-evident", len(sched))
+		}
+		if !errors.Is(serr, tree.ErrTruncatedSchedule) {
+			t.Fatalf("strict read error = %v, want ErrTruncatedSchedule", serr)
+		}
+	}
+}

@@ -70,7 +70,10 @@ func build(kind string, n, deg, bw int, seed, relax int64, ord, in string) (*tre
 	case "synth":
 		return randtree.Synth(n, rng), nil
 	case "grid2d":
-		p = sparse.Grid2D(n, n)
+		var err error
+		if p, err = sparse.Grid2D(n, n); err != nil {
+			return nil, err
+		}
 		if ord == "nd" {
 			perm := sparse.NestedDissection2D(n, n, 8)
 			var err error
@@ -81,7 +84,10 @@ func build(kind string, n, deg, bw int, seed, relax int64, ord, in string) (*tre
 			ord = "natural"
 		}
 	case "grid3d":
-		p = sparse.Grid3D(n, n, n)
+		var err error
+		if p, err = sparse.Grid3D(n, n, n); err != nil {
+			return nil, err
+		}
 		if ord == "nd" {
 			perm := sparse.NestedDissection3D(n, n, n, 8)
 			var err error
@@ -92,9 +98,15 @@ func build(kind string, n, deg, bw int, seed, relax int64, ord, in string) (*tre
 			ord = "natural"
 		}
 	case "rand":
-		p = sparse.RandomSymmetric(n, deg, rng)
+		var err error
+		if p, err = sparse.RandomSymmetric(n, deg, rng); err != nil {
+			return nil, err
+		}
 	case "band":
-		p = sparse.Band(n, bw)
+		var err error
+		if p, err = sparse.Band(n, bw); err != nil {
+			return nil, err
+		}
 	case "mm":
 		if in == "" {
 			return nil, fmt.Errorf("-kind mm needs -in file.mtx")

@@ -19,9 +19,12 @@ func main() {
 	// geometric nested dissection the way a fill-reducing ordering
 	// package would.
 	nx := 24
-	pat := sparse.Grid2D(nx, nx)
+	pat, err := sparse.Grid2D(nx, nx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	perm := sparse.NestedDissection2D(nx, nx, 8)
-	pat, err := pat.Permute(perm)
+	pat, err = pat.Permute(perm)
 	if err != nil {
 		log.Fatal(err)
 	}

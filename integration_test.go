@@ -26,9 +26,12 @@ import (
 // byte buffers, checking the result against an in-core run.
 func TestPipelineSparseToExecution(t *testing.T) {
 	nx := 18
-	pat := sparse.Grid2D(nx, nx)
+	pat, err := sparse.Grid2D(nx, nx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	perm := sparse.NestedDissection2D(nx, nx, 8)
-	pat, err := pat.Permute(perm)
+	pat, err = pat.Permute(perm)
 	if err != nil {
 		t.Fatal(err)
 	}

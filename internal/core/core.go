@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -82,6 +83,12 @@ type Runner struct {
 	// evicted and recomputed on demand. 0 means unlimited. Results are
 	// identical for every setting; only memory and time move.
 	CacheBudget int64
+	// Ctx cancels runs cooperatively (expand.Options.Ctx): Run checks it
+	// on entry and the expansion engines check it throughout, so a SIGINT
+	// aborts a long RecExpand instead of running to completion. The
+	// direct algorithms (OptMinMem, the postorders) are single closed-form
+	// passes and only honour the entry check. nil disables cancellation.
+	Ctx context.Context
 
 	eng *expand.Engine
 }
@@ -100,6 +107,13 @@ func Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 
 // Run executes the given algorithm on t under memory bound M.
 func (rn *Runner) Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
+	if rn.Ctx != nil {
+		select {
+		case <-rn.Ctx.Done():
+			return nil, rn.Ctx.Err()
+		default:
+		}
+	}
 	if lb := t.MaxWBar(); M < lb {
 		return nil, fmt.Errorf("core: M=%d below LB=%d", M, lb)
 	}
@@ -117,7 +131,7 @@ func (rn *Runner) Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 		// The expansion engine already validated its transposed schedule
 		// and simulated it on the original tree under M; reuse that run
 		// instead of paying a redundant simulation here.
-		opts := expand.Options{MaxPerNode: 2, Workers: rn.Workers, CacheBudget: rn.CacheBudget}
+		opts := expand.Options{MaxPerNode: 2, Workers: rn.Workers, CacheBudget: rn.CacheBudget, Ctx: rn.Ctx}
 		if alg == FullRecExpand {
 			opts.MaxPerNode = 0
 		}

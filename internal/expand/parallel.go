@@ -31,9 +31,12 @@
 package expand
 
 import (
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/liu"
 	"repro/internal/tree"
 )
@@ -83,6 +86,11 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 	m.EnableProfilesOpts(opts.cacheOptions())
 	// Sharded bottom-up warm; see InitialPeaks for the skip contract.
 	initialPeaks := m.InitialPeaks(workers)
+	// Bail before the skip decisions read a warm the cancellation may
+	// have left partial — and before any unit is pinned or started.
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, false, err
+	}
 
 	post := t.NaturalPostorder()
 	units, unitIndex := planUnits(t, initialPeaks, M, workers, post)
@@ -129,6 +137,11 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 	// keeps pending unit-local caches from stacking up to a second
 	// shared-cache footprint (DESIGN.md §2.8).
 	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	// stop aborts the pool; both the merger (CapHit, replay error, panic)
+	// and a failing worker (error or contained panic) may call it, in any
+	// order and from different goroutines.
+	stop := func() { cancelOnce.Do(func() { close(cancel) }) }
 	var wg sync.WaitGroup
 	var tokens chan struct{}
 	if len(units) > 0 {
@@ -174,9 +187,7 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 					if i >= int64(len(units)) {
 						return
 					}
-					u := units[i]
-					u.runLocal(t, M, opts, globalCap, eng, snap)
-					close(u.done)
+					units[i].runContained(t, M, opts, globalCap, eng, snap, stop)
 				}
 			}()
 		}
@@ -188,59 +199,74 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 	capHit := false
 	var werr error
 	replayed := make([]bool, len(units))
-	for _, r := range post {
-		if ui := unitAt(unitIndex, r); ui >= 0 {
-			if replayed[ui] {
+	runMerger := func() {
+		for _, r := range post {
+			if ui := unitAt(unitIndex, r); ui >= 0 {
+				if replayed[ui] {
+					continue
+				}
+				replayed[ui] = true
+				u := units[ui]
+				<-u.done
+				// The worker is done reading the shared snapshot; from here the
+				// unit's region may be invalidated, evicted and rewritten.
+				m.UnpinProfiles(u.root)
+				unpinned[ui] = true
+				if u.err != nil {
+					werr = u.err
+					break
+				}
+				hit, err := m.replayUnit(u, opts, globalCap)
+				if err != nil {
+					werr = err
+					break
+				}
+				if hit {
+					capHit = true
+					break
+				}
+				// Transplant the unit's final local profiles over the replayed
+				// region: the merger's later ensure passes then find the paths
+				// the replay dirtied already resident instead of re-merging
+				// them. Skipped on CapHit, where the local and shared trees
+				// may have diverged (the replay truncates at the real budget).
+				if u.lm != nil {
+					m.AdoptProfiles(u.lm.ProfileSnapshot(), u.lm, u.lm.Root(), u.l2g[u.lm.Root()])
+					u.lm, u.l2g, u.trace = nil, nil, nil
+				}
+				// The unit's local tree and cache are gone: let the pool start
+				// the next pending unit.
+				tokens <- struct{}{}
 				continue
 			}
-			replayed[ui] = true
-			u := units[ui]
-			<-u.done
-			// The worker is done reading the shared snapshot; from here the
-			// unit's region may be invalidated, evicted and rewritten.
-			m.UnpinProfiles(u.root)
-			unpinned[ui] = true
-			if u.err != nil {
-				werr = u.err
-				break
+			if t.IsLeaf(r) || initialPeaks[r] <= M {
+				continue
 			}
-			hit, err := m.replayUnit(u, opts, globalCap)
+			exit, err := e.expandLoop(m, r, M, opts, globalCap, nil)
 			if err != nil {
 				werr = err
 				break
 			}
-			if hit {
+			if exit == exitCap {
 				capHit = true
 				break
 			}
-			// Transplant the unit's final local profiles over the replayed
-			// region: the merger's later ensure passes then find the paths
-			// the replay dirtied already resident instead of re-merging
-			// them. Skipped on CapHit, where the local and shared trees
-			// may have diverged (the replay truncates at the real budget).
-			if u.lm != nil {
-				m.AdoptProfiles(u.lm.ProfileSnapshot(), u.lm, u.lm.Root(), u.l2g[u.lm.Root()])
-				u.lm, u.l2g, u.trace = nil, nil, nil
-			}
-			// The unit's local tree and cache are gone: let the pool start
-			// the next pending unit.
-			tokens <- struct{}{}
-			continue
-		}
-		if t.IsLeaf(r) || initialPeaks[r] <= M {
-			continue
-		}
-		exit, err := e.expandLoop(m, r, M, opts, globalCap, nil)
-		if err != nil {
-			werr = err
-			break
-		}
-		if exit == exitCap {
-			capHit = true
-			break
 		}
 	}
-	close(cancel)
+	// The merger mutates the shared tree and cache, so a panic there (an
+	// injected shared-cache fault, an invariant violation) must not skip
+	// the pool shutdown below: contain it locally, abort the pool, and
+	// let the normal cleanup path unpin and join before returning the
+	// typed error.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				werr = &PanicError{Panic: r, Stack: debug.Stack()}
+			}
+		}()
+		runMerger()
+	}()
+	stop()
 	wg.Wait()
 	// An early break (CapHit, worker error) leaves later units pinned;
 	// release them now that no worker can still be reading the snapshot,
@@ -352,6 +378,27 @@ func planRoots(t *tree.Tree, initialPeaks []int64, M int64, sizes []int, grain i
 	return roots
 }
 
+// runContained is the worker-side wrapper around runLocal: it recovers a
+// panic into a typed WorkerError carrying the unit root and the worker's
+// stack, aborts the sibling workers on any failure (the merger will stop
+// at this unit anyway, so their remaining work is wasted), and closes
+// done in every outcome so the merger never blocks on a dead unit. The
+// shared tree and cache are untouched by a unit failure — workers only
+// read the pinned snapshot and write their private extracted copy — so
+// the caller can re-run the same expansion afterwards.
+func (u *unit) runContained(t *tree.Tree, M int64, opts Options, globalCap int, eng *Engine, snap liu.CacheSnapshot, stop func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			u.err = &WorkerError{Unit: u.root, Panic: r, Stack: debug.Stack()}
+		}
+		if u.err != nil {
+			stop()
+		}
+		close(u.done)
+	}()
+	u.runLocal(t, M, opts, globalCap, eng, snap)
+}
+
 // runLocal expands the unit's subtree on a private extracted copy,
 // recording every loop's expansions. The local run pretends it owns the
 // whole global budget; the replay reconciles the trace against the real
@@ -362,12 +409,27 @@ func planRoots(t *tree.Tree, initialPeaks []int64, M int64, sizes []int, grain i
 // snapshot holes (profiles the shared cache had evicted under its budget)
 // are recomputed locally by InitialPeaks.
 func (u *unit) runLocal(t *tree.Tree, M int64, opts Options, globalCap int, eng *Engine, snap liu.CacheSnapshot) {
+	// Injection points for the robustness harness (no-ops on default
+	// builds): a stall exercises the merger's wait and the lead bound
+	// under worker skew; a panic exercises runContained.
+	if faultinject.Fire(faultinject.WorkerStall) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if faultinject.Fire(faultinject.WorkerPanic) {
+		panic(faultinject.ErrWorkerPanic)
+	}
 	sub, toOld := t.Subtree(u.root)
 	u.toOld = toOld
 	lm := NewMutable(sub)
 	lm.EnableProfilesOpts(opts.cacheOptions())
 	lm.AdoptProfiles(snap, t, u.root, lm.Root())
 	locPeaks := lm.InitialPeaks(1)
+	// As in the sequential driver: a cancelled warm leaves locPeaks
+	// partial, so bail before the skip decisions read them.
+	if err := ctxErr(opts.Ctx); err != nil {
+		u.err = err
+		return
+	}
 	for _, r := range sub.NaturalPostorder() {
 		if sub.IsLeaf(r) || locPeaks[r] <= M {
 			continue

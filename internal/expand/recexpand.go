@@ -1,6 +1,7 @@
 package expand
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -41,6 +42,13 @@ func (p VictimPolicy) String() string {
 
 // Options tunes the recursive-expansion heuristics.
 type Options struct {
+	// Ctx cancels a run cooperatively: the engine checks it once per
+	// expansion-loop iteration, per merged unit and per streamed segment,
+	// and the profile caches poll it during long recompute passes. A
+	// cancelled run returns Ctx.Err() (typically context.Canceled) and
+	// leaves the engine re-runnable; see cancel.go for the failure model.
+	// nil disables cancellation — the zero Options behaves as before.
+	Ctx context.Context
 	// MaxPerNode caps the number of expansion iterations of the while
 	// loop at every recursion node; 0 means unbounded (FULLRECEXPAND).
 	// The paper's RECEXPAND uses 2.
@@ -80,9 +88,12 @@ type Options struct {
 	MaxUnitLead int
 }
 
-// cacheOptions is the liu residency policy the engine derives from Options.
+// cacheOptions is the liu residency and cancellation policy the engine
+// derives from Options: every cache a run creates shares the run's
+// cancellation signal, so ensure-heavy phases (warms, schedule flattens)
+// stop within one poll interval of the context being cancelled.
 func (o Options) cacheOptions() liu.CacheOptions {
-	return liu.CacheOptions{MaxResidentBytes: o.CacheBudget}
+	return liu.CacheOptions{MaxResidentBytes: o.CacheBudget, Done: ctxDone(o.Ctx)}
 }
 
 // Result is the outcome of a recursive-expansion heuristic.
@@ -182,13 +193,17 @@ const (
 	exitCap
 )
 
-// RecExpand is the Engine-bound form of the package-level RecExpand.
-func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error) {
+// RecExpand is the Engine-bound form of the package-level RecExpand. A
+// panic that reaches this boundary (an injected fault, an invariant
+// violation) is recovered into a typed error — WorkerError or PanicError
+// — instead of crashing the process; the engine stays re-runnable.
+func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (res *Result, err error) {
+	defer containPanic(&err)
 	m, capHit, err := e.expandTree(t, M, opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.finish(t, m, M, capHit)
+	return e.finish(opts.Ctx, t, m, M, capHit)
 }
 
 // RecExpandStream is RecExpand for out-of-core-scale trees: instead of
@@ -210,12 +225,17 @@ func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (*Result, error)
 // >10⁸-node trees (DESIGN.md §2.8).
 //
 // If yield returns false the run aborts and returns ErrEmissionStopped.
-func (e *Engine) RecExpandStream(t *tree.Tree, M int64, opts Options, yield func(seg []int) bool) (*Result, error) {
+// Like RecExpand, a panic reaching this boundary is recovered into a
+// typed WorkerError or PanicError. With Options.Ctx set, cancellation is
+// additionally checked between streamed segments, so a consumer blocked
+// on slow output storage still observes it promptly.
+func (e *Engine) RecExpandStream(t *tree.Tree, M int64, opts Options, yield func(seg []int) bool) (res *Result, err error) {
+	defer containPanic(&err)
 	m, capHit, err := e.expandTree(t, M, opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.finishStream(t, m, M, capHit, yield)
+	return e.finishStream(opts.Ctx, t, m, M, capHit, yield)
 }
 
 // expandTree runs the expansion phase — everything up to, but not
@@ -251,6 +271,12 @@ func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, 
 	// recursion linear on deep trees; see InitialPeaks for why the skip
 	// must use these initial peaks and nothing else.
 	initialPeaks := m.InitialPeaks(1)
+	// A cancellation during the warm leaves initialPeaks partially
+	// computed (the cache bails between recomputes); bail before any
+	// skip decision reads them.
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, false, err
+	}
 
 	// Post-order walk over the ORIGINAL nodes: the recursion of
 	// Algorithm 2 treats children before their parent, and expansions
@@ -284,6 +310,12 @@ func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, 
 func (e *Engine) expandLoop(m *MutableTree, r int, M int64, opts Options, globalCap int, rec *[]expRec) (loopExit, error) {
 	iter := 0
 	for {
+		// One check per iteration: each iteration reschedules and
+		// re-simulates a whole subtree, so the select is noise — and a
+		// cancelled cache makes the flatten below unusable anyway.
+		if err := ctxErr(opts.Ctx); err != nil {
+			return 0, err
+		}
 		if opts.MaxPerNode > 0 && iter >= opts.MaxPerNode {
 			return exitBudget, nil
 		}
@@ -295,21 +327,21 @@ func (e *Engine) expandLoop(m *MutableTree, r int, M int64, opts Options, global
 		}
 		e.sched = m.AppendMinMemSchedule(r, e.sched[:0])
 		if _, _, err := e.sim.Run(m, r, M, e.sched, memsim.FiF); err != nil {
-			return 0, fmt.Errorf("expand: simulating subtree of %d: %w", r, err)
+			return 0, mapErr(opts.Ctx, fmt.Errorf("expand: simulating subtree of %d: %w", r, err))
 		}
 		if opts.Victim == LargestTau {
 			e.bfsPos = m.appendBFSRanks(r, e.bfsPos)
 		}
 		victim := pickVictimInPlace(m, r, e.sim.Positions(), e.sim.Tau(), e.sched, e.bfsPos, opts.Victim)
 		if victim < 0 {
-			return 0, fmt.Errorf("expand: subtree of %d overflows M=%d but FiF evicted nothing", r, M)
+			return 0, mapErr(opts.Ctx, fmt.Errorf("expand: subtree of %d overflows M=%d but FiF evicted nothing", r, M))
 		}
 		amount := e.sim.Tau()[victim]
 		if rec != nil {
 			*rec = append(*rec, expRec{victim: victim, amount: amount})
 		}
 		if _, _, err := m.Expand(victim, amount); err != nil {
-			return 0, err
+			return 0, mapErr(opts.Ctx, err)
 		}
 		iter++
 	}
@@ -325,15 +357,15 @@ var ErrEmissionStopped = errors.New("expand: schedule emission stopped by consum
 // the caller receives the original-tree schedule segment by segment during
 // the last pass — which emits in releasing mode, handing each schedule
 // rope back to the cache arena as it streams out.
-func (e *Engine) finishStream(t *tree.Tree, m *MutableTree, M int64, capHit bool, yield func(seg []int) bool) (*Result, error) {
+func (e *Engine) finishStream(ctx context.Context, t *tree.Tree, m *MutableTree, M int64, capHit bool, yield func(seg []int) bool) (*Result, error) {
 	peak := m.SubtreePeak(m.Root())
 	root := m.Root()
 	emitExpanded := func(y func(seg []int) bool) bool {
 		return m.EmitMinMemSchedule(root, y)
 	}
-	finalIO, _, err := e.sim.RunStream(m, root, M, emitExpanded, memsim.FiF)
+	finalIO, _, err := e.sim.RunStreamCtx(ctx, m, root, M, emitExpanded, memsim.FiF)
 	if err != nil {
-		return nil, fmt.Errorf("expand: simulating final tree: %w", err)
+		return nil, mapErr(ctx, fmt.Errorf("expand: simulating final tree: %w", err))
 	}
 	// The original-tree pass filters the emission down to primary nodes in
 	// original ids. RunStream invokes the source exactly twice; only the
@@ -365,12 +397,12 @@ func (e *Engine) finishStream(t *tree.Tree, m *MutableTree, M int64, capHit bool
 		}
 		return m.EmitMinMemSchedule(root, filter)
 	}
-	simIO, simPeak, err := e.sim.RunStream(t, t.Root(), M, emitPrimary, memsim.FiF)
+	simIO, simPeak, err := e.sim.RunStreamCtx(ctx, t, t.Root(), M, emitPrimary, memsim.FiF)
 	if err != nil {
 		if stopped {
 			return nil, ErrEmissionStopped
 		}
-		return nil, fmt.Errorf("expand: simulating transposed schedule: %w", err)
+		return nil, mapErr(ctx, fmt.Errorf("expand: simulating transposed schedule: %w", err))
 	}
 	e.cacheStats = m.ProfileStats()
 	return &Result{
@@ -389,23 +421,23 @@ func (e *Engine) finishStream(t *tree.Tree, m *MutableTree, M int64, capHit bool
 // finish computes the final expanded-tree schedule, transposes it to the
 // original tree and assembles the Result — the common tail of the
 // sequential and parallel drivers.
-func (e *Engine) finish(t *tree.Tree, m *MutableTree, M int64, capHit bool) (*Result, error) {
+func (e *Engine) finish(ctx context.Context, t *tree.Tree, m *MutableTree, M int64, capHit bool) (*Result, error) {
 	finalSched := m.AppendMinMemSchedule(m.Root(), nil)
 	peak := m.SubtreePeak(m.Root())
 	finalIO, _, err := e.sim.Run(m, m.Root(), M, finalSched, memsim.FiF)
 	if err != nil {
-		return nil, fmt.Errorf("expand: simulating final tree: %w", err)
+		return nil, mapErr(ctx, fmt.Errorf("expand: simulating final tree: %w", err))
 	}
 	orig := m.PrimarySchedule(finalSched)
 	if err := tree.Validate(t, orig); err != nil {
-		return nil, fmt.Errorf("expand: transposed schedule invalid: %w", err)
+		return nil, mapErr(ctx, fmt.Errorf("expand: transposed schedule invalid: %w", err))
 	}
 	// Reuse the warm simulator: *tree.Tree implements no ChildRanker, so
 	// this keeps the public Run's historical id tie-break while avoiding
 	// its per-call scratch allocation. Only IO and Peak are consumed.
 	simIO, simPeak, err := e.sim.Run(t, t.Root(), M, orig, memsim.FiF)
 	if err != nil {
-		return nil, fmt.Errorf("expand: simulating transposed schedule: %w", err)
+		return nil, mapErr(ctx, fmt.Errorf("expand: simulating transposed schedule: %w", err))
 	}
 	e.cacheStats = m.ProfileStats()
 	return &Result{

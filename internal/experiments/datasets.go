@@ -50,7 +50,10 @@ func Synth(cfg SynthConfig) []*core.Instance {
 // spine nodes — which costs O(spine²) on an engine that reschedules the
 // whole subtree per visit and O(spine) on the incremental one. Node 0 is
 // the root; the spine is 0 ← 1 ← ... ← spine−1 ← bottom root.
-func DeepChain(spine, bushy int, seed int64) *core.Instance {
+func DeepChain(spine, bushy int, seed int64) (*core.Instance, error) {
+	if spine < 1 || bushy < 1 {
+		return nil, fmt.Errorf("experiments: DeepChain needs spine ≥ 1 and bushy ≥ 1, got %d and %d", spine, bushy)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var bottom *tree.Tree
 	// Retry until the bottom subtree is I/O-bound (Peak > LB), which
@@ -59,7 +62,7 @@ func DeepChain(spine, bushy int, seed int64) *core.Instance {
 	// than spin.
 	for attempt := 0; ; attempt++ {
 		if attempt == 1000 {
-			panic(fmt.Sprintf("experiments: no I/O-bound synth tree of %d nodes in %d draws", bushy, attempt))
+			return nil, fmt.Errorf("experiments: no I/O-bound synth tree of %d nodes in %d draws", bushy, attempt)
 		}
 		bottom = randtree.Synth(bushy, rng)
 		if in := core.NewInstance("", bottom); in.NeedsIO() {
@@ -85,7 +88,7 @@ func DeepChain(spine, bushy int, seed int64) *core.Instance {
 		weight[spine+i] = bottom.Weight(i)
 	}
 	t := tree.MustNew(parent, weight)
-	return core.NewInstance(fmt.Sprintf("deepchain-%d-%d", spine, bushy), t)
+	return core.NewInstance(fmt.Sprintf("deepchain-%d-%d", spine, bushy), t), nil
 }
 
 // Forest builds the maximally parallel regime of the sharded expansion
@@ -95,12 +98,15 @@ func DeepChain(spine, bushy int, seed int64) *core.Instance {
 // branches at once — k independent, equally sized expansion work units —
 // while the buffer nodes keep the forest's peak driven by the subtree
 // peaks rather than by the sum of the subtree outputs.
-func Forest(k, bushy int, seed int64) *core.Instance {
+func Forest(k, bushy int, seed int64) (*core.Instance, error) {
+	if k < 1 || bushy < 1 {
+		return nil, fmt.Errorf("experiments: Forest needs k ≥ 1 and bushy ≥ 1, got %d and %d", k, bushy)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var sub *tree.Tree
 	for attempt := 0; ; attempt++ {
 		if attempt == 1000 {
-			panic(fmt.Sprintf("experiments: no I/O-bound synth tree of %d nodes in %d draws", bushy, attempt))
+			return nil, fmt.Errorf("experiments: no I/O-bound synth tree of %d nodes in %d draws", bushy, attempt)
 		}
 		sub = randtree.Synth(bushy, rng)
 		if in := core.NewInstance("", sub); in.NeedsIO() {
@@ -125,7 +131,7 @@ func Forest(k, bushy int, seed int64) *core.Instance {
 		}
 	}
 	t := tree.MustNew(parent, weight)
-	return core.NewInstance(fmt.Sprintf("forest-%d-%d", k, bushy), t)
+	return core.NewInstance(fmt.Sprintf("forest-%d-%d", k, bushy), t), nil
 }
 
 // Huge builds the out-of-core-scale regime of the budgeted profile cache:
@@ -219,8 +225,9 @@ var PaperTrees = TreesConfig{Scale: 2, Seed: 9025, Variants: 6}
 var SmallTrees = TreesConfig{Scale: 1, Seed: 9025, Variants: 1}
 
 // Trees generates the TREES dataset and keeps only instances that need
-// I/O for some bound (Peak > LB), as Section 6.1 does.
-func Trees(cfg TreesConfig) []*core.Instance {
+// I/O for some bound (Peak > LB), as Section 6.1 does. Generator and
+// ordering failures are returned with the failing family named.
+func Trees(cfg TreesConfig) ([]*core.Instance, error) {
 	s := cfg.Scale
 	if s < 1 {
 		s = 1
@@ -234,12 +241,23 @@ func Trees(cfg TreesConfig) []*core.Instance {
 		pat  *sparse.Pattern
 	}
 	var specs []spec
+	// addSpec wraps the fallible pattern builders: family construction
+	// stops at the first failure, named after the failing instance.
+	var buildErr error
+	addSpec := func(name string, p *sparse.Pattern, err error) {
+		if buildErr != nil {
+			return
+		}
+		if err != nil {
+			buildErr = fmt.Errorf("experiments: building %s: %w", name, err)
+			return
+		}
+		specs = append(specs, spec{name, p})
+	}
 	// 2-D grids, natural ordering: long, skinny elimination trees.
 	for _, g := range []int{8, 12, 16, 20, 24} {
-		specs = append(specs, spec{
-			fmt.Sprintf("grid2d-nat-%d", g*s),
-			sparse.Grid2D(g*s, g*s),
-		})
+		p, err := sparse.Grid2D(g*s, g*s)
+		addSpec(fmt.Sprintf("grid2d-nat-%d", g*s), p, err)
 	}
 	// Rectangular and square 2-D grids under nested dissection with
 	// several separator leaf sizes: bushy, well-balanced trees whose
@@ -252,13 +270,14 @@ func Trees(cfg TreesConfig) []*core.Instance {
 	} {
 		for _, leaf := range []int{4, 8, 16} {
 			nx, ny := g.nx*s, g.ny*s
-			p := sparse.Grid2D(nx, ny)
-			perm := sparse.NestedDissection2D(nx, ny, leaf)
-			pp, err := p.Permute(perm)
+			name := fmt.Sprintf("grid2d-nd-%dx%d-l%d", nx, ny, leaf)
+			p, err := sparse.Grid2D(nx, ny)
 			if err != nil {
-				panic(err)
+				addSpec(name, nil, err)
+				continue
 			}
-			specs = append(specs, spec{fmt.Sprintf("grid2d-nd-%dx%d-l%d", nx, ny, leaf), pp})
+			pp, err := p.Permute(sparse.NestedDissection2D(nx, ny, leaf))
+			addSpec(name, pp, err)
 		}
 	}
 	// Perturbed ND grids: regular stencils plus random long-range
@@ -269,14 +288,16 @@ func Trees(cfg TreesConfig) []*core.Instance {
 	} {
 		for v := 0; v < variants; v++ {
 			nx, ny := g.nx*s, g.ny*s
+			name := fmt.Sprintf("grid2d-px-%dx%d-v%d", nx, ny, v)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(1000*g.nx+10*g.ny+v)))
-			p := sparse.Perturb(sparse.Grid2D(nx, ny), nx*ny/10, rng)
-			perm := sparse.NestedDissection2D(nx, ny, 8)
-			pp, err := p.Permute(perm)
+			base, err := sparse.Grid2D(nx, ny)
 			if err != nil {
-				panic(err)
+				addSpec(name, nil, err)
+				continue
 			}
-			specs = append(specs, spec{fmt.Sprintf("grid2d-px-%dx%d-v%d", nx, ny, v), pp})
+			p := sparse.Perturb(base, nx*ny/10, rng)
+			pp, err := p.Permute(sparse.NestedDissection2D(nx, ny, 8))
+			addSpec(name, pp, err)
 		}
 	}
 	// 3-D grids under nested dissection: heavy, fast-growing fronts.
@@ -284,20 +305,19 @@ func Trees(cfg TreesConfig) []*core.Instance {
 		{6, 6, 6}, {8, 8, 8}, {10, 10, 10}, {6, 8, 12}, {4, 10, 16},
 	} {
 		nx, ny, nz := g.nx*s, g.ny*s, g.nz*s
-		p := sparse.Grid3D(nx, ny, nz)
-		perm := sparse.NestedDissection3D(nx, ny, nz, 8)
-		pp, err := p.Permute(perm)
+		name := fmt.Sprintf("grid3d-nd-%dx%dx%d", nx, ny, nz)
+		p, err := sparse.Grid3D(nx, ny, nz)
 		if err != nil {
-			panic(err)
+			addSpec(name, nil, err)
+			continue
 		}
-		specs = append(specs, spec{fmt.Sprintf("grid3d-nd-%dx%dx%d", nx, ny, nz), pp})
+		pp, err := p.Permute(sparse.NestedDissection3D(nx, ny, nz, 8))
+		addSpec(name, pp, err)
 	}
 	// 3-D grids: heavier fronts, wider weight spreads.
 	for _, g := range []int{4, 5, 6, 7} {
-		specs = append(specs, spec{
-			fmt.Sprintf("grid3d-nat-%d", g*s),
-			sparse.Grid3D(g*s, g*s, g*s),
-		})
+		p, err := sparse.Grid3D(g*s, g*s, g*s)
+		addSpec(fmt.Sprintf("grid3d-nat-%d", g*s), p, err)
 	}
 	// Random symmetric patterns: irregular trees; several seeds per
 	// size/density, both in natural and minimum-degree ordering (the
@@ -306,40 +326,38 @@ func Trees(cfg TreesConfig) []*core.Instance {
 		for _, deg := range []int{3, 4, 6} {
 			for v := 0; v < variants; v++ {
 				seed := cfg.Seed + int64(10000*v+100*i+deg)
-				p := sparse.RandomSymmetric(n*s, deg, rand.New(rand.NewSource(seed)))
-				specs = append(specs, spec{
-					fmt.Sprintf("rand-%d-d%d-v%d", n*s, deg, v), p,
-				})
+				name := fmt.Sprintf("rand-%d-d%d-v%d", n*s, deg, v)
+				p, err := sparse.RandomSymmetric(n*s, deg, rand.New(rand.NewSource(seed)))
+				addSpec(name, p, err)
+				if err != nil {
+					continue
+				}
 				// Minimum degree is the expensive part: cap its use.
 				if v < 2 && n*s <= 1000 {
 					pm, err := p.Permute(sparse.MinimumDegree(p))
-					if err != nil {
-						panic(err)
-					}
-					specs = append(specs, spec{
-						fmt.Sprintf("rand-md-%d-d%d-v%d", n*s, deg, v), pm,
-					})
+					addSpec(fmt.Sprintf("rand-md-%d-d%d-v%d", n*s, deg, v), pm, err)
 				}
 			}
 		}
 	}
 	// Banded matrices: near-chains after amalgamation.
 	for _, n := range []int{200, 400} {
-		specs = append(specs, spec{
-			fmt.Sprintf("band-%d", n*s),
-			sparse.Band(n*s, 4),
-		})
+		p, err := sparse.Band(n*s, 4)
+		addSpec(fmt.Sprintf("band-%d", n*s), p, err)
+	}
+	if buildErr != nil {
+		return nil, buildErr
 	}
 	var out []*core.Instance
 	for _, sp := range specs {
 		t, err := sparse.EliminationTaskTree(sp.pat, cfg.Relax)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: building %s: %v", sp.name, err))
+			return nil, fmt.Errorf("experiments: building %s: %w", sp.name, err)
 		}
 		in := core.NewInstance(sp.name, t)
 		if in.NeedsIO() {
 			out = append(out, in)
 		}
 	}
-	return out
+	return out, nil
 }

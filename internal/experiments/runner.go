@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,7 +27,15 @@ type RunResult struct {
 // pool sized to GOMAXPROCS keeps the dataset runs tractable at paper
 // scale), with unbounded profile caches.
 func Run(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, workers int) (*RunResult, error) {
-	return RunBudgeted(instances, algs, bound, workers, 0)
+	return RunBudgetedCtx(nil, instances, algs, bound, workers, 0)
+}
+
+// RunCtx is Run with cooperative cancellation: the producer stops handing
+// out instances once ctx is done, every worker's Runner checks it per
+// algorithm call, and the first cancellation surfaces as ctx.Err(). A nil
+// ctx disables cancellation.
+func RunCtx(ctx context.Context, instances []*core.Instance, algs []core.Algorithm, bound core.Bound, workers int) (*RunResult, error) {
+	return RunBudgetedCtx(ctx, instances, algs, bound, workers, 0)
 }
 
 // RunBudgeted is Run with a resident-byte budget applied to every
@@ -34,6 +43,12 @@ func Run(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, wo
 // unlimited). I/O volumes are identical for every budget — the budget only
 // caps the evaluation's memory footprint.
 func RunBudgeted(instances []*core.Instance, algs []core.Algorithm, bound core.Bound, workers int, cacheBudget int64) (*RunResult, error) {
+	return RunBudgetedCtx(nil, instances, algs, bound, workers, cacheBudget)
+}
+
+// RunBudgetedCtx combines the cache budget of RunBudgeted with the
+// cancellation of RunCtx — the full-featured form the others delegate to.
+func RunBudgetedCtx(ctx context.Context, instances []*core.Instance, algs []core.Algorithm, bound core.Bound, workers int, cacheBudget int64) (*RunResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -69,6 +84,7 @@ func RunBudgeted(instances []*core.Instance, algs []core.Algorithm, bound core.B
 			// only add scheduling overhead.
 			rn := core.NewRunner(1)
 			rn.CacheBudget = cacheBudget
+			rn.Ctx = ctx
 			for j := range jobs {
 				in := instances[j.i]
 				M := in.M(bound)
@@ -88,11 +104,19 @@ func RunBudgeted(instances []*core.Instance, algs []core.Algorithm, bound core.B
 			}
 		}()
 	}
+	// A nil Done channel (nil ctx, context.Background()) never selects:
+	// the produce loop degenerates to the uncancellable form for free.
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
 produce:
 	for i := range instances {
 		select {
 		case jobs <- job{i}:
 		case <-done:
+			break produce
+		case <-ctxDone:
 			break produce
 		}
 	}
@@ -102,6 +126,9 @@ produce:
 	case err := <-errs:
 		return nil, err
 	default:
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	return res, nil
 }

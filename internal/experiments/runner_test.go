@@ -44,7 +44,10 @@ func TestSynthDataset(t *testing.T) {
 }
 
 func TestTreesDataset(t *testing.T) {
-	ins := Trees(SmallTrees)
+	ins, err := Trees(SmallTrees)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ins) < 5 {
 		t.Fatalf("only %d TREES instances need I/O", len(ins))
 	}

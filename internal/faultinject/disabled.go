@@ -1,0 +1,29 @@
+//go:build !faultinject
+
+package faultinject
+
+import "io"
+
+// Enabled reports whether the binary was built with the faultinject tag;
+// on this default build every hook is a constant-false no-op the compiler
+// erases from the hot paths.
+func Enabled() bool { return false }
+
+// Reset is a no-op on default builds.
+func Reset() {}
+
+// Arm is a no-op on default builds.
+func Arm(Point, uint64) {}
+
+// Hits returns 0 on default builds.
+func Hits(Point) uint64 { return 0 }
+
+// Fire reports false on default builds, erasing the hook.
+func Fire(Point) bool { return false }
+
+// FireN reports false on default builds, erasing the hook.
+func FireN(Point, int) bool { return false }
+
+// NewWriter returns w unchanged on default builds: no wrapper, no byte
+// counting.
+func NewWriter(w io.Writer) io.Writer { return w }

@@ -1,0 +1,72 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// pointState is the per-point registry slot: a monotone hit counter and
+// the armed hit index (0 = disarmed).
+type pointState struct {
+	hits atomic.Uint64
+	arm  atomic.Uint64
+}
+
+var state [numPoints]pointState
+
+// Enabled reports whether the binary was built with the faultinject tag;
+// hook call sites stay cheap either way, but tests use this to skip
+// arming-dependent assertions on default builds.
+func Enabled() bool { return true }
+
+// Reset zeroes every point's hit counter and disarms every fault. Call it
+// between injection experiments.
+func Reset() {
+	for i := range state {
+		state[i].hits.Store(0)
+		state[i].arm.Store(0)
+	}
+}
+
+// Arm schedules the fault at p to trigger when the hit counter crosses n
+// (1-based, counted from the last Reset); n == 0 disarms the point. The
+// fault triggers exactly once.
+func Arm(p Point, n uint64) { state[p].arm.Store(n) }
+
+// Hits returns how many hits point p has accumulated since the last
+// Reset — the count-then-arm protocol's observation step.
+func Hits(p Point) uint64 { return state[p].hits.Load() }
+
+// Fire records one hit at p and reports whether the armed fault triggers
+// on it. Hook sites act on a true return (panic, forced eviction, ...).
+func Fire(p Point) bool { return FireN(p, 1) }
+
+// FireN records n hits at p at once (a Writer counts bytes, not calls) and
+// reports whether the armed index was crossed by this batch.
+func FireN(p Point, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	s := &state[p]
+	after := s.hits.Add(uint64(n))
+	a := s.arm.Load()
+	return a != 0 && after >= a && after-uint64(n) < a
+}
+
+// NewWriter wraps w with the WriterIO injection point: every Write offers
+// its byte count to FireN, and the Write on which the armed byte index is
+// crossed fails with ErrWrite instead of reaching w. With nothing armed
+// the wrapper only counts.
+func NewWriter(w io.Writer) io.Writer { return &faultWriter{w: w} }
+
+// faultWriter is the enabled-build Writer wrapper.
+type faultWriter struct{ w io.Writer }
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if FireN(WriterIO, len(p)) {
+		return 0, ErrWrite
+	}
+	return fw.w.Write(p)
+}

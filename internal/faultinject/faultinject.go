@@ -1,0 +1,99 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// registry for the engine's robustness tests. Production code calls the
+// Fire/FireN hooks at its injection points; under the default build the
+// hooks are compiled as constant-false no-ops (see disabled.go), and under
+// the `faultinject` build tag they count hits with atomic counters and
+// trigger the armed fault exactly once (see enabled.go).
+//
+// The intended protocol is count-then-arm: run the workload once with
+// nothing armed to learn how often a point fires (Hits), derive a
+// deterministic hit index from a test seed (PlanHit), Reset, Arm that
+// index, and re-run. Concurrent workloads still fire exactly once at a
+// deterministic hit NUMBER, though which goroutine observes that hit may
+// vary; sequential workloads are fully deterministic.
+//
+// The registry is process-global on purpose — the hooks sit deep inside
+// the arena and the parallel driver, where threading a handle through
+// every call would distort the very hot paths the faults are meant to
+// stress. Tests that arm faults must therefore not run in parallel with
+// each other.
+package faultinject
+
+import "errors"
+
+// Point identifies one injection site compiled into the engine.
+type Point uint8
+
+// The compiled-in injection points. Hits are counted per point; see the
+// hook sites for what a triggered fault does there.
+const (
+	// ArenaAlloc fires in the liu profile arena's rope allocation; a
+	// triggered fault panics with ErrArenaAlloc (contained and converted
+	// to a typed error at the expand.Engine boundary).
+	ArenaAlloc Point = iota
+	// CacheEvict fires at the liu cache's safe eviction windows (consumed
+	// slices during a warm, hanging subtrees at invalidation); a triggered
+	// fault forces the eviction even when the budget would not demand it.
+	CacheEvict
+	// WorkerPanic fires at the start of a parallel-driver unit worker; a
+	// triggered fault panics with ErrWorkerPanic inside the worker
+	// goroutine (contained as an expand.WorkerError).
+	WorkerPanic
+	// WorkerStall fires at the start of a parallel-driver unit worker; a
+	// triggered fault sleeps the worker briefly, exercising the merger's
+	// wait and the lead-bounded queue under skew.
+	WorkerStall
+	// WriterIO fires per byte offered to a Writer; a triggered fault makes
+	// that Write call fail with ErrWrite, so arming hit N injects an I/O
+	// error at byte N of the output stream.
+	WriterIO
+
+	numPoints
+)
+
+// String names the point.
+func (p Point) String() string {
+	switch p {
+	case ArenaAlloc:
+		return "ArenaAlloc"
+	case CacheEvict:
+		return "CacheEvict"
+	case WorkerPanic:
+		return "WorkerPanic"
+	case WorkerStall:
+		return "WorkerStall"
+	case WriterIO:
+		return "WriterIO"
+	}
+	return "Point(?)"
+}
+
+// The sentinel values injected faults surface with: the two panic values
+// the engine's containment layers must convert to typed errors, and the
+// write error the Writer wrapper returns.
+var (
+	// ErrArenaAlloc is the panic value of an injected arena allocation
+	// failure (the ArenaAlloc point).
+	ErrArenaAlloc = errors.New("faultinject: injected arena allocation failure")
+	// ErrWorkerPanic is the panic value of an injected unit-worker panic
+	// (the WorkerPanic point).
+	ErrWorkerPanic = errors.New("faultinject: injected worker panic")
+	// ErrWrite is the error an injected Writer failure returns (the
+	// WriterIO point).
+	ErrWrite = errors.New("faultinject: injected write error")
+)
+
+// PlanHit derives a deterministic 1-based hit index in [1, total] from a
+// test seed — the arming value for a point observed to fire total times in
+// a counting run. It returns 0 (never fires) when total is 0. The mix is
+// splitmix64, so nearby seeds arm well-spread indices.
+func PlanHit(seed int64, p Point, total uint64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	x := uint64(seed) + (uint64(p)+1)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return 1 + x%total
+}

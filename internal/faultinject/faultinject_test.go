@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestPlanHitRange pins the arming helper: indices stay in [1, total],
+// distinct seeds spread, and total == 0 disarms.
+func TestPlanHitRange(t *testing.T) {
+	if got := PlanHit(1, ArenaAlloc, 0); got != 0 {
+		t.Fatalf("PlanHit(total=0) = %d, want 0", got)
+	}
+	seen := map[uint64]bool{}
+	for seed := int64(0); seed < 200; seed++ {
+		h := PlanHit(seed, CacheEvict, 97)
+		if h < 1 || h > 97 {
+			t.Fatalf("PlanHit(seed=%d) = %d out of [1, 97]", seed, h)
+		}
+		seen[h] = true
+	}
+	if len(seen) < 30 {
+		t.Fatalf("PlanHit spread too poor: %d distinct values of 200 seeds", len(seen))
+	}
+	if PlanHit(7, ArenaAlloc, 1000) == PlanHit(7, WriterIO, 1000) &&
+		PlanHit(8, ArenaAlloc, 1000) == PlanHit(8, WriterIO, 1000) {
+		t.Fatal("PlanHit ignores the point")
+	}
+}
+
+// TestPointString covers the point names used in harness failure messages.
+func TestPointString(t *testing.T) {
+	for p := ArenaAlloc; p < numPoints; p++ {
+		if s := p.String(); s == "" || strings.Contains(s, "?") {
+			t.Fatalf("point %d has no name: %q", p, s)
+		}
+	}
+	if s := Point(250).String(); !strings.Contains(s, "?") {
+		t.Fatalf("out-of-range point stringified as %q", s)
+	}
+}
+
+// TestRegistry exercises the count/arm/fire protocol. On default builds it
+// instead pins that every hook is inert, so the test is meaningful under
+// both values of the build tag.
+func TestRegistry(t *testing.T) {
+	if !Enabled() {
+		if Fire(ArenaAlloc) || FireN(WriterIO, 100) {
+			t.Fatal("disabled build fired")
+		}
+		Arm(ArenaAlloc, 1)
+		if Fire(ArenaAlloc) {
+			t.Fatal("disabled build fired after Arm")
+		}
+		if Hits(ArenaAlloc) != 0 {
+			t.Fatal("disabled build counted hits")
+		}
+		return
+	}
+	Reset()
+	t.Cleanup(Reset)
+	for i := 0; i < 5; i++ {
+		if Fire(ArenaAlloc) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if got := Hits(ArenaAlloc); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+	Reset()
+	Arm(ArenaAlloc, 3)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Fire(ArenaAlloc) {
+			fired++
+			if i != 2 {
+				t.Fatalf("fired on hit %d, want hit 3", i+1)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly once", fired)
+	}
+	// Batch counting: crossing the armed index mid-batch triggers once.
+	Reset()
+	Arm(WriterIO, 150)
+	if FireN(WriterIO, 100) {
+		t.Fatal("fired before the armed byte")
+	}
+	if !FireN(WriterIO, 100) {
+		t.Fatal("did not fire on the batch crossing the armed byte")
+	}
+	if FireN(WriterIO, 100) {
+		t.Fatal("fired twice")
+	}
+}
+
+// TestWriter exercises the WriterIO wrapper. On default builds NewWriter
+// must return the writer unchanged.
+func TestWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if !Enabled() {
+		if w != &buf {
+			t.Fatal("disabled NewWriter wrapped the writer")
+		}
+		return
+	}
+	Reset()
+	t.Cleanup(Reset)
+	Arm(WriterIO, 11) // fail on the write containing byte 11
+	if _, err := w.Write([]byte("0123456789")); err != nil {
+		t.Fatalf("write before the armed byte failed: %v", err)
+	}
+	_, err := w.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrWrite) {
+		t.Fatalf("write crossing the armed byte: err = %v, want ErrWrite", err)
+	}
+	if buf.String() != "0123456789" {
+		t.Fatalf("failed write reached the sink: %q", buf.String())
+	}
+	if _, err := w.Write([]byte("ghi")); err != nil {
+		t.Fatalf("write after the fault failed: %v", err)
+	}
+}

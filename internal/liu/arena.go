@@ -1,6 +1,10 @@
 package liu
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/faultinject"
+)
 
 // profileArena recycles the two kinds of objects a ProfileCache recompute
 // allocates — profile segment slices and rope nodes — so that steady-state
@@ -44,8 +48,15 @@ type profileArena struct {
 }
 
 // newRope hands out a cleared rope node and records it on the current
-// ownership chain.
+// ownership chain. The faultinject.ArenaAlloc point models an allocation
+// failure here by panicking with faultinject.ErrArenaAlloc; the cache
+// arrays are untouched mid-recompute (recompute publishes only at its
+// end), so the containment layer above (expand.Engine) sees a cache whose
+// invariants still hold.
 func (a *profileArena) newRope() *nodeRope {
+	if faultinject.Fire(faultinject.ArenaAlloc) {
+		panic(faultinject.ErrArenaAlloc)
+	}
 	r := a.freeRopes
 	if r != nil {
 		a.freeRopes = r.nextOwned

@@ -1,10 +1,12 @@
 package liu
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"unsafe"
 
+	"repro/internal/faultinject"
 	"repro/internal/tree"
 )
 
@@ -47,7 +49,25 @@ type CacheOptions struct {
 	// evicted with its subtree at the first invalidation that exposes it,
 	// budget or no budget. 0 means no segment-count capping.
 	MaxProfileSegments int
+	// Done, when non-nil, is a cancellation signal (typically a
+	// context's Done channel). Bottom-up recomputation passes poll it
+	// about every cancelPollInterval recomputations and stop early once
+	// it is closed, leaving every already-computed profile valid and
+	// every unreached node dirty — a state from which the cache is fully
+	// re-runnable. After a cancellation (Canceled reports true) query
+	// results are unspecified until the caller checks the signal: a
+	// Peak may be stale and an emission may be empty, so cancelable
+	// callers must test Canceled (or their context) before trusting an
+	// answer. nil (the default) disables polling entirely, so the
+	// non-cancelable hot path pays one nil check per recompute.
+	Done <-chan struct{}
 }
+
+// cancelPollInterval is how many recomputations pass between polls of
+// CacheOptions.Done. Recomputes are heavyweight (a k-way merge plus a
+// canonicalization), so the poll amortizes to noise while still bounding
+// cancellation latency to a few thousand nodes of work.
+const cancelPollInterval = 1024
 
 // segmentBytes and ropeBytes are the accounting units of the residency
 // budget: the sizes of the two object kinds the arena hands out.
@@ -128,6 +148,11 @@ type ProfileCache struct {
 	pinCount   int64   // outstanding pins cache-wide (writer-side count)
 	inSliceQ   []bool  // dedupe flag for the consumed-slice queue
 
+	// canceled latches once a recomputation pass observes the Done
+	// signal; every scratch (the primary and the parallel warmers')
+	// checks it so a cancellation stops all shards of a warm.
+	canceled atomic.Bool
+
 	residentBytes atomic.Int64
 	peakResident  atomic.Int64
 	evictions     atomic.Int64
@@ -183,6 +208,7 @@ type cacheScratch struct {
 	// merged them); entries are validated lazily at pop.
 	sliceQ      []int
 	sliceHead   int
+	tick        uint32      // recomputes since the last Done poll
 	evictStack  []int       // reusable eviction traversal scratch
 	candScratch []int       // reusable Invalidate candidate scratch
 	adoptRopes  []*nodeRope // reusable chain-reversal scratch for adoptNode
@@ -338,7 +364,11 @@ func (c *ProfileCache) evictHanging(cand []int, sc *cacheScratch) {
 		if !c.valid[v] || c.pinned[v] != 0 {
 			continue
 		}
-		if c.heavyProfile(c.prof[v]) || c.overBudget() {
+		// faultinject.CacheEvict forces the eviction regardless of
+		// pressure: this is a safe eviction window (the candidate's
+		// ancestors were all just dirtied), so a forced eviction must be
+		// result-neutral — the property the injection harness asserts.
+		if faultinject.Fire(faultinject.CacheEvict) || c.heavyProfile(c.prof[v]) || c.overBudget() {
 			c.evictSubtree(v, sc)
 		}
 	}
@@ -404,10 +434,17 @@ func (c *ProfileCache) ensureWith(v int, sc *cacheScratch) {
 	if c.availNode(v) {
 		return
 	}
+	cancelable := c.opts.Done != nil
+	if cancelable && c.canceled.Load() {
+		return
+	}
 	policied := c.policied()
 	st := sc.stack[:0]
 	st = append(st, cacheFrame{node: v})
 	for len(st) > 0 {
+		if cancelable && c.pollCancel(sc) {
+			break
+		}
 		f := st[len(st)-1]
 		if !f.expanded {
 			st[len(st)-1].expanded = true
@@ -429,6 +466,35 @@ func (c *ProfileCache) ensureWith(v int, sc *cacheScratch) {
 	}
 	sc.stack = st[:0]
 }
+
+// pollCancel advances the scratch's recompute tick and, every
+// cancelPollInterval steps, polls the Done channel, latching the
+// cache-wide canceled flag. It reports whether the pass should stop.
+// A canceled pass leaves each node either fully recomputed or untouched
+// (recompute publishes a node's state only at its end), so cancellation
+// can never expose a partially built profile.
+func (c *ProfileCache) pollCancel(sc *cacheScratch) bool {
+	sc.tick++
+	if sc.tick%cancelPollInterval == 0 {
+		select {
+		case <-c.opts.Done:
+			c.canceled.Store(true)
+		default:
+		}
+	}
+	return c.canceled.Load()
+}
+
+// Canceled reports whether a recomputation pass observed the Done signal.
+// Once set it stays set until ResetCancel, and every query result produced
+// after the signal is unspecified (stale peaks, empty emissions).
+func (c *ProfileCache) Canceled() bool { return c.canceled.Load() }
+
+// ResetCancel clears the canceled latch so the cache can serve queries
+// again after its owner has handled a cancellation. The cache state is
+// already consistent — computed nodes valid, unreached nodes dirty — so
+// the next query simply resumes the remaining work.
+func (c *ProfileCache) ResetCancel() { c.canceled.Store(false) }
 
 // recompute rebuilds v's profile from its children's (all resident)
 // profiles: exactly the per-node step of minMemProfileWithPeaks, with every
@@ -516,7 +582,11 @@ func (c *ProfileCache) pushConsumed(sc *cacheScratch, v int) {
 	if c.prof[v] == nil || c.inSliceQ[v] {
 		return
 	}
-	if c.heavyProfile(c.prof[v]) && c.pinned[v] == 0 {
+	// faultinject.CacheEvict forces a mid-warm slice drop: v's parent has
+	// already merged the slice, so dropping it here is always safe and
+	// must be result-neutral (the slice is rebuilt on demand).
+	if c.pinned[v] == 0 &&
+		(faultinject.Fire(faultinject.CacheEvict) || c.heavyProfile(c.prof[v])) {
 		c.evictSlice(v, sc)
 		return
 	}
@@ -671,6 +741,13 @@ func (sc *cacheScratch) canonicalize(p profile) profile {
 // residency policy every worker drops consumed slices within its own shard
 // into its own arena; surviving queue entries are handed to the primary
 // scratch at the join.
+//
+// A panic inside a warmer (an injected faultinject.ArenaAlloc failure, or
+// a genuine bug) is re-raised on the calling goroutine at the join, after
+// the surviving workers have finished their shards and the slice queues
+// have been handed over — the cache stays consistent (recompute publishes
+// a node only at its end) and the caller's recover sees the original
+// panic value instead of the process dying in a bare goroutine.
 func (c *ProfileCache) EnsureParallel(v, workers int) {
 	if c.availNode(v) {
 		return
@@ -689,6 +766,7 @@ func (c *ProfileCache) EnsureParallel(v, workers int) {
 	}
 	scratches := make([]*cacheScratch, workers)
 	var next int64
+	var firstPanic atomic.Pointer[any]
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		sc := &cacheScratch{}
@@ -697,6 +775,14 @@ func (c *ProfileCache) EnsureParallel(v, workers int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					firstPanic.CompareAndSwap(nil, &r)
+					// Stop the other warmers at their next poll; the latch
+					// is lifted again below once every goroutine has joined.
+					c.canceled.Store(true)
+				}
+			}()
 			for {
 				i := atomic.AddInt64(&next, 1) - 1
 				if i >= int64(len(roots)) {
@@ -710,7 +796,54 @@ func (c *ProfileCache) EnsureParallel(v, workers int) {
 	for _, sc := range scratches {
 		c.sc.sliceQ = append(c.sc.sliceQ, sc.sliceQ[sc.sliceHead:]...)
 	}
+	if p := firstPanic.Load(); p != nil {
+		if c.opts.Done == nil {
+			// The latch was only a sibling-stop signal, not a caller-visible
+			// cancellation: clear it so a recovering caller can keep using
+			// the cache.
+			c.canceled.Store(false)
+		}
+		panic(*p)
+	}
 	c.ensure(v)
+}
+
+// CheckInvariants audits the cache's internal accounting and state
+// machine: the resident-byte counter must equal the bytes recomputed from
+// the per-node records, pins must be balanced and non-negative, no dirty
+// node may hold a profile, and the dirty-up-closure must hold (a clean
+// node's children are clean). The cancellation and fault-injection
+// harnesses call it after interrupting the cache mid-work to prove the
+// interruption left it sound. It returns the first violation found.
+func (c *ProfileCache) CheckInvariants() error {
+	var bytes, pins int64
+	for v := 0; v < c.t.N() && v < len(c.valid); v++ {
+		if c.prof[v] != nil {
+			bytes += int64(cap(c.prof[v])) * segmentBytes
+		}
+		bytes += int64(c.ownedCount[v]) * ropeBytes
+		if c.pinned[v] < 0 {
+			return fmt.Errorf("liu: node %d has negative pin count %d", v, c.pinned[v])
+		}
+		pins += int64(c.pinned[v])
+		if c.prof[v] != nil && !c.valid[v] {
+			return fmt.Errorf("liu: dirty node %d holds a profile", v)
+		}
+		if c.valid[v] {
+			for _, ch := range c.t.Children(v) {
+				if !c.valid[ch] {
+					return fmt.Errorf("liu: clean node %d has dirty child %d (dirty-up-closure broken)", v, ch)
+				}
+			}
+		}
+	}
+	if got := c.residentBytes.Load(); got != bytes {
+		return fmt.Errorf("liu: resident-byte counter %d, per-node records sum to %d", got, bytes)
+	}
+	if pins != c.pinCount {
+		return fmt.Errorf("liu: pin counter %d, per-node pins sum to %d", c.pinCount, pins)
+	}
+	return nil
 }
 
 // shardRoots picks the roots of the parallel warm: maximal dirty subtrees

@@ -1,0 +1,93 @@
+//go:build faultinject
+
+package liu
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/randtree"
+)
+
+// TestFaultForcedCacheEvict arms the CacheEvict point at several planned
+// hit indices: a forced eviction at a safe window must be result-neutral
+// (bit-identical schedule) and leave the accounting invariants intact.
+func TestFaultForcedCacheEvict(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	tr := randtree.Synth(6000, rng)
+	want := NewProfileCache(tr).AppendSchedule(tr.Root(), nil)
+	opts := CacheOptions{MaxResidentBytes: 1 << 16}
+
+	faultinject.Reset()
+	base := NewProfileCacheOpts(tr, opts)
+	base.ensure(tr.Root())
+	total := faultinject.Hits(faultinject.CacheEvict)
+	if total == 0 {
+		t.Fatal("counting run hit no CacheEvict windows")
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		faultinject.Reset()
+		faultinject.Arm(faultinject.CacheEvict, faultinject.PlanHit(seed, faultinject.CacheEvict, total))
+		c := NewProfileCacheOpts(tr, opts)
+		got := c.AppendSchedule(tr.Root(), nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: forced eviction changed the schedule", seed)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	faultinject.Reset()
+}
+
+// TestFaultArenaAllocContained arms the ArenaAlloc point mid-warm: the
+// injected panic must leave the cache arrays consistent (recompute
+// publishes only at its end), and after disarming the same cache must
+// finish the run to bit-identical results.
+func TestFaultArenaAllocContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	tr := randtree.Synth(6000, rng)
+	want := NewProfileCache(tr).AppendSchedule(tr.Root(), nil)
+	opts := CacheOptions{MaxResidentBytes: 1 << 16}
+
+	faultinject.Reset()
+	base := NewProfileCacheOpts(tr, opts)
+	base.ensure(tr.Root())
+	total := faultinject.Hits(faultinject.ArenaAlloc)
+	if total == 0 {
+		t.Fatal("counting run performed no arena allocations")
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		faultinject.Reset()
+		faultinject.Arm(faultinject.ArenaAlloc, faultinject.PlanHit(seed, faultinject.ArenaAlloc, total))
+		c := NewProfileCacheOpts(tr, opts)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("seed %d: armed allocation fault did not fire", seed)
+				}
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, faultinject.ErrArenaAlloc) {
+					panic(r) // not ours: re-raise
+				}
+			}()
+			c.ensure(tr.Root())
+		}()
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: after injected panic: %v", seed, err)
+		}
+		// Continue on the same cache with the fault disarmed.
+		faultinject.Reset()
+		if got := c.AppendSchedule(tr.Root(), nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: schedule diverges after contained panic", seed)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: after recovery run: %v", seed, err)
+		}
+	}
+	faultinject.Reset()
+}

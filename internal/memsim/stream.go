@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -69,4 +70,34 @@ func (s *Simulator) RunStream(ts TreeView, root int, M int64, source ScheduleSou
 		return 0, 0, fmt.Errorf("memsim: stream delivered %d nodes on the second pass, %d on the first", st.step, total)
 	}
 	return st.io, st.peak, nil
+}
+
+// RunStreamCtx is RunStream with cooperative cancellation at segment
+// granularity: before consuming each segment of either pass it checks the
+// context, and a pending cancellation aborts the run with ctx.Err()
+// instead of ErrStreamStopped. A nil context — or one that can never be
+// cancelled, like context.Background(), whose Done channel is nil — takes
+// the exact RunStream path with zero per-segment overhead.
+func (s *Simulator) RunStreamCtx(ctx context.Context, ts TreeView, root int, M int64, source ScheduleSource, policy EvictionPolicy) (io, peak int64, err error) {
+	if ctx == nil || ctx.Done() == nil {
+		return s.RunStream(ts, root, M, source, policy)
+	}
+	done := ctx.Done()
+	canceled := false
+	wrapped := func(yield func(seg []int) bool) bool {
+		return source(func(seg []int) bool {
+			select {
+			case <-done:
+				canceled = true
+				return false
+			default:
+			}
+			return yield(seg)
+		})
+	}
+	io, peak, err = s.RunStream(ts, root, M, wrapped, policy)
+	if canceled {
+		return 0, 0, ctx.Err()
+	}
+	return io, peak, err
 }

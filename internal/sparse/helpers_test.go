@@ -1,0 +1,39 @@
+package sparse
+
+import "math/rand"
+
+// The must* wrappers keep the table-driven tests terse now that the
+// pattern generators return errors for hostile dimensions; test inputs
+// are valid by construction, so a failure here is a test bug.
+
+func mustGrid2D(nx, ny int) *Pattern {
+	p, err := Grid2D(nx, ny)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustGrid3D(nx, ny, nz int) *Pattern {
+	p, err := Grid3D(nx, ny, nz)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustBand(n, bw int) *Pattern {
+	p, err := Band(n, bw)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustRandomSymmetric(n, avgDeg int, rng *rand.Rand) *Pattern {
+	p, err := RandomSymmetric(n, avgDeg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

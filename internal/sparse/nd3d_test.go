@@ -26,7 +26,7 @@ func TestNestedDissection3DIsPermutation(t *testing.T) {
 
 func TestNestedDissection3DReducesFill(t *testing.T) {
 	nx := 8
-	p := Grid3D(nx, nx, nx)
+	p := mustGrid3D(nx, nx, nx)
 	natFill := sum(ColCounts(p, Etree(p)))
 	perm := NestedDissection3D(nx, nx, nx, 8)
 	pp, err := p.Permute(perm)
@@ -43,7 +43,7 @@ func TestNestedDissection3DBushierTree(t *testing.T) {
 	// The ND assembly tree must have many leaves (natural ordering
 	// yields a near-chain).
 	nx := 6
-	p := Grid3D(nx, nx, nx)
+	p := mustGrid3D(nx, nx, nx)
 	perm := NestedDissection3D(nx, nx, nx, 8)
 	pp, err := p.Permute(perm)
 	if err != nil {
@@ -64,7 +64,7 @@ func TestNestedDissection3DBushierTree(t *testing.T) {
 
 func TestPerturb(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	p := Grid2D(10, 10)
+	p := mustGrid2D(10, 10)
 	q := Perturb(p, 30, rng)
 	if q.N != p.N {
 		t.Fatal("size changed")

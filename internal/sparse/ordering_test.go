@@ -22,10 +22,10 @@ func isPermutation(perm []int, n int) bool {
 func TestMinimumDegreeIsPermutation(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, p := range []*Pattern{
-		Grid2D(7, 9),
-		Grid3D(3, 4, 5),
-		Band(30, 3),
-		RandomSymmetric(60, 5, rng),
+		mustGrid2D(7, 9),
+		mustGrid3D(3, 4, 5),
+		mustBand(30, 3),
+		mustRandomSymmetric(60, 5, rng),
 	} {
 		perm := MinimumDegree(p)
 		if !isPermutation(perm, p.N) {
@@ -36,8 +36,8 @@ func TestMinimumDegreeIsPermutation(t *testing.T) {
 
 func TestMinimumDegreeReducesFill(t *testing.T) {
 	for _, p := range []*Pattern{
-		Grid2D(14, 14),
-		RandomSymmetric(120, 4, rand.New(rand.NewSource(3))),
+		mustGrid2D(14, 14),
+		mustRandomSymmetric(120, 4, rand.New(rand.NewSource(3))),
 	} {
 		natFill := sum(ColCounts(p, Etree(p)))
 		perm := MinimumDegree(p)
@@ -56,7 +56,7 @@ func TestMinimumDegreeChainIsOptimalOnPath(t *testing.T) {
 	// On a path graph, minimum degree eliminates endpoints first and
 	// produces zero fill: every factor column has exactly 2 nonzeros
 	// (except the last with 1).
-	p := Band(20, 1)
+	p := mustBand(20, 1)
 	perm := MinimumDegree(p)
 	pp, err := p.Permute(perm)
 	if err != nil {
@@ -70,8 +70,8 @@ func TestMinimumDegreeChainIsOptimalOnPath(t *testing.T) {
 func TestReverseCuthillMcKeeIsPermutation(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for _, p := range []*Pattern{
-		Grid2D(8, 6),
-		RandomSymmetric(50, 4, rng),
+		mustGrid2D(8, 6),
+		mustRandomSymmetric(50, 4, rng),
 		// Disconnected pattern.
 		mustPattern(t, 6, []int{1, 3, 5}, []int{0, 2, 4}),
 	} {
@@ -94,7 +94,7 @@ func mustPattern(t *testing.T, n int, rows, cols []int) *Pattern {
 func TestReverseCuthillMcKeeReducesBandwidth(t *testing.T) {
 	// A random symmetric matrix has large bandwidth; RCM should shrink
 	// it substantially.
-	p := RandomSymmetric(80, 4, rand.New(rand.NewSource(5)))
+	p := mustRandomSymmetric(80, 4, rand.New(rand.NewSource(5)))
 	bw := func(q *Pattern) int {
 		max := 0
 		for j, l := range q.Lower {

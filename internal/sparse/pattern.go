@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -86,10 +87,31 @@ func (p *Pattern) Permute(perm []int) (*Pattern, error) {
 	return NewPattern(p.N, rows, cols)
 }
 
+// checkDims validates that every dimension is positive and that their
+// product fits in an int, returning the product. The generators call it up
+// front so hostile sizes surface as errors instead of slice panics.
+func checkDims(what string, dims ...int) (int, error) {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return 0, fmt.Errorf("sparse: %s: non-positive dimension %d", what, d)
+		}
+		if n > math.MaxInt/d {
+			return 0, fmt.Errorf("sparse: %s: dimensions %v overflow", what, dims)
+		}
+		n *= d
+	}
+	return n, nil
+}
+
 // Grid2D returns the 5-point-stencil Laplacian pattern of an nx × ny grid
-// in natural (row-major) ordering.
-func Grid2D(nx, ny int) *Pattern {
-	n := nx * ny
+// in natural (row-major) ordering. It errors on non-positive or
+// overflowing dimensions.
+func Grid2D(nx, ny int) (*Pattern, error) {
+	n, err := checkDims("Grid2D", nx, ny)
+	if err != nil {
+		return nil, err
+	}
 	var rows, cols []int
 	id := func(x, y int) int { return y*nx + x }
 	for y := 0; y < ny; y++ {
@@ -106,15 +128,19 @@ func Grid2D(nx, ny int) *Pattern {
 	}
 	p, err := NewPattern(n, rows, cols)
 	if err != nil {
-		panic(err)
+		panic(err) // unreachable: stencil entries are in range by construction
 	}
-	return p
+	return p, nil
 }
 
 // Grid3D returns the 7-point-stencil Laplacian pattern of an
-// nx × ny × nz grid in natural ordering.
-func Grid3D(nx, ny, nz int) *Pattern {
-	n := nx * ny * nz
+// nx × ny × nz grid in natural ordering. It errors on non-positive or
+// overflowing dimensions.
+func Grid3D(nx, ny, nz int) (*Pattern, error) {
+	n, err := checkDims("Grid3D", nx, ny, nz)
+	if err != nil {
+		return nil, err
+	}
 	var rows, cols []int
 	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
 	for z := 0; z < nz; z++ {
@@ -137,13 +163,20 @@ func Grid3D(nx, ny, nz int) *Pattern {
 	}
 	p, err := NewPattern(n, rows, cols)
 	if err != nil {
-		panic(err)
+		panic(err) // unreachable: stencil entries are in range by construction
 	}
-	return p
+	return p, nil
 }
 
-// Band returns a banded pattern with the given half-bandwidth.
-func Band(n, bw int) *Pattern {
+// Band returns a banded pattern with the given half-bandwidth. It errors
+// on a non-positive order or a negative bandwidth.
+func Band(n, bw int) (*Pattern, error) {
+	if _, err := checkDims("Band", n); err != nil {
+		return nil, err
+	}
+	if bw < 0 {
+		return nil, fmt.Errorf("sparse: Band: negative bandwidth %d", bw)
+	}
 	var rows, cols []int
 	for j := 0; j < n; j++ {
 		for i := j + 1; i <= j+bw && i < n; i++ {
@@ -153,15 +186,22 @@ func Band(n, bw int) *Pattern {
 	}
 	p, err := NewPattern(n, rows, cols)
 	if err != nil {
-		panic(err)
+		panic(err) // unreachable: band entries are in range by construction
 	}
-	return p
+	return p, nil
 }
 
 // RandomSymmetric returns a connected random symmetric pattern with n
 // vertices and roughly avgDeg off-diagonal entries per row: a random
-// spanning tree plus uniform random edges.
-func RandomSymmetric(n, avgDeg int, rng *rand.Rand) *Pattern {
+// spanning tree plus uniform random edges. It errors on a non-positive
+// order or a negative degree.
+func RandomSymmetric(n, avgDeg int, rng *rand.Rand) (*Pattern, error) {
+	if _, err := checkDims("RandomSymmetric", n); err != nil {
+		return nil, err
+	}
+	if avgDeg < 0 {
+		return nil, fmt.Errorf("sparse: RandomSymmetric: negative degree %d", avgDeg)
+	}
 	var rows, cols []int
 	// Random spanning tree for connectivity.
 	for v := 1; v < n; v++ {
@@ -181,9 +221,9 @@ func RandomSymmetric(n, avgDeg int, rng *rand.Rand) *Pattern {
 	}
 	p, err := NewPattern(n, rows, cols)
 	if err != nil {
-		panic(err)
+		panic(err) // unreachable: all entries are drawn in range
 	}
-	return p
+	return p, nil
 }
 
 // Perturb returns a copy of p with extra random symmetric entries added

@@ -1,0 +1,33 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGeneratorsRejectHostileDims pins that the pattern generators return
+// errors — not panics or slice faults — for non-positive and overflowing
+// sizes.
+func TestGeneratorsRejectHostileDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"Grid2D zero", func() error { _, err := Grid2D(0, 5); return err }},
+		{"Grid2D negative", func() error { _, err := Grid2D(4, -1); return err }},
+		{"Grid2D overflow", func() error { _, err := Grid2D(math.MaxInt/2, 3); return err }},
+		{"Grid3D negative", func() error { _, err := Grid3D(-1, 2, 2); return err }},
+		{"Grid3D overflow", func() error { _, err := Grid3D(math.MaxInt/2, 2, 2); return err }},
+		{"Band zero order", func() error { _, err := Band(0, 1); return err }},
+		{"Band negative bw", func() error { _, err := Band(5, -1); return err }},
+		{"RandomSymmetric zero", func() error { _, err := RandomSymmetric(0, 3, rng); return err }},
+		{"RandomSymmetric negative deg", func() error { _, err := RandomSymmetric(5, -1, rng); return err }},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}

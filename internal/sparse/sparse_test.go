@@ -31,7 +31,7 @@ func TestNewPatternValidation(t *testing.T) {
 }
 
 func TestGrid2DShape(t *testing.T) {
-	p := Grid2D(3, 2) // 6 vertices, edges: 2 per row * 2 rows + 3 vertical = 7
+	p := mustGrid2D(3, 2) // 6 vertices, edges: 2 per row * 2 rows + 3 vertical = 7
 	if p.N != 6 {
 		t.Fatalf("N=%d", p.N)
 	}
@@ -41,14 +41,14 @@ func TestGrid2DShape(t *testing.T) {
 }
 
 func TestGrid3DShape(t *testing.T) {
-	p := Grid3D(2, 2, 2)
+	p := mustGrid3D(2, 2, 2)
 	if p.N != 8 || p.NNZ() != 12 {
 		t.Fatalf("N=%d NNZ=%d want 8/12", p.N, p.NNZ())
 	}
 }
 
 func TestBandShape(t *testing.T) {
-	p := Band(5, 2)
+	p := mustBand(5, 2)
 	// Column j has min(2, 4-j) subdiagonal entries: 2+2+2+1+0 = 7.
 	if p.NNZ() != 7 {
 		t.Fatalf("NNZ=%d", p.NNZ())
@@ -56,7 +56,7 @@ func TestBandShape(t *testing.T) {
 }
 
 func TestPermute(t *testing.T) {
-	p := Grid2D(2, 2)
+	p := mustGrid2D(2, 2)
 	perm := []int{3, 2, 1, 0}
 	q, err := p.Permute(perm)
 	if err != nil {
@@ -75,7 +75,7 @@ func TestPermute(t *testing.T) {
 
 func TestEtreeChainForBand1(t *testing.T) {
 	// Tridiagonal matrix: elimination tree is the chain j -> j+1.
-	p := Band(6, 1)
+	p := mustBand(6, 1)
 	parent := Etree(p)
 	for j := 0; j < 5; j++ {
 		if parent[j] != j+1 {
@@ -125,7 +125,7 @@ func TestEtreeForestOnDisconnected(t *testing.T) {
 }
 
 func TestEtreePostorderInvariants(t *testing.T) {
-	p := Grid2D(5, 4)
+	p := mustGrid2D(5, 4)
 	parent := Etree(p)
 	post := EtreePostorder(parent)
 	if len(post) != p.N {
@@ -145,10 +145,10 @@ func TestEtreePostorderInvariants(t *testing.T) {
 func TestColCountsAgainstDenseReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	pats := []*Pattern{
-		Grid2D(4, 4),
-		Grid3D(2, 3, 2),
-		Band(10, 3),
-		RandomSymmetric(25, 4, rng),
+		mustGrid2D(4, 4),
+		mustGrid3D(2, 3, 2),
+		mustBand(10, 3),
+		mustRandomSymmetric(25, 4, rng),
 	}
 	for pi, p := range pats {
 		parent := Etree(p)
@@ -168,7 +168,7 @@ func TestAmalgamateFundamental(t *testing.T) {
 	// and colCount[c]=2: j's supernode merges iff colCount[j]+1 == 2,
 	// i.e. colCount[j] == 1 — only the root. So supernodes are
 	// {0},...,{n-3},{n-2, n-1}.
-	p := Band(5, 1)
+	p := mustBand(5, 1)
 	parent := Etree(p)
 	post := EtreePostorder(parent)
 	counts := ColCounts(p, parent)
@@ -196,7 +196,7 @@ func TestAmalgamateFundamental(t *testing.T) {
 }
 
 func TestAssemblyTreeWeightsPositive(t *testing.T) {
-	p := Grid2D(6, 6)
+	p := mustGrid2D(6, 6)
 	tt, err := EliminationTaskTree(p, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -242,7 +242,7 @@ func TestEtreeToTaskTreeSingleRoot(t *testing.T) {
 
 func TestNestedDissectionReducesFill(t *testing.T) {
 	nx := 16
-	p := Grid2D(nx, nx)
+	p := mustGrid2D(nx, nx)
 	natParent := Etree(p)
 	natFill := sum(ColCounts(p, natParent))
 	perm := NestedDissection2D(nx, nx, 8)
@@ -267,7 +267,7 @@ func sum(xs []int64) int64 {
 
 func TestRandomSymmetricConnected(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
-	p := RandomSymmetric(50, 4, rng)
+	p := mustRandomSymmetric(50, 4, rng)
 	parent := Etree(p)
 	roots := 0
 	for _, q := range parent {
@@ -282,7 +282,7 @@ func TestRandomSymmetricConnected(t *testing.T) {
 }
 
 func TestMatrixMarketRoundTrip(t *testing.T) {
-	p := Grid2D(4, 3)
+	p := mustGrid2D(4, 3)
 	var buf bytes.Buffer
 	if err := WriteMatrixMarket(&buf, p); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,101 @@
+package tree
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadJSON asserts ReadJSON never panics on arbitrary bytes and that
+// every accepted tree survives a WriteJSON/ReadJSON round trip with its
+// parents and weights intact.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"parents":[-1,0,0],"weights":[5,3,2]}`))
+	f.Add([]byte(`{"parents":[1,-1],"weights":[1,9223372036854775807]}`))
+	f.Add([]byte(`{"parents":[],"weights":[]}`))
+	f.Add([]byte(`{"parents":[0],"weights":[1]}`))
+	f.Add([]byte(`{"parents":[-1,0],"weights":[-3,1]}`))
+	f.Add([]byte(`{"parents":[2,0,1],"weights":[1,1,1]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr.TotalWeight() < 0 {
+			t.Fatalf("accepted tree has overflowed total weight %d", tr.TotalWeight())
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON of accepted tree: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !reflect.DeepEqual(back.Parents(), tr.Parents()) ||
+			!reflect.DeepEqual(back.Weights(), tr.Weights()) {
+			t.Fatal("round trip differs")
+		}
+	})
+}
+
+// FuzzReadText asserts ReadText never panics on arbitrary bytes and that
+// every accepted tree survives a WriteText/ReadText round trip.
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("3\n0 -1 5\n1 0 3\n2 0 2\n"))
+	f.Add([]byte("1\n0 -1 9223372036854775807\n"))
+	f.Add([]byte("# comment\n2\n\n1 0 4\n0 -1 7\n"))
+	f.Add([]byte("999999999\n0 -1 1\n"))
+	f.Add([]byte("2\n0 -1 1\n0 -1 1\n"))
+	f.Add([]byte("2\n0 1 1\n1 0 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr.TotalWeight() < 0 {
+			t.Fatalf("accepted tree has overflowed total weight %d", tr.TotalWeight())
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText of accepted tree: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !reflect.DeepEqual(back.Parents(), tr.Parents()) ||
+			!reflect.DeepEqual(back.Weights(), tr.Weights()) {
+			t.Fatal("round trip differs")
+		}
+	})
+}
+
+// FuzzReadSchedule asserts the lenient reader never panics and that any
+// schedule it accepts can be re-written by WriteSchedule into a sealed
+// stream that the strict reader accepts bit-identically.
+func FuzzReadSchedule(f *testing.F) {
+	f.Add([]byte("1\n2\n3\n# end count=3\n"))
+	f.Add([]byte("5\n9\n# truncated count=2\n"))
+	f.Add([]byte("999\n\n# comment\n-5\n"))
+	f.Add([]byte("# end count=0\n"))
+	f.Add([]byte("# end count=\n0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSchedule(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		n, err := WriteSchedule(&buf, s.Emit)
+		if err != nil || n != int64(len(s)) {
+			t.Fatalf("WriteSchedule: n=%d err=%v, want %d ids", n, err, len(s))
+		}
+		back, err := ReadScheduleStrict(&buf)
+		if err != nil {
+			t.Fatalf("strict read of complete stream: %v", err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("round trip differs: got %v, want %v", back, s)
+		}
+	})
+}

@@ -44,11 +44,13 @@ func (t *Tree) WriteJSON(w io.Writer) error {
 	return enc.Encode(jsonTree{Parents: t.Parents(), Weights: t.Weights()})
 }
 
-// ReadJSON reads a tree written by WriteJSON.
+// ReadJSON reads a tree written by WriteJSON. Structural defects — weight
+// overflow, cycles, forests, dangling parents — are rejected by New with
+// the offending node named in the error.
 func ReadJSON(r io.Reader) (*Tree, error) {
 	var jt jsonTree
 	if err := json.NewDecoder(r).Decode(&jt); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tree: decoding json: %w", err)
 	}
 	return New(jt.Parents, jt.Weights)
 }
@@ -65,21 +67,29 @@ func (t *Tree) WriteText(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadText parses the format written by WriteText.
+// ReadText parses the format written by WriteText. It is safe on hostile
+// input: allocation grows with the bytes actually present, so a header
+// claiming billions of nodes cannot balloon memory before the node lines
+// exist to back it, and scanner failures (a line beyond the 16 MiB token
+// limit) are surfaced instead of being misreported as short input.
+// Structural defects are rejected by New with the offending node named.
 func ReadText(r io.Reader) (*Tree, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	line := func() (string, bool) {
+	line := func() (string, bool, error) {
 		for sc.Scan() {
 			s := strings.TrimSpace(sc.Text())
 			if s == "" || strings.HasPrefix(s, "#") {
 				continue
 			}
-			return s, true
+			return s, true, nil
 		}
-		return "", false
+		return "", false, sc.Err()
 	}
-	head, ok := line()
+	head, ok, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("tree: reading header: %w", err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("tree: empty input")
 	}
@@ -87,13 +97,21 @@ func ReadText(r io.Reader) (*Tree, error) {
 	if err != nil || n <= 0 {
 		return nil, fmt.Errorf("tree: bad node count %q", head)
 	}
-	parent := make([]int, n)
-	weight := make([]int64, n)
-	seen := make([]bool, n)
-	for k := 0; k < n; k++ {
-		s, ok := line()
+	// Collect the node triples into a buffer that grows with the input
+	// actually read; the n-sized arrays are only paid for once n real
+	// lines have arrived, capping the node count against the input size.
+	type row struct {
+		id, parent int
+		weight     int64
+	}
+	rows := make([]row, 0, min(n, 1024))
+	for len(rows) < n {
+		s, ok, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("tree: reading node lines: %w", err)
+		}
 		if !ok {
-			return nil, fmt.Errorf("tree: expected %d node lines, got %d", n, k)
+			return nil, fmt.Errorf("tree: expected %d node lines, got %d", n, len(rows))
 		}
 		fields := strings.Fields(s)
 		if len(fields) != 3 {
@@ -105,15 +123,21 @@ func ReadText(r io.Reader) (*Tree, error) {
 		if err1 != nil || err2 != nil || err3 != nil {
 			return nil, fmt.Errorf("tree: bad node line %q", s)
 		}
-		if id < 0 || id >= n || seen[id] {
-			return nil, fmt.Errorf("tree: bad or repeated node id %d", id)
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("tree: node id %d out of range [0, %d)", id, n)
 		}
-		seen[id] = true
-		parent[id] = p
-		weight[id] = w
+		rows = append(rows, row{id, p, w})
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	seen := make([]bool, n)
+	for _, rw := range rows {
+		if seen[rw.id] {
+			return nil, fmt.Errorf("tree: repeated node id %d", rw.id)
+		}
+		seen[rw.id] = true
+		parent[rw.id] = rw.parent
+		weight[rw.id] = rw.weight
 	}
 	return New(parent, weight)
 }

@@ -2,9 +2,11 @@ package tree
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Schedule is a permutation of the node indices: Schedule[t] is the node
@@ -90,6 +92,22 @@ func (s Schedule) Emit(yield func(seg []int) bool) bool {
 	return yield(s)
 }
 
+// ErrTruncatedSchedule marks a schedule stream that did not run to
+// completion: WriteSchedule wraps it when the source stops early, and
+// ReadScheduleStrict wraps it when a stream lacks the end trailer (or
+// carries an explicit truncation marker). Callers test for it with
+// errors.Is.
+var ErrTruncatedSchedule = errors.New("schedule: truncated stream")
+
+// The trailer lines WriteSchedule appends so a stream is crash-evident:
+// a complete emission ends with endTrailerPrefix+count, an emission whose
+// source stopped early ends with truncTrailerPrefix+count. Both are '#'
+// comments, so the lenient ReadSchedule skips them unchanged.
+const (
+	endTrailerPrefix   = "# end count="
+	truncTrailerPrefix = "# truncated count="
+)
+
 // WriteSchedule streams a schedule to w in the textual format of
 // ReadSchedule — one node id per line — consuming it segment by segment
 // from source, so a traversal of any length is written with O(segment)
@@ -97,8 +115,15 @@ func (s Schedule) Emit(yield func(seg []int) bool) bool {
 // of liu.(*ProfileCache).EmitSchedule and expand.(*Engine).RecExpandStream;
 // a materialized Schedule streams through its Emit method). It returns the
 // number of ids written; an error from w aborts the source via its yield
-// and is returned, and a source that stops on its own is reported as a
-// truncated stream.
+// and is returned.
+//
+// The stream is crash-evident: a completed emission is sealed with a
+// "# end count=N" trailer that ReadScheduleStrict demands, so a stream
+// from a run killed mid-write can never pass for a complete one. A source
+// that stops on its own is reported as an ErrTruncatedSchedule-wrapped
+// error after a best-effort "# truncated count=N" marker is flushed, which
+// lets downstream tooling distinguish a deliberate early stop (graceful
+// cancellation) from a crash that left no trailer at all.
 func WriteSchedule(w io.Writer, source func(yield func(seg []int) bool) bool) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var n int64
@@ -118,17 +143,27 @@ func WriteSchedule(w io.Writer, source func(yield func(seg []int) bool) bool) (i
 	if werr != nil {
 		return n, werr
 	}
-	if err := bw.Flush(); err != nil {
+	if !complete {
+		// Best-effort marker: the stream is already incomplete, so a
+		// second write failure here changes nothing for the caller.
+		fmt.Fprintf(bw, "%s%d\n", truncTrailerPrefix, n)
+		bw.Flush()
+		return n, fmt.Errorf("schedule: stream stopped after %d ids: %w", n, ErrTruncatedSchedule)
+	}
+	if _, err := fmt.Fprintf(bw, "%s%d\n", endTrailerPrefix, n); err != nil {
 		return n, err
 	}
-	if !complete {
-		return n, fmt.Errorf("schedule: stream stopped after %d ids", n)
+	if err := bw.Flush(); err != nil {
+		return n, err
 	}
 	return n, nil
 }
 
 // ReadSchedule reads a schedule written by WriteSchedule: one decimal node
-// id per line (blank lines and '#' comments skipped).
+// id per line (blank lines and '#' comments skipped). It is the lenient
+// reader — trailers are ignored like any other comment, so it accepts
+// hand-written and truncated streams alike; use ReadScheduleStrict to
+// demand proof of completeness.
 func ReadSchedule(r io.Reader) (Schedule, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
@@ -144,7 +179,74 @@ func ReadSchedule(r io.Reader) (Schedule, error) {
 		}
 		s = append(s, v)
 	}
-	return s, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("schedule: reading stream: %w", err)
+	}
+	return s, nil
+}
+
+// parseTrailer reports whether line is a well-formed trailer with the
+// given prefix and returns its non-negative count.
+func parseTrailer(line, prefix string) (int64, bool) {
+	rest, ok := strings.CutPrefix(line, prefix)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// ReadScheduleStrict reads a schedule written by WriteSchedule and rejects
+// any stream that does not prove completeness: the stream must end with a
+// "# end count=N" trailer whose count matches the ids read, must not carry
+// a "# truncated count=N" marker, and must not continue past the end
+// trailer. Truncation-shaped failures wrap ErrTruncatedSchedule, so a
+// killed 10⁸-node emission is distinguishable from a bad line. Other
+// comments and blank lines are skipped as in ReadSchedule.
+func ReadScheduleStrict(r io.Reader) (Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var s Schedule
+	end := int64(-1)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if line[0] == '#' {
+			if c, ok := parseTrailer(line, truncTrailerPrefix); ok {
+				return nil, fmt.Errorf("schedule: stream carries a truncation marker after %d ids: %w", c, ErrTruncatedSchedule)
+			}
+			if c, ok := parseTrailer(line, endTrailerPrefix); ok {
+				if end >= 0 {
+					return nil, fmt.Errorf("schedule: two end trailers (count=%d and count=%d)", end, c)
+				}
+				end = c
+			}
+			continue
+		}
+		if end >= 0 {
+			return nil, fmt.Errorf("schedule: id line %q after the end trailer", line)
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: bad line %q: %v", line, err)
+		}
+		s = append(s, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("schedule: reading stream: %w", err)
+	}
+	if end < 0 {
+		return nil, fmt.Errorf("schedule: missing end trailer after %d ids: %w", len(s), ErrTruncatedSchedule)
+	}
+	if int64(len(s)) != end {
+		return nil, fmt.Errorf("schedule: end trailer claims %d ids, stream has %d: %w", end, len(s), ErrTruncatedSchedule)
+	}
+	return s, nil
 }
 
 // Validate returns an error unless s is a topological schedule of t.

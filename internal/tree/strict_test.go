@@ -1,0 +1,146 @@
+package tree
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWriteScheduleEndTrailer pins the crash-evidence contract: a complete
+// stream is sealed with "# end count=N", the strict reader accepts it, and
+// the lenient reader skips the trailer unchanged.
+func TestWriteScheduleEndTrailer(t *testing.T) {
+	want := Schedule{5, 0, 12, 3, 1, 4, 2}
+	var buf bytes.Buffer
+	n, err := WriteSchedule(&buf, want.Emit)
+	if err != nil || n != int64(len(want)) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !strings.HasSuffix(buf.String(), "# end count=7\n") {
+		t.Fatalf("stream not sealed: %q", buf.String())
+	}
+	strict, err := ReadScheduleStrict(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict read: %v", err)
+	}
+	if !reflect.DeepEqual(strict, want) {
+		t.Fatalf("strict round trip: got %v, want %v", strict, want)
+	}
+	lenient, err := ReadSchedule(bytes.NewReader(buf.Bytes()))
+	if err != nil || !reflect.DeepEqual(lenient, want) {
+		t.Fatalf("lenient round trip: got %v err=%v", lenient, err)
+	}
+}
+
+// TestWriteScheduleTruncationMarker pins the early-stop path: the stream
+// ends with the truncation marker, the error wraps ErrTruncatedSchedule,
+// and the strict reader rejects the stream while the lenient one still
+// yields the partial prefix.
+func TestWriteScheduleTruncationMarker(t *testing.T) {
+	stopping := func(yield func(seg []int) bool) bool {
+		yield([]int{1, 2})
+		return false
+	}
+	var buf bytes.Buffer
+	n, err := WriteSchedule(&buf, stopping)
+	if n != 2 || !errors.Is(err, ErrTruncatedSchedule) {
+		t.Fatalf("n=%d err=%v, want 2 ids and ErrTruncatedSchedule", n, err)
+	}
+	if !strings.HasSuffix(buf.String(), "# truncated count=2\n") {
+		t.Fatalf("no truncation marker: %q", buf.String())
+	}
+	if _, err := ReadScheduleStrict(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrTruncatedSchedule) {
+		t.Fatalf("strict read of truncated stream: %v", err)
+	}
+	partial, err := ReadSchedule(bytes.NewReader(buf.Bytes()))
+	if err != nil || !reflect.DeepEqual(partial, Schedule{1, 2}) {
+		t.Fatalf("lenient read of truncated stream: got %v err=%v", partial, err)
+	}
+}
+
+// TestReadScheduleStrictRejects walks the corruption shapes the strict
+// reader must refuse.
+func TestReadScheduleStrictRejects(t *testing.T) {
+	cases := []struct {
+		name      string
+		in        string
+		truncated bool // must wrap ErrTruncatedSchedule
+	}{
+		{"missing trailer", "1\n2\n3\n", true},
+		{"count too low", "1\n2\n3\n# end count=2\n", true},
+		{"count too high", "1\n2\n# end count=3\n", true},
+		{"truncation marker", "1\n2\n# truncated count=2\n", true},
+		{"empty stream", "", true},
+		{"ids after trailer", "1\n# end count=1\n2\n", false},
+		{"double trailer", "1\n# end count=1\n# end count=1\n", false},
+		{"bad id line", "1\nxyz\n# end count=2\n", false},
+	}
+	for _, tc := range cases {
+		_, err := ReadScheduleStrict(strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if got := errors.Is(err, ErrTruncatedSchedule); got != tc.truncated {
+			t.Fatalf("%s: Is(ErrTruncatedSchedule)=%v, want %v (err: %v)", tc.name, got, tc.truncated, err)
+		}
+	}
+	// An empty but complete stream is fine.
+	s, err := ReadScheduleStrict(strings.NewReader("# end count=0\n"))
+	if err != nil || len(s) != 0 {
+		t.Fatalf("empty sealed stream: got %v err=%v", s, err)
+	}
+}
+
+// TestReadScheduleScannerErrorSurfaced pins that a line beyond the 1 MiB
+// token limit surfaces bufio.ErrTooLong instead of a silently short read.
+func TestReadScheduleScannerErrorSurfaced(t *testing.T) {
+	giant := strings.Repeat("5", 1<<20+16)
+	if _, err := ReadSchedule(strings.NewReader(giant)); !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("ReadSchedule masked the scanner error: %v", err)
+	}
+	if _, err := ReadScheduleStrict(strings.NewReader(giant)); !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("ReadScheduleStrict masked the scanner error: %v", err)
+	}
+}
+
+// TestReadTextScannerErrorSurfaced pins the fixed masking bug: a token
+// beyond ReadText's 16 MiB limit used to be reported as "empty input".
+func TestReadTextScannerErrorSurfaced(t *testing.T) {
+	giant := strings.Repeat("7", 1<<24+16)
+	if _, err := ReadText(strings.NewReader(giant)); !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("ReadText masked the scanner error: %v", err)
+	}
+	// Same failure mid-stream, after a valid header.
+	in := "2\n0 -1 1\n" + giant
+	if _, err := ReadText(strings.NewReader(in)); !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("ReadText masked the mid-stream scanner error: %v", err)
+	}
+}
+
+// TestReadTextHostileHeader pins that a header claiming vastly more nodes
+// than the input holds fails cleanly (and, by construction of the row
+// buffer, without an n-sized allocation up front).
+func TestReadTextHostileHeader(t *testing.T) {
+	in := "2000000000\n0 -1 1\n1 0 1\n"
+	_, err := ReadText(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "expected 2000000000 node lines, got 2") {
+		t.Fatalf("hostile header not rejected cleanly: %v", err)
+	}
+}
+
+// TestNewWeightOverflow pins the Σw overflow rejection in New, reachable
+// from both ReadJSON and ReadText.
+func TestNewWeightOverflow(t *testing.T) {
+	_, err := New([]int{None, 0}, []int64{math.MaxInt64, 1})
+	if err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("overflowing weights accepted: %v", err)
+	}
+	in := `{"parents":[-1,0],"weights":[9223372036854775807,1]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("ReadJSON accepted overflowing weights")
+	}
+}

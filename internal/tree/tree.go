@@ -25,7 +25,10 @@ type Tree struct {
 // parent[i] is the node consuming i's output, or None for the root. The
 // parent vector must describe a single connected tree, and all weights must
 // be non-negative integers (the paper's memory unit model; zero weights
-// arise for fully-evicted middle nodes of the expansion technique).
+// arise for fully-evicted middle nodes of the expansion technique) whose
+// sum fits in an int64 — the simulators and peak profiles accumulate
+// weights, so a tree whose total overflows would corrupt every downstream
+// invariant silently.
 func New(parent []int, weight []int64) (*Tree, error) {
 	n := len(parent)
 	if n == 0 {
@@ -42,9 +45,13 @@ func New(parent []int, weight []int64) (*Tree, error) {
 	}
 	copy(t.parent, parent)
 	copy(t.weight, weight)
+	var total int64
 	for i := 0; i < n; i++ {
 		if weight[i] < 0 {
 			return nil, fmt.Errorf("tree: node %d has negative weight %d", i, weight[i])
+		}
+		if total += weight[i]; total < 0 {
+			return nil, fmt.Errorf("tree: total weight overflows int64 at node %d", i)
 		}
 		p := parent[i]
 		switch {

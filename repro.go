@@ -21,6 +21,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -89,6 +90,13 @@ type Tuning struct {
 	// demand (10⁷-node trees schedule in a flat memory envelope).
 	// 0 = unlimited.
 	CacheBudget int64
+	// Ctx cancels a run cooperatively: a cancelled context makes
+	// ScheduleTuned/ScheduleStreamed return Ctx.Err() promptly (checked
+	// per expansion iteration and per streamed segment) with the engine
+	// left re-runnable. nil disables cancellation. Unlike the other
+	// knobs, Ctx can change the outcome — from a result to an error —
+	// but never the result of a run it lets complete.
+	Ctx context.Context
 }
 
 // ScheduleTuned is Schedule with explicit engine tuning. The result is
@@ -96,6 +104,7 @@ type Tuning struct {
 func ScheduleTuned(t *Tree, M int64, alg Algorithm, tn Tuning) (*Result, error) {
 	rn := core.NewRunner(tn.Workers)
 	rn.CacheBudget = tn.CacheBudget
+	rn.Ctx = tn.Ctx
 	return rn.Run(alg, t, M)
 }
 
@@ -111,7 +120,7 @@ func ScheduleTuned(t *Tree, M int64, alg Algorithm, tn Tuning) (*Result, error) 
 // >10⁸-node trees: the engine's schedule ropes are released as the
 // emission advances, so no Θ(n) answer is ever resident.
 func ScheduleStreamed(t *Tree, M int64, alg Algorithm, tn Tuning, yield func(seg []int) bool) (*Result, error) {
-	opts := expand.Options{MaxPerNode: 2, Workers: tn.Workers, CacheBudget: tn.CacheBudget}
+	opts := expand.Options{MaxPerNode: 2, Workers: tn.Workers, CacheBudget: tn.CacheBudget, Ctx: tn.Ctx}
 	switch alg {
 	case RecExpand:
 	case FullRecExpand:
@@ -134,9 +143,24 @@ func WriteSchedule(w io.Writer, source func(yield func(seg []int) bool) bool) (i
 	return tree.WriteSchedule(w, source)
 }
 
-// ReadSchedule reads a schedule written by WriteSchedule.
+// ReadSchedule reads a schedule written by WriteSchedule. It is lenient:
+// trailers and comments are skipped, so partial streams parse to their
+// prefix.
 func ReadSchedule(r io.Reader) (TaskSchedule, error) {
 	return tree.ReadSchedule(r)
+}
+
+// ErrTruncatedSchedule marks a schedule stream that did not run to
+// completion; WriteSchedule errors and ReadScheduleStrict rejections wrap
+// it (test with errors.Is).
+var ErrTruncatedSchedule = tree.ErrTruncatedSchedule
+
+// ReadScheduleStrict reads a schedule written by WriteSchedule and rejects
+// any stream that lacks the "# end count=N" completeness trailer or whose
+// id count disagrees with it, so a stream from a killed run can never pass
+// for a complete one.
+func ReadScheduleStrict(r io.Reader) (TaskSchedule, error) {
+	return tree.ReadScheduleStrict(r)
 }
 
 // MinMemory returns LB = max_i w̄(i), the smallest memory size for which
