@@ -25,15 +25,19 @@ test-race:
 
 # Fault-injection build: the seed-driven registry is live and the grid
 # replays the instance corpus with one fault armed per run (DESIGN.md §2.9).
+# Includes the checkpoint grid: CkptWrite/CkptRename faults at planned
+# hits, WriterIO faults in the CLI outputs, each followed by a resume that
+# must reproduce the uninterrupted result (DESIGN.md §2.10).
 test-faultinject:
 	$(GO) test -tags faultinject ./...
 
 # 20s-per-target smoke of the reader fuzz surface; crashers land in
-# internal/tree/testdata/fuzz. CI runs the same three steps.
+# <pkg>/testdata/fuzz. CI runs the same four steps.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadJSON$$' -fuzztime 20s ./internal/tree
 	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 20s ./internal/tree
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSchedule$$' -fuzztime 20s ./internal/tree
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCheckpoint$$' -fuzztime 20s ./internal/ckpt
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .

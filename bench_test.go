@@ -612,6 +612,78 @@ func BenchmarkRecExpandStreamCancelOverhead200k(b *testing.B) {
 	b.ReportMetric(deltas[len(deltas)/2], "cancel_overhead_pct")
 }
 
+// BenchmarkRecExpandStreamCkptOverhead200k measures the durability tax of
+// checkpoint arming with the same paired design as the cancellation
+// benchmark: each iteration times one disarmed and one armed (durable
+// checkpoint file, fsync per write) streamed run back to back on the same
+// engine, alternating order, and reports the median per-pair delta as
+// ckpt_overhead_pct. The sub-benchmarks sweep the write interval: the
+// default (256 events) is the <5% acceptance bar of the durability model
+// (DESIGN.md §2.10); interval 1 is the worst case, one fsynced checkpoint
+// per checkpointable event. Disarmed runs take the ck == nil branch in the
+// hot loop — no logging, no allocation — so the plain arm doubles as the
+// zero-overhead control. ns/op covers BOTH runs of a pair and is not
+// comparable to the Stream row.
+func BenchmarkRecExpandStreamCkptOverhead200k(b *testing.B) {
+	for _, interval := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("interval%d", interval), func(b *testing.B) {
+			in := experiments.Huge(200000, 1)
+			M := in.M(core.BoundMid)
+			eng := expand.NewEngine()
+			plain := expand.Options{MaxPerNode: 2, Workers: 1, CacheBudget: 40 << 20}
+			armed := plain
+			armed.Checkpoint = expand.CheckpointOptions{
+				Path:     b.TempDir() + "/bench.ckpt",
+				Interval: interval,
+			}
+			yield := func(seg []int) bool { return true }
+			for _, o := range []expand.Options{plain, armed} {
+				if _, err := eng.RecExpandStream(in.Tree, M, o, yield); err != nil {
+					b.Fatal(err)
+				}
+			}
+			run := func(o expand.Options) time.Duration {
+				s := time.Now()
+				if _, err := eng.RecExpandStream(in.Tree, M, o, yield); err != nil {
+					b.Fatal(err)
+				}
+				return time.Since(s)
+			}
+			// The armed arm differs from the plain one by a handful of
+			// small fsynced writes (one at the default interval), far
+			// below the run-to-run drift of a single pair, so each
+			// iteration runs several pairs and the median is taken over
+			// all of them: 5 benchtime iterations yield a 25-pair median.
+			const pairs = 5
+			var tPlain, tArmed time.Duration
+			deltas := make([]float64, 0, pairs*b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < pairs; j++ {
+					// Alternate which arm runs first so a position-in-pair
+					// bias cannot masquerade as checkpointing cost.
+					var dp, da time.Duration
+					if (i+j)%2 == 0 {
+						dp = run(plain)
+						da = run(armed)
+					} else {
+						da = run(armed)
+						dp = run(plain)
+					}
+					tPlain += dp
+					tArmed += da
+					deltas = append(deltas, (float64(da)/float64(dp)-1)*100)
+				}
+			}
+			b.StopTimer()
+			sort.Float64s(deltas)
+			b.ReportMetric(float64(tPlain.Nanoseconds())/float64(pairs*b.N), "plain_ns")
+			b.ReportMetric(float64(tArmed.Nanoseconds())/float64(pairs*b.N), "armed_ns")
+			b.ReportMetric(deltas[len(deltas)/2], "ckpt_overhead_pct")
+		})
+	}
+}
+
 func BenchmarkFiFSimulator3000(b *testing.B) {
 	tr := synthTree(3000, 1)
 	in := core.NewInstance("x", tr)

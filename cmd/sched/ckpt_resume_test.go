@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/randtree"
+	"repro/internal/tree"
+)
+
+// writeTestTree materializes a deterministic synthetic tree as JSON for
+// the CLI paths under test.
+func writeTestTree(t *testing.T, dir string, n int) string {
+	t.Helper()
+	tr := randtree.Synth(n, rand.New(rand.NewSource(7)))
+	path := filepath.Join(dir, "tree.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunStreamCkptResume drives the streaming CLI path through every
+// recovery shape an operator can encounter after a hard kill — torn
+// partial stream, complete-but-unrenamed partial, and a kill before
+// anything durable existed — and requires the recovered target file to be
+// byte-identical to an uninterrupted run's.
+func TestRunStreamCkptResume(t *testing.T) {
+	dir := t.TempDir()
+	treePath := writeTestTree(t, dir, 4000)
+	ctx := context.Background()
+
+	base := filepath.Join(dir, "base.txt")
+	if err := runStream(ctx, treePath, 0, true, "RecExpand", 1, 0, base, "", 0, false); err != nil {
+		t.Fatalf("baseline stream: %v", err)
+	}
+	want, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "sched.txt")
+	partial := out + ".partial"
+	ck := filepath.Join(dir, "run.ckpt")
+
+	// Checkpoint-armed run: same bytes, no working partial left behind,
+	// and a durable checkpoint for the recovery scenarios below.
+	if err := runStream(ctx, treePath, 0, true, "RecExpand", 1, 0, out, ck, 16, false); err != nil {
+		t.Fatalf("armed stream: %v", err)
+	}
+	if got, _ := os.ReadFile(out); !bytes.Equal(got, want) {
+		t.Fatalf("checkpoint-armed stream differs from baseline (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(partial); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("completed run left %s (stat: %v)", partial, err)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("armed run left no checkpoint: %v", err)
+	}
+
+	// Torn partial: a SIGKILL leaves a prefix of the stream cut mid-line
+	// and no committed target. Resume must repair the tail, skip what is
+	// durable, and commit a byte-identical stream.
+	if err := os.WriteFile(partial, want[:len(want)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStream(ctx, treePath, 0, true, "RecExpand", 1, 0, out, ck, 16, true); err != nil {
+		t.Fatalf("resume from torn partial: %v", err)
+	}
+	if got, _ := os.ReadFile(out); !bytes.Equal(got, want) {
+		t.Fatalf("resumed stream differs from baseline (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(partial); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("resume left %s (stat: %v)", partial, err)
+	}
+
+	// Complete partial: the stream sealed its trailer but the process died
+	// before the final rename. Resume must commit it without recomputing.
+	if err := os.Rename(out, partial); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStream(ctx, treePath, 0, true, "RecExpand", 1, 0, out, ck, 16, true); err != nil {
+		t.Fatalf("resume from complete partial: %v", err)
+	}
+	if got, _ := os.ReadFile(out); !bytes.Equal(got, want) {
+		t.Fatalf("re-committed stream differs from baseline")
+	}
+
+	// Killed before anything durable existed: no partial, no checkpoint.
+	// Resume degrades to a fresh run instead of erroring.
+	if err := os.Remove(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStream(ctx, treePath, 0, true, "RecExpand", 1, 0, out, ck, 16, true); err != nil {
+		t.Fatalf("resume with nothing durable: %v", err)
+	}
+	if got, _ := os.ReadFile(out); !bytes.Equal(got, want) {
+		t.Fatalf("fresh-degraded resume differs from baseline")
+	}
+}
+
+// TestRunMaterializeCkptResume covers the non-streaming CLI path: the
+// -checkpoint/-resume flags thread into core.Runner and the -o traversal
+// written after a resumed run is identical to the uninterrupted one's.
+func TestRunMaterializeCkptResume(t *testing.T) {
+	dir := t.TempDir()
+	treePath := writeTestTree(t, dir, 2000)
+	ctx := context.Background()
+	outJSON := filepath.Join(dir, "traversal.json")
+	ck := filepath.Join(dir, "run.ckpt")
+
+	if err := run(ctx, treePath, 0, true, "RecExpand", false, "", false, 1, 0, outJSON, ck, 8, false); err != nil {
+		t.Fatalf("armed run: %v", err)
+	}
+	want, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("armed run left no checkpoint: %v", err)
+	}
+
+	if err := run(ctx, treePath, 0, true, "RecExpand", false, "", false, 1, 0, outJSON, ck, 8, true); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got, _ := os.ReadFile(outJSON); !bytes.Equal(got, want) {
+		t.Fatalf("resumed traversal differs from baseline")
+	}
+
+	// Resume with a checkpoint that was never committed starts fresh.
+	if err := os.Remove(ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, treePath, 0, true, "RecExpand", false, "", false, 1, 0, outJSON, ck, 8, true); err != nil {
+		t.Fatalf("resume without checkpoint: %v", err)
+	}
+	if got, _ := os.ReadFile(outJSON); !bytes.Equal(got, want) {
+		t.Fatalf("fresh-degraded resume traversal differs from baseline")
+	}
+}
+
+// TestRunRepairSchedResumeOffset covers the standalone -repair-sched mode:
+// a torn stream is trimmed in place to its trusted prefix, a complete
+// stream is left untouched, and a missing file is an error.
+func TestRunRepairSchedResumeOffset(t *testing.T) {
+	dir := t.TempDir()
+
+	torn := filepath.Join(dir, "torn.txt")
+	if err := os.WriteFile(torn, []byte("3\n1\n4\n1\n5"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRepair(torn); err != nil {
+		t.Fatalf("repairing torn stream: %v", err)
+	}
+	if got, _ := os.ReadFile(torn); string(got) != "3\n1\n4\n1\n" {
+		t.Fatalf("torn stream repaired to %q, want trusted 4-id prefix", got)
+	}
+
+	complete := filepath.Join(dir, "complete.txt")
+	body := "3\n1\n4\n# end count=3\n"
+	if err := os.WriteFile(complete, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRepair(complete); err != nil {
+		t.Fatalf("repairing complete stream: %v", err)
+	}
+	if got, _ := os.ReadFile(complete); string(got) != body {
+		t.Fatalf("complete stream modified by repair: %q", got)
+	}
+
+	if err := runRepair(filepath.Join(dir, "nope.txt")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("repair of missing file: %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestSchedCkptKillResume is the end-to-end hard-kill contract: a real
+// sched binary streaming with -checkpoint armed, a real SIGKILL mid-run —
+// no signal handler, no graceful flush — then a -resume invocation that
+// must finish the job with a target file byte-identical to an
+// uninterrupted run's. It also pins the CLI's flag validation for the
+// checkpoint options.
+func TestSchedCkptKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary; skipped under -short")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal semantics required")
+	}
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "sched")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sched: %v\n%s", err, out)
+	}
+
+	in := experiments.Huge(300000, 1)
+	treePath := filepath.Join(dir, "tree.json")
+	f, err := os.Create(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Tree.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference bytes, computed in-process (same code path
+	// as the binary's fresh run).
+	base := filepath.Join(dir, "base.txt")
+	if err := runStream(context.Background(), treePath, 0, true, "RecExpand", 0, 0, base, "", 0, false); err != nil {
+		t.Fatalf("baseline stream: %v", err)
+	}
+	want, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schedPath := filepath.Join(dir, "sched.txt")
+	ck := filepath.Join(dir, "run.ckpt")
+	cmd := exec.Command(bin, "-tree", treePath, "-mid", "-alg", "RecExpand",
+		"-stream-sched", schedPath, "-checkpoint", ck)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill shortly after the instance header: mid-expansion, with some
+	// checkpoints likely committed. SIGKILL gives the process no chance
+	// to flush or clean anything.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Wait()
+		t.Fatalf("sched exited before printing the instance header: %v", sc.Err())
+	}
+	time.Sleep(150 * time.Millisecond)
+	killErr := cmd.Process.Kill()
+	for sc.Scan() {
+		// Drain so the child never blocks on a full stdout pipe.
+	}
+	werr := cmd.Wait()
+	completed := werr == nil && killErr != nil // beat the kill: already exited
+
+	if !completed {
+		// The kill won: the target must not exist (only .partial and/or a
+		// checkpoint may).
+		if _, err := os.Stat(schedPath); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("killed run left something at the target path (stat: %v)", err)
+		}
+	}
+
+	// Recovery: a single -resume run must finish the stream, whatever
+	// state the kill left (torn partial, checkpoint or neither).
+	resumeCmd := exec.Command(bin, "-tree", treePath, "-mid", "-alg", "RecExpand",
+		"-stream-sched", schedPath, "-checkpoint", ck, "-resume")
+	if out, err := resumeCmd.CombinedOutput(); err != nil {
+		t.Fatalf("resume run: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(schedPath)
+	if err != nil {
+		t.Fatalf("target missing after resume: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed stream differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(schedPath + ".partial"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("resume left a .partial behind (stat: %v)", err)
+	}
+	sf, err := os.Open(schedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	if _, err := tree.ReadScheduleStrict(sf); err != nil {
+		t.Fatalf("recovered stream fails the strict reader: %v", err)
+	}
+
+	// Flag validation: checkpointing is expansion-only, and -resume needs
+	// the checkpoint path.
+	bad := exec.Command(bin, "-tree", treePath, "-mid", "-alg", "OptMinMem", "-checkpoint", ck)
+	if err := bad.Run(); err == nil {
+		t.Fatal("-checkpoint with a non-expansion algorithm was accepted")
+	}
+	bad = exec.Command(bin, "-tree", treePath, "-mid", "-alg", "RecExpand", "-resume")
+	if err := bad.Run(); err == nil {
+		t.Fatal("-resume without -checkpoint was accepted")
+	}
+}

@@ -1,0 +1,129 @@
+//go:build faultinject
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestCkptStreamWriterFaultResume injects an I/O error at a deterministic
+// byte of the schedule stream: the run must fail with the typed write
+// error, the target path must stay untouched (the damage is confined to
+// the .partial working file), and a -resume run must repair the partial
+// and commit a stream byte-identical to an unfaulted run's. This is the
+// disk-hiccup-then-retry loop the .partial design exists for.
+func TestCkptStreamWriterFaultResume(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	treePath := writeTestTree(t, dir, 4000)
+	ctx := context.Background()
+
+	base := filepath.Join(dir, "base.txt")
+	faultinject.Reset()
+	if err := runStream(ctx, treePath, 0, true, "RecExpand", 1, 0, base, "", 0, false); err != nil {
+		t.Fatalf("baseline stream: %v", err)
+	}
+	hits := faultinject.Hits(faultinject.WriterIO)
+	if hits == 0 {
+		t.Fatal("baseline stream offered no bytes to the fault writer")
+	}
+	want, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "sched.txt")
+	ck := filepath.Join(dir, "run.ckpt")
+	hit := faultinject.PlanHit(41, faultinject.WriterIO, hits)
+	faultinject.Reset()
+	faultinject.Arm(faultinject.WriterIO, hit)
+	err = runStream(ctx, treePath, 0, true, "RecExpand", 1, 0, out, ck, 16, false)
+	faultinject.Reset()
+	if !errors.Is(err, faultinject.ErrWrite) {
+		t.Fatalf("faulted stream: err = %v, want ErrWrite", err)
+	}
+	if _, err := os.Stat(out); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("faulted run left something at the target path (stat: %v)", err)
+	}
+
+	if err := runStream(ctx, treePath, 0, true, "RecExpand", 1, 0, out, ck, 16, true); err != nil {
+		t.Fatalf("resume after write fault: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered stream differs from baseline (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(out + ".partial"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("resume left a .partial behind (stat: %v)", err)
+	}
+}
+
+// TestCkptRunOutputWriterFault injects an I/O error into the -o and -dot
+// writers of the materializing path: the atomic temp+fsync+rename write
+// must fail loudly, leave nothing at the target path (and no temp
+// residue), and a clean retry must succeed.
+func TestCkptRunOutputWriterFault(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	treePath := writeTestTree(t, dir, 1000)
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		name string
+		call func(dot, out string) error
+	}{
+		{"dot", func(dot, out string) error {
+			return run(ctx, treePath, 0, true, "RecExpand", false, dot, false, 1, 0, "", "", 0, false)
+		}},
+		{"o", func(dot, out string) error {
+			return run(ctx, treePath, 0, true, "RecExpand", false, "", false, 1, 0, out, "", 0, false)
+		}},
+	} {
+		target := filepath.Join(dir, tc.name+".out")
+		dot, out := target, target
+
+		faultinject.Reset()
+		if err := tc.call(dot, out); err != nil {
+			t.Fatalf("%s: counting run: %v", tc.name, err)
+		}
+		hits := faultinject.Hits(faultinject.WriterIO)
+		if hits == 0 {
+			t.Fatalf("%s: no bytes offered to the fault writer", tc.name)
+		}
+		if err := os.Remove(target); err != nil {
+			t.Fatal(err)
+		}
+
+		hit := faultinject.PlanHit(42, faultinject.WriterIO, hits)
+		faultinject.Reset()
+		faultinject.Arm(faultinject.WriterIO, hit)
+		err := tc.call(dot, out)
+		faultinject.Reset()
+		if !errors.Is(err, faultinject.ErrWrite) {
+			t.Fatalf("%s: faulted run: err = %v, want ErrWrite", tc.name, err)
+		}
+		if _, err := os.Stat(target); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s: faulted run left something at the target path (stat: %v)", tc.name, err)
+		}
+		if _, err := os.Stat(target + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s: faulted run left temp residue (stat: %v)", tc.name, err)
+		}
+
+		if err := tc.call(dot, out); err != nil {
+			t.Fatalf("%s: retry after fault: %v", tc.name, err)
+		}
+		if fi, err := os.Stat(target); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: retry produced no output (stat: %v, %v)", tc.name, fi, err)
+		}
+	}
+}

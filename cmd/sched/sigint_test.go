@@ -17,11 +17,13 @@ import (
 // TestStreamSchedSIGINTCancel is the end-to-end contract of the graceful
 // interrupt path: a real sched binary streaming a schedule to disk, a real
 // SIGINT mid-run. Whatever the race between the signal and the engine, the
-// stream on disk must be crash-evident — either it carries the "# end"
-// trailer and passes the strict reader (the run won), or the process exits
-// 130 and the strict reader rejects the truncated stream (the signal won).
-// A silent third state — partial stream that parses as complete — is the
-// bug this test exists to rule out.
+// on-disk state must be crash-evident — either the target file carries the
+// "# end" trailer and passes the strict reader (the run won), or the
+// process exits 130, the target file was never created (the stream grows
+// in <out>.partial until complete), and the partial stream is rejected by
+// the strict reader (the signal won). A silent third state — a partial
+// stream at the target path that parses as complete — is the bug this test
+// exists to rule out.
 func TestStreamSchedSIGINTCancel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and signals a real binary; skipped under -short")
@@ -79,21 +81,24 @@ func TestStreamSchedSIGINTCancel(t *testing.T) {
 	}
 	werr := cmd.Wait()
 
-	sf, err := os.Open(schedPath)
-	if err != nil {
-		t.Fatalf("stream file missing after interrupt: %v", err)
-	}
-	defer sf.Close()
-	sched, serr := tree.ReadScheduleStrict(sf)
-
 	switch {
 	case werr == nil:
-		// The run beat the signal: the stream must be complete and strict.
+		// The run beat the signal: the committed target must be complete
+		// and strict, and the working partial must have been renamed away.
+		sf, err := os.Open(schedPath)
+		if err != nil {
+			t.Fatalf("stream file missing after completed run: %v", err)
+		}
+		defer sf.Close()
+		sched, serr := tree.ReadScheduleStrict(sf)
 		if serr != nil {
 			t.Fatalf("run completed but strict read failed: %v", serr)
 		}
 		if len(sched) != in.Tree.N() {
 			t.Fatalf("complete stream has %d ids, want %d", len(sched), in.Tree.N())
+		}
+		if _, err := os.Stat(schedPath + ".partial"); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("completed run left %s.partial behind (stat: %v)", schedPath, err)
 		}
 	default:
 		var xerr *exec.ExitError
@@ -103,8 +108,20 @@ func TestStreamSchedSIGINTCancel(t *testing.T) {
 		if code := xerr.ExitCode(); code != 130 {
 			t.Fatalf("interrupted sched exited %d, want 130", code)
 		}
+		// The signal won: the target path must not exist at all — the
+		// truncated stream lives only in the .partial working file, and
+		// the strict reader must reject it.
+		if _, err := os.Stat(schedPath); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("interrupted run left something at the target path (stat: %v)", err)
+		}
+		pf, err := os.Open(schedPath + ".partial")
+		if err != nil {
+			t.Fatalf("partial stream missing after interrupt: %v", err)
+		}
+		defer pf.Close()
+		sched, serr := tree.ReadScheduleStrict(pf)
 		if serr == nil {
-			t.Fatalf("interrupted run left a stream that passes the strict reader (%d ids): truncation is not crash-evident", len(sched))
+			t.Fatalf("interrupted run left a partial stream that passes the strict reader (%d ids): truncation is not crash-evident", len(sched))
 		}
 		if !errors.Is(serr, tree.ErrTruncatedSchedule) {
 			t.Fatalf("strict read error = %v, want ErrTruncatedSchedule", serr)

@@ -1,0 +1,69 @@
+//go:build faultinject
+
+package main
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/randtree"
+	"repro/internal/tree"
+)
+
+// TestWriteTreeWriterFaultCkptAtomic injects an I/O error into treegen's
+// -o writer: the atomic write must fail loudly, leave neither a truncated
+// tree nor temp residue at the target, and a clean retry must produce a
+// tree that parses back identically.
+func TestWriteTreeWriterFaultCkptAtomic(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	tr := randtree.Synth(500, rand.New(rand.NewSource(3)))
+	target := filepath.Join(dir, "tree.json")
+
+	faultinject.Reset()
+	if err := writeTree(tr, target); err != nil {
+		t.Fatalf("counting run: %v", err)
+	}
+	hits := faultinject.Hits(faultinject.WriterIO)
+	if hits == 0 {
+		t.Fatal("no bytes offered to the fault writer")
+	}
+	if err := os.Remove(target); err != nil {
+		t.Fatal(err)
+	}
+
+	hit := faultinject.PlanHit(43, faultinject.WriterIO, hits)
+	faultinject.Reset()
+	faultinject.Arm(faultinject.WriterIO, hit)
+	err := writeTree(tr, target)
+	faultinject.Reset()
+	if !errors.Is(err, faultinject.ErrWrite) {
+		t.Fatalf("faulted write: err = %v, want ErrWrite", err)
+	}
+	if _, err := os.Stat(target); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("faulted write left something at the target path (stat: %v)", err)
+	}
+	if _, err := os.Stat(target + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("faulted write left temp residue (stat: %v)", err)
+	}
+
+	if err := writeTree(tr, target); err != nil {
+		t.Fatalf("retry after fault: %v", err)
+	}
+	f, err := os.Open(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := tree.ReadJSON(f)
+	if err != nil {
+		t.Fatalf("retried tree does not parse: %v", err)
+	}
+	if got.N() != tr.N() {
+		t.Fatalf("retried tree has %d nodes, want %d", got.N(), tr.N())
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/ckpt"
+	"repro/internal/faultinject"
 	"repro/internal/randtree"
 	"repro/internal/sparse"
 	"repro/internal/tree"
@@ -46,21 +48,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treegen:", err)
 		os.Exit(1)
 	}
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "treegen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := t.WriteJSON(w); err != nil {
+	if err := writeTree(t, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "treegen:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, t.String())
+}
+
+// writeTree emits the generated tree to stdout, or atomically
+// (temp+fsync+rename) to out: a generator killed — or a disk filling up —
+// mid-write never leaves a truncated tree at the requested path for a
+// later sched run to trip over. faultinject.NewWriter is an identity
+// wrapper on default builds.
+func writeTree(t *tree.Tree, out string) error {
+	if out == "" {
+		return t.WriteJSON(os.Stdout)
+	}
+	return ckpt.WriteFileAtomic(out, func(w io.Writer) error {
+		return t.WriteJSON(faultinject.NewWriter(w))
+	})
 }
 
 func build(kind string, n, deg, bw int, seed, relax int64, ord, in string) (*tree.Tree, error) {

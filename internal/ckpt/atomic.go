@@ -1,0 +1,84 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteFileAtomic writes a file so that path never holds a half-written
+// artifact: write writes the content to a temp file in the same directory,
+// the temp file is fsynced and closed, renamed over path, and the
+// directory is fsynced so the rename itself is durable. On any error the
+// temp file is removed and path is untouched (whatever was there before —
+// including nothing — is still there).
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := commitFile(f, tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// commitFile makes an already-written temp file durable at path: fsync,
+// close, rename over path, fsync the directory. The caller removes tmp on
+// error.
+func commitFile(f *os.File, tmp, path string) error {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// CommitFile finalizes a file written in place under a temporary name:
+// fsync + close f (which must be open on tmp), atomically rename tmp over
+// path, and fsync the directory. It is the commit step of the streaming
+// outputs that cannot buffer their whole content through WriteFileAtomic's
+// callback (cmd/sched -stream-sched writes for hours into out.partial and
+// renames only a complete, trailer-sealed stream over the target).
+func CommitFile(f *os.File, tmp, path string) error {
+	return commitFile(f, tmp, path)
+}
+
+// SyncDir fsyncs a directory so a just-committed rename in it survives a
+// power cut. Filesystems that refuse to sync directories (some CI
+// overlays) are tolerated: the rename is still atomic, only its
+// durability-after-power-loss is weakened, and erroring out would fail
+// every checkpoint on such hosts.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return fmt.Errorf("ckpt: syncing dir: %w", err)
+	}
+	return nil
+}
+
+// isSyncUnsupported reports errors that mean "this filesystem cannot sync
+// a directory", not "the sync failed".
+func isSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.ENOTTY)
+}

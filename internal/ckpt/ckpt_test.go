@@ -1,0 +1,282 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleState builds a representative state with a multi-record log.
+func sampleState(exps int) *State {
+	st := &State{
+		FP: Fingerprint{
+			TreeHash:   0xdeadbeefcafef00d,
+			N:          1234,
+			M:          98765,
+			MaxPerNode: 2,
+			Victim:     1,
+			GlobalCap:  64*1234 + 1024,
+		},
+		Cursor:     17,
+		CurIters:   1,
+		Phase:      PhaseExpand,
+		CapHit:     false,
+		EmittedIDs: 0,
+	}
+	for i := 0; i < exps; i++ {
+		st.Exps = append(st.Exps, Exp{Victim: i * 3 % 1234, Amount: int64(1 + i%97)})
+	}
+	return st
+}
+
+func TestCkptRoundTrip(t *testing.T) {
+	for _, exps := range []int{0, 1, 5, maxExpsPerRecord + 3} {
+		st := sampleState(exps)
+		st.Phase = PhaseFinish
+		st.CapHit = true
+		st.EmittedIDs = 42424242
+		dir := t.TempDir()
+		path := filepath.Join(dir, "run.ckpt")
+		if err := WriteFile(path, st); err != nil {
+			t.Fatalf("exps=%d: write: %v", exps, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("exps=%d: read: %v", exps, err)
+		}
+		if got.FP != st.FP || got.Cursor != st.Cursor || got.CurIters != st.CurIters ||
+			got.Phase != st.Phase || got.CapHit != st.CapHit || got.EmittedIDs != st.EmittedIDs {
+			t.Fatalf("exps=%d: scalar fields diverge:\ngot  %+v\nwant %+v", exps, got, st)
+		}
+		if len(got.Exps) != len(st.Exps) {
+			t.Fatalf("exps=%d: log length %d, want %d", exps, len(got.Exps), len(st.Exps))
+		}
+		for i := range got.Exps {
+			if got.Exps[i] != st.Exps[i] {
+				t.Fatalf("exps=%d: log entry %d = %+v, want %+v", exps, i, got.Exps[i], st.Exps[i])
+			}
+		}
+		if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("exps=%d: temp file left behind", exps)
+		}
+	}
+}
+
+// TestCkptRoundTripStream covers the io.Reader entry point.
+func TestCkptRoundTripStream(t *testing.T) {
+	st := sampleState(9)
+	got, err := Read(strings.NewReader(string(Encode(st))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FP != st.FP || len(got.Exps) != 9 {
+		t.Fatalf("stream roundtrip diverges: %+v", got)
+	}
+}
+
+// TestCkptCorruptionEveryByte is the satellite's contract: flipping any
+// single byte of a valid checkpoint must yield a typed ErrCorrupt (or, for
+// the one field that legitimately means "other version", ErrVersion) and
+// never a panic or a silently different state.
+func TestCkptCorruptionEveryByte(t *testing.T) {
+	data := Encode(sampleState(25))
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		st, err := Decode(mut)
+		if err == nil {
+			t.Fatalf("byte %d: corruption accepted (state %+v)", i, st)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("byte %d: error %v is neither ErrCorrupt nor ErrVersion", i, err)
+		}
+	}
+}
+
+// TestCkptTruncationEveryLength feeds every strict prefix of a valid file:
+// all must be rejected as corrupt (the cursor record is the commit point,
+// so no prefix is a valid checkpoint).
+func TestCkptTruncationEveryLength(t *testing.T) {
+	data := Encode(sampleState(10))
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestCkptVersionBumpRejected hand-crafts a well-formed checkpoint whose
+// header declares Version+1 — valid CRCs, valid framing — and demands the
+// typed ErrVersion, not ErrCorrupt: this is the forward-compat rejection
+// path, distinct from damage.
+func TestCkptVersionBumpRejected(t *testing.T) {
+	var p []byte
+	p = append(p, recHeader)
+	p = append(p, magic...)
+	p = binary.AppendUvarint(p, Version+1)
+	p = binary.AppendUvarint(p, 1) // tree hash
+	for i := 0; i < 5; i++ {
+		p = binary.AppendVarint(p, 1)
+	}
+	data := appendRecord(nil, p)
+	p = p[:0]
+	p = append(p, recCursor, byte(PhaseExpand), 0)
+	for i := 0; i < 4; i++ {
+		p = binary.AppendUvarint(p, 0)
+	}
+	data = appendRecord(data, p)
+
+	_, err := Decode(data)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("version-bumped file: err = %v, want ErrVersion", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version skew must not read as corruption: %v", err)
+	}
+}
+
+// TestCkptStructuralRejections covers the framing invariants one by one.
+func TestCkptStructuralRejections(t *testing.T) {
+	valid := Encode(sampleState(3))
+
+	// A record appended after the cursor record.
+	extra := appendRecord(append([]byte(nil), valid...), []byte{recExps, 0})
+	if _, err := Decode(extra); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("record after cursor: %v", err)
+	}
+
+	// Cursor whose log-length cross-check disagrees.
+	st := sampleState(3)
+	st.Exps = st.Exps[:2]
+	lying := Encode(st)
+	// Splice the 3-exp log records in front of the 2-exp cursor: rebuild
+	// by decoding framing manually is overkill — instead encode a state
+	// with matching fields and corrupt the cross-check by re-encoding the
+	// cursor of a DIFFERENT log length.
+	_ = lying
+	mismatch := encodeWithLogLen(sampleState(3), 99)
+	if _, err := Decode(mismatch); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("log-length mismatch: %v", err)
+	}
+
+	// Missing cursor record entirely.
+	hdrOnly := Encode(sampleState(0))
+	// The 0-exp encoding is header+cursor; chop the cursor record off.
+	hlen := 8 + int(binary.LittleEndian.Uint32(hdrOnly[0:4]))
+	if _, err := Decode(hdrOnly[:hlen]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing cursor: %v", err)
+	}
+
+	// Empty file.
+	if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty file: %v", err)
+	}
+}
+
+// encodeWithLogLen encodes st but lies about the logged-expansion count in
+// the cursor record (with a correct CRC), exercising the cross-check.
+func encodeWithLogLen(st *State, logLen int) []byte {
+	data := Encode(st)
+	// Strip the genuine cursor record (it is last) and append a lying one.
+	off := 0
+	lastStart := 0
+	for off < len(data) {
+		lastStart = off
+		plen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += 8 + plen
+	}
+	data = data[:lastStart]
+	var p []byte
+	p = append(p, recCursor, byte(st.Phase), 0)
+	p = binary.AppendUvarint(p, uint64(st.Cursor))
+	p = binary.AppendUvarint(p, uint64(st.CurIters))
+	p = binary.AppendUvarint(p, uint64(st.EmittedIDs))
+	p = binary.AppendUvarint(p, uint64(logLen))
+	return appendRecord(data, p)
+}
+
+// TestCkptReadFileMissing pins the missing-file contract: os.ErrNotExist,
+// so callers can distinguish "no checkpoint yet" from damage.
+func TestCkptReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestCkptWriteReplacesAtomically overwrites an existing checkpoint and
+// verifies the new state landed and no temp residue remains.
+func TestCkptWriteReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := WriteFile(path, sampleState(2)); err != nil {
+		t.Fatal(err)
+	}
+	next := sampleState(7)
+	next.Cursor = 99
+	if err := WriteFile(path, next); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cursor != 99 || len(got.Exps) != 7 {
+		t.Fatalf("overwrite not visible: %+v", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after overwrite, want 1", len(ents))
+	}
+}
+
+// TestWriteFileAtomicErrorKeepsTarget: a failing content writer must leave
+// the previous target byte-identical and clean up its temp file.
+func TestWriteFileAtomicErrorKeepsTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("half-written"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, err2 := os.ReadFile(path)
+	if err2 != nil || string(got) != "previous" {
+		t.Fatalf("target damaged: %q, %v", got, err2)
+	}
+	if _, err2 := os.Stat(path + ".tmp"); !errors.Is(err2, os.ErrNotExist) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+// TestCkptHashTree pins that the fingerprint hash separates shape from
+// weights and is stable across calls.
+func TestCkptHashTree(t *testing.T) {
+	p1, w1 := []int{-1, 0, 0}, []int64{2, 5, 4}
+	h := HashTree(p1, w1)
+	if h != HashTree([]int{-1, 0, 0}, []int64{2, 5, 4}) {
+		t.Fatal("hash not deterministic")
+	}
+	if h == HashTree([]int{-1, 0, 1}, w1) {
+		t.Fatal("parent change not reflected")
+	}
+	if h == HashTree(p1, []int64{2, 5, 5}) {
+		t.Fatal("weight change not reflected")
+	}
+	if h == HashTree([]int{-1, 0}, []int64{2, 5}) {
+		t.Fatal("size change not reflected")
+	}
+}

@@ -1,0 +1,27 @@
+// Package ckpt is the durable checkpoint layer of the expansion engine:
+// a versioned, checksummed, length-prefixed binary format for the state a
+// long-running expansion needs to survive a kill — the instance
+// fingerprint, the decision log of completed expansions, the postorder
+// frontier, and the emitted-id count of the schedule stream — plus the
+// atomic-and-durable file helpers (temp file + fsync + rename) the rest
+// of the repository routes its artifacts through.
+//
+// The format is a flat sequence of records, each encoded as
+//
+//	uint32 payload length | uint32 CRC32(payload) | payload
+//
+// with all multi-byte integers little-endian and every payload value a
+// varint. The first record is the header (magic, format version, instance
+// fingerprint), followed by zero or more expansion-log records and exactly
+// one trailing cursor record — the commit point. Because every write goes
+// through WriteFileAtomic, a reader only ever observes complete files; the
+// per-record CRCs exist to catch bit rot and tampering, not torn writes.
+// Any malformed byte surfaces as ErrCorrupt (never a panic: see
+// FuzzReadCheckpoint), and a well-formed file written by a newer format
+// version surfaces as ErrVersion.
+//
+// What a checkpoint deliberately does NOT hold: profile caches, simulator
+// scratch, or any other derived state. Expansion is deterministic, so the
+// decision log plus the frontier reconstruct everything else bit-for-bit
+// on resume (see expand.Options.ResumeFrom and DESIGN.md §2.10).
+package ckpt

@@ -1,0 +1,131 @@
+//go:build faultinject
+
+package ckpt
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestCkptWriteFaultKeepsPrevious arms the CkptWrite point: the failed
+// write must surface ErrCkptWrite, leave the previously committed
+// checkpoint byte-intact and readable, and the next (unfaulted) write must
+// succeed over whatever garbage temp file the failure left behind.
+func TestCkptWriteFaultKeepsPrevious(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	first := sampleState(5)
+	if err := WriteFile(path, first); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Reset()
+	faultinject.Arm(faultinject.CkptWrite, 1)
+	next := sampleState(9)
+	next.Cursor = 123
+	err := WriteFile(path, next)
+	if !errors.Is(err, faultinject.ErrCkptWrite) {
+		t.Fatalf("err = %v, want ErrCkptWrite", err)
+	}
+
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("previous checkpoint unreadable after failed write: %v", err)
+	}
+	if got.Cursor != first.Cursor || len(got.Exps) != len(first.Exps) {
+		t.Fatalf("previous checkpoint changed: %+v", got)
+	}
+	// The failure mode deliberately leaves a half-written temp file (as a
+	// real ENOSPC would); it must parse as corrupt, never as a checkpoint.
+	if tmp, err := os.ReadFile(path + ".tmp"); err == nil {
+		if _, derr := Decode(tmp); !errors.Is(derr, ErrCorrupt) {
+			t.Fatalf("half-written temp decodes as %v, want ErrCorrupt", derr)
+		}
+	}
+
+	faultinject.Reset()
+	if err := WriteFile(path, next); err != nil {
+		t.Fatalf("retry after fault failed: %v", err)
+	}
+	if got, err := ReadFile(path); err != nil || got.Cursor != 123 {
+		t.Fatalf("retry did not commit: %+v, %v", got, err)
+	}
+}
+
+// TestCkptRenameFaultKeepsPrevious arms the CkptRename point: the rename
+// failure leaves a fully written, VALID temp file next to the intact
+// previous checkpoint, and a retry commits cleanly.
+func TestCkptRenameFaultKeepsPrevious(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	first := sampleState(3)
+	if err := WriteFile(path, first); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Reset()
+	faultinject.Arm(faultinject.CkptRename, 1)
+	next := sampleState(6)
+	next.Cursor = 77
+	err := WriteFile(path, next)
+	if !errors.Is(err, faultinject.ErrCkptRename) {
+		t.Fatalf("err = %v, want ErrCkptRename", err)
+	}
+
+	if got, err := ReadFile(path); err != nil || got.Cursor != first.Cursor {
+		t.Fatalf("previous checkpoint damaged: %+v, %v", got, err)
+	}
+	// The temp file was fully written and fsynced before the rename step,
+	// so it must itself be a valid checkpoint of the NEW state.
+	tmpSt, err := ReadFile(path + ".tmp")
+	if err != nil {
+		t.Fatalf("temp file after rename fault not a valid checkpoint: %v", err)
+	}
+	if tmpSt.Cursor != 77 {
+		t.Fatalf("temp checkpoint holds cursor %d, want 77", tmpSt.Cursor)
+	}
+
+	faultinject.Reset()
+	if err := WriteFile(path, next); err != nil {
+		t.Fatalf("retry after rename fault failed: %v", err)
+	}
+	if got, err := ReadFile(path); err != nil || got.Cursor != 77 {
+		t.Fatalf("retry did not commit: %+v, %v", got, err)
+	}
+}
+
+// TestWriteFileAtomicWriterFault pushes a WriterIO fault through
+// WriteFileAtomic's callback (the cmd/sched -o path shape): the target
+// must be untouched and no temp file may remain.
+func TestWriteFileAtomicWriterFault(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("new content that will not land")
+	faultinject.Reset()
+	faultinject.Arm(faultinject.WriterIO, uint64(len(payload)/2))
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, werr := faultinject.NewWriter(w).Write(payload)
+		return werr
+	})
+	if !errors.Is(err, faultinject.ErrWrite) {
+		t.Fatalf("err = %v, want ErrWrite", err)
+	}
+	if got, rerr := os.ReadFile(path); rerr != nil || string(got) != "previous" {
+		t.Fatalf("target damaged: %q, %v", got, rerr)
+	}
+	if _, serr := os.Stat(path + ".tmp"); !errors.Is(serr, os.ErrNotExist) {
+		t.Fatal("temp file left behind")
+	}
+}

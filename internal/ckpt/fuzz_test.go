@@ -1,0 +1,45 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzReadCheckpoint throws arbitrary bytes at Decode: the contract is
+// typed failure (ErrCorrupt or ErrVersion) or a successful parse — never a
+// panic, never an untyped error. Successful parses are re-encoded and
+// re-decoded to check the format round-trips whatever it accepts.
+func FuzzReadCheckpoint(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(Encode(sampleState(0)))
+	f.Add(Encode(sampleState(7)))
+	big := sampleState(300)
+	big.Phase = PhaseFinish
+	big.CapHit = true
+	big.EmittedIDs = 1 << 30
+	f.Add(Encode(big))
+	// A version-byte mutation (lands in the CRC/version rejection paths).
+	f.Add(func() []byte {
+		d := Encode(sampleState(2))
+		// The version byte follows tag+magic in the header payload.
+		d[8+1+len(magic)] = Version + 1
+		return d
+	}())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		re, err := Decode(Encode(st))
+		if err != nil {
+			t.Fatalf("re-decode of accepted state failed: %v", err)
+		}
+		if re.FP != st.FP || re.Cursor != st.Cursor || len(re.Exps) != len(st.Exps) {
+			t.Fatalf("accepted state does not round-trip: %+v vs %+v", re, st)
+		}
+	})
+}

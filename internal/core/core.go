@@ -89,6 +89,20 @@ type Runner struct {
 	// direct algorithms (OptMinMem, the postorders) are single closed-form
 	// passes and only honour the entry check. nil disables cancellation.
 	Ctx context.Context
+	// CheckpointPath arms durable checkpointing of the expansion
+	// heuristics (expand.Options.Checkpoint.Path): the engine persists
+	// its decision log and frontier there at quiescent points so a
+	// killed run can be resumed via ResumeFrom. Empty disarms. The
+	// direct algorithms are single closed-form passes and ignore it.
+	CheckpointPath string
+	// CheckpointInterval is the events-between-writes setting of the
+	// armed checkpoint (expand.Options.Checkpoint.Interval); 0 means
+	// the engine default.
+	CheckpointInterval int
+	// ResumeFrom resumes an expansion heuristic from a checkpoint file
+	// written by a previous run of the same instance
+	// (expand.Options.ResumeFrom). Empty disables resuming.
+	ResumeFrom string
 
 	eng *expand.Engine
 }
@@ -131,7 +145,14 @@ func (rn *Runner) Run(alg Algorithm, t *tree.Tree, M int64) (*Result, error) {
 		// The expansion engine already validated its transposed schedule
 		// and simulated it on the original tree under M; reuse that run
 		// instead of paying a redundant simulation here.
-		opts := expand.Options{MaxPerNode: 2, Workers: rn.Workers, CacheBudget: rn.CacheBudget, Ctx: rn.Ctx}
+		opts := expand.Options{
+			MaxPerNode:  2,
+			Workers:     rn.Workers,
+			CacheBudget: rn.CacheBudget,
+			Ctx:         rn.Ctx,
+			Checkpoint:  expand.CheckpointOptions{Path: rn.CheckpointPath, Interval: rn.CheckpointInterval},
+			ResumeFrom:  rn.ResumeFrom,
+		}
 		if alg == FullRecExpand {
 			opts.MaxPerNode = 0
 		}

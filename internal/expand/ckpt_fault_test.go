@@ -1,0 +1,97 @@
+//go:build faultinject
+
+package expand
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/faultinject"
+)
+
+// TestCkptFaultGrid injects a checkpoint-write failure and a rename
+// failure at deterministic hits of checkpoint-armed runs: the run must
+// fail with the typed sentinel, the checkpoint on disk must remain the
+// last successfully committed state (readable, fingerprint-valid), and
+// resuming from it must reproduce the uninterrupted Result bit-for-bit.
+// This is the fail-then-recover loop an operator would actually run.
+func TestCkptFaultGrid(t *testing.T) {
+	defer faultinject.Reset()
+	n := 6
+	if testing.Short() {
+		n = 3
+	}
+	cases := ckptCorpus(t, n, 6161)
+	for ci, c := range cases {
+		want, err := RecExpand(c.tr, c.M, c.opts)
+		if err != nil {
+			t.Fatalf("case %d: baseline: %v", ci, err)
+		}
+		for _, workers := range []int{1, 4} {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "run.ckpt")
+			opts := c.opts
+			opts.Workers = workers
+			opts.Checkpoint = CheckpointOptions{Path: path, Interval: 1}
+
+			// Counting run: how many durable writes does this run take?
+			faultinject.Reset()
+			if _, err := RecExpand(c.tr, c.M, opts); err != nil {
+				t.Fatalf("case %d workers=%d: counting run: %v", ci, workers, err)
+			}
+			writes := faultinject.Hits(faultinject.CkptWrite)
+			if writes == 0 {
+				t.Fatalf("case %d workers=%d: no checkpoint writes counted", ci, workers)
+			}
+
+			for _, tc := range []struct {
+				point    faultinject.Point
+				sentinel error
+			}{
+				{faultinject.CkptWrite, faultinject.ErrCkptWrite},
+				{faultinject.CkptRename, faultinject.ErrCkptRename},
+			} {
+				os.Remove(path)
+				os.Remove(path + ".tmp")
+				hit := faultinject.PlanHit(int64(ci*100+workers), tc.point, writes)
+				faultinject.Reset()
+				faultinject.Arm(tc.point, hit)
+				_, err := RecExpand(c.tr, c.M, opts)
+				faultinject.Reset()
+				if !errors.Is(err, tc.sentinel) {
+					t.Fatalf("case %d workers=%d %v hit %d: err = %v, want %v",
+						ci, workers, tc.point, hit, err, tc.sentinel)
+				}
+
+				ropts := c.opts
+				ropts.ResumeFrom = path
+				if hit == 1 {
+					// The very first write failed: no checkpoint was ever
+					// committed, and resume must say so rather than read
+					// the half-written temp file.
+					if _, err := RecExpand(c.tr, c.M, ropts); !errors.Is(err, os.ErrNotExist) {
+						t.Fatalf("case %d workers=%d %v: resume without committed checkpoint: %v",
+							ci, workers, tc.point, err)
+					}
+					continue
+				}
+				// The committed checkpoint must be intact and resumable.
+				if _, err := ckpt.ReadFile(path); err != nil {
+					t.Fatalf("case %d workers=%d %v hit %d: surviving checkpoint unreadable: %v",
+						ci, workers, tc.point, hit, err)
+				}
+				got, err := RecExpand(c.tr, c.M, ropts)
+				if err != nil {
+					t.Fatalf("case %d workers=%d %v hit %d: resume: %v", ci, workers, tc.point, hit, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("case %d workers=%d %v hit %d: resumed Result diverges", ci, workers, tc.point, hit)
+				}
+			}
+		}
+	}
+}

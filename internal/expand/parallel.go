@@ -80,8 +80,12 @@ type unit struct {
 
 // recExpandParallel is the sharded postorder driver behind Workers > 1.
 // It returns the expanded shared tree; the caller picks the finish
-// (materializing or streaming).
-func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCap, workers int) (*MutableTree, bool, error) {
+// (materializing or streaming). Checkpointing (ck non-nil) runs entirely
+// on the merger goroutine: residual loops commit per iteration and unit
+// replays commit per replayed expansion, so every checkpoint this driver
+// writes is a state the SEQUENTIAL walk can resume from (the replay
+// interleaves expansions in exactly the sequential order).
+func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCap, workers int, ck *ckptRunner) (*MutableTree, bool, error) {
 	m := NewMutable(t)
 	m.EnableProfilesOpts(opts.cacheOptions())
 	// Sharded bottom-up warm; see InitialPeaks for the skip contract.
@@ -216,7 +220,7 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 					werr = u.err
 					break
 				}
-				hit, err := m.replayUnit(u, opts, globalCap)
+				hit, err := m.replayUnit(u, opts, globalCap, ck)
 				if err != nil {
 					werr = err
 					break
@@ -224,6 +228,12 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 				if hit {
 					capHit = true
 					break
+				}
+				if ck != nil {
+					// The unit's whole contiguous postorder block is
+					// replayed; a resume must not re-enter its
+					// budget-exited nodes.
+					ck.advance(int(ck.postIdx[u.root]) + 1)
 				}
 				// Transplant the unit's final local profiles over the replayed
 				// region: the merger's later ensure passes then find the paths
@@ -242,7 +252,7 @@ func (e *Engine) recExpandParallel(t *tree.Tree, M int64, opts Options, globalCa
 			if t.IsLeaf(r) || initialPeaks[r] <= M {
 				continue
 			}
-			exit, err := e.expandLoop(m, r, M, opts, globalCap, nil)
+			exit, err := e.expandLoop(m, r, M, opts, globalCap, nil, ck, 0)
 			if err != nil {
 				werr = err
 				break
@@ -435,7 +445,7 @@ func (u *unit) runLocal(t *tree.Tree, M int64, opts Options, globalCap int, eng 
 			continue
 		}
 		var rec []expRec
-		exit, err := eng.expandLoop(lm, r, M, opts, globalCap, &rec)
+		exit, err := eng.expandLoop(lm, r, M, opts, globalCap, &rec, nil, 0)
 		if err != nil {
 			u.err = err
 			return
@@ -457,8 +467,11 @@ func (u *unit) runLocal(t *tree.Tree, M int64, opts Options, globalCap int, eng 
 // re-running each loop's MaxPerNode and global-cap checks in the exact
 // sequential order (the recorded decisions themselves are budget-free).
 // It returns true when the global cap trips, at precisely the iteration
-// the sequential engine would have tripped it.
-func (m *MutableTree) replayUnit(u *unit, opts Options, globalCap int) (capHit bool, err error) {
+// the sequential engine would have tripped it. With ck non-nil every
+// applied expansion is logged under its SHARED-tree victim id and
+// cursor-committed at the recursion node it belongs to, so a checkpoint
+// taken mid-replay resumes sequentially from inside the unit.
+func (m *MutableTree) replayUnit(u *unit, opts Options, globalCap int, ck *ckptRunner) (capHit bool, err error) {
 	l2g := u.toOld // local id -> shared-tree id, extended as chains are replayed
 	defer func() { u.l2g = l2g }()
 	for _, nt := range u.trace {
@@ -477,13 +490,20 @@ func (m *MutableTree) replayUnit(u *unit, opts Options, globalCap int) (capHit b
 				break
 			}
 			rec := nt.exps[k]
-			i2, i3, err := m.Expand(l2g[rec.victim], rec.amount)
+			victim := l2g[rec.victim]
+			i2, i3, err := m.Expand(victim, rec.amount)
 			if err != nil {
 				return false, err
 			}
 			// The local Expand appended its i2/i3 with the same ordinals,
 			// so extending the map in replay order keeps it aligned.
 			l2g = append(l2g, i2, i3)
+			if ck != nil {
+				ck.noteExp(victim, rec.amount)
+				if err := ck.commitLoop(nt.node, k+1); err != nil {
+					return false, err
+				}
+			}
 		}
 	}
 	return false, nil

@@ -86,6 +86,38 @@ type Options struct {
 	// Workers and CacheBudget it never changes the Result, only the
 	// memory/time trade-off.
 	MaxUnitLead int
+	// Checkpoint arms durable checkpointing: with a non-empty Path the
+	// engine persists its decision log and frontier to that file at
+	// quiescent points (per expansion, per replayed unit, per streamed
+	// segment), each write atomic and fsynced, so a run killed at ANY
+	// instant can be resumed via ResumeFrom. The zero value disarms
+	// checkpointing entirely and adds no allocations to the hot loops.
+	// Like Workers and CacheBudget, checkpointing never changes the
+	// Result.
+	Checkpoint CheckpointOptions
+	// ResumeFrom names a checkpoint file written by a previous run of
+	// the SAME instance (tree, M, MaxPerNode, Victim, effective
+	// GlobalCap — enforced by fingerprint, see ErrCheckpointMismatch).
+	// The engine replays the logged decisions onto a fresh mutable tree
+	// — no re-simulation — and continues the walk from the recorded
+	// frontier, producing a Result bit-identical to an uninterrupted
+	// run. The resumed walk itself is sequential regardless of Workers
+	// (the remaining work is typically small); non-semantic knobs may
+	// differ freely between the original and resumed runs. Empty
+	// disables resuming.
+	ResumeFrom string
+}
+
+// CheckpointOptions configures Options.Checkpoint.
+type CheckpointOptions struct {
+	// Path is the checkpoint file; every durable write atomically
+	// replaces it. Empty disarms checkpointing.
+	Path string
+	// Interval is the number of checkpointable events (logged
+	// expansions, streamed segments) between durable writes; 0 means
+	// the default of 256. 1 checkpoints at every event. Phase
+	// transitions always force a write regardless of the interval.
+	Interval int
 }
 
 // cacheOptions is the liu residency and cancellation policy the engine
@@ -199,7 +231,7 @@ const (
 // — instead of crashing the process; the engine stays re-runnable.
 func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (res *Result, err error) {
 	defer containPanic(&err)
-	m, capHit, err := e.expandTree(t, M, opts)
+	m, capHit, _, err := e.expandTree(t, M, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -231,23 +263,37 @@ func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (res *Result, er
 // on slow output storage still observes it promptly.
 func (e *Engine) RecExpandStream(t *tree.Tree, M int64, opts Options, yield func(seg []int) bool) (res *Result, err error) {
 	defer containPanic(&err)
-	m, capHit, err := e.expandTree(t, M, opts)
+	m, capHit, ck, err := e.expandTree(t, M, opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.finishStream(opts.Ctx, t, m, M, capHit, yield)
+	return e.finishStream(opts.Ctx, t, m, M, capHit, ck, yield)
 }
 
 // expandTree runs the expansion phase — everything up to, but not
 // including, the final schedule emission — and returns the expanded
-// mutable tree. Shared by the materializing and streaming entry points.
-func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, bool, error) {
+// mutable tree plus the run's checkpoint runner (nil unless
+// Options.Checkpoint arms one). Shared by the materializing and streaming
+// entry points.
+func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, bool, *ckptRunner, error) {
 	if lb := t.MaxWBar(); M < lb {
-		return nil, false, fmt.Errorf("expand: M=%d below LB=%d", M, lb)
+		return nil, false, nil, fmt.Errorf("expand: M=%d below LB=%d", M, lb)
 	}
 	globalCap := opts.GlobalCap
 	if globalCap == 0 {
 		globalCap = 64*t.N() + 1024
+	}
+	var resume *ckptState
+	if opts.ResumeFrom != "" {
+		st, err := loadResume(t, M, opts, globalCap)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		resume = st
+	}
+	var ck *ckptRunner
+	if opts.Checkpoint.Path != "" {
+		ck = newCkptRunner(t, M, opts, globalCap)
 	}
 	workers := opts.Workers
 	if workers == 0 {
@@ -259,8 +305,20 @@ func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, 
 			workers = 1
 		}
 	}
-	if workers > 1 {
-		return e.recExpandParallel(t, M, opts, globalCap, workers)
+	// A resumed walk is always sequential: the remaining work is the tail
+	// the kill interrupted, and the sequential engine is bit-identical to
+	// the parallel one anyway.
+	if resume == nil && workers > 1 {
+		m, capHit, err := e.recExpandParallel(t, M, opts, globalCap, workers, ck)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		if ck != nil {
+			if err := ck.finishExpand(capHit); err != nil {
+				return nil, false, nil, err
+			}
+		}
+		return m, capHit, ck, nil
 	}
 
 	m := NewMutable(t)
@@ -269,36 +327,73 @@ func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, 
 
 	// Skipping initially fitting subtrees wholesale is what keeps the
 	// recursion linear on deep trees; see InitialPeaks for why the skip
-	// must use these initial peaks and nothing else.
+	// must use these initial peaks and nothing else. On resume the warm
+	// runs on the PRISTINE tree, before any logged decision is replayed —
+	// the skip decisions are defined on the initial peaks.
 	initialPeaks := m.InitialPeaks(1)
 	// A cancellation during the warm leaves initialPeaks partially
 	// computed (the cache bails between recomputes); bail before any
 	// skip decision reads them.
 	if err := ctxErr(opts.Ctx); err != nil {
-		return nil, false, err
+		return nil, false, nil, err
+	}
+
+	startIdx := 0
+	if resume != nil {
+		if err := replayLog(m, resume); err != nil {
+			return nil, false, nil, err
+		}
+		if ck != nil {
+			ck.seed(resume)
+		}
+		if resume.Phase == ckptPhaseFinish {
+			// The walk had already completed; only the final
+			// evaluation/emission remains, and it is a pure function of
+			// the replayed tree.
+			if ck != nil {
+				if err := ck.finishExpand(resume.CapHit); err != nil {
+					return nil, false, nil, err
+				}
+			}
+			return m, resume.CapHit, ck, nil
+		}
+		startIdx = resume.Cursor
 	}
 
 	// Post-order walk over the ORIGINAL nodes: the recursion of
 	// Algorithm 2 treats children before their parent, and expansions
 	// never change which node roots a processed subtree (the FiF never
 	// evicts a subtree's own root, as its output is produced last).
-	for _, r := range t.NaturalPostorder() {
+	post := t.NaturalPostorder()
+	for idx := startIdx; idx < len(post); idx++ {
+		r := post[idx]
 		if t.IsLeaf(r) {
 			continue // a single node never needs I/O (M ≥ LB ≥ w̄)
 		}
 		if initialPeaks[r] <= M {
 			continue
 		}
-		exit, err := e.expandLoop(m, r, M, opts, globalCap, nil)
+		startIter := 0
+		if resume != nil && idx == resume.Cursor {
+			// The frontier node re-enters its loop with the iterations the
+			// log already covers, so MaxPerNode budgets stay exact.
+			startIter = resume.CurIters
+		}
+		exit, err := e.expandLoop(m, r, M, opts, globalCap, nil, ck, startIter)
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		if exit == exitCap {
 			capHit = true
 			break
 		}
 	}
-	return m, capHit, nil
+	if ck != nil {
+		if err := ck.finishExpand(capHit); err != nil {
+			return nil, false, nil, err
+		}
+	}
+	return m, capHit, ck, nil
 }
 
 // expandLoop runs the while-loop of Algorithm 2 at recursion node r of m:
@@ -306,9 +401,14 @@ func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, 
 // and expand one victim, until the subtree fits, the per-node budget is
 // spent or the global cap trips. When rec is non-nil every performed
 // expansion (victim id in m's id space, amount) is appended to it — the
-// trace the parallel driver replays onto the shared tree.
-func (e *Engine) expandLoop(m *MutableTree, r int, M int64, opts Options, globalCap int, rec *[]expRec) (loopExit, error) {
-	iter := 0
+// trace the parallel driver replays onto the shared tree. When ck is
+// non-nil each applied expansion is logged and cursor-committed to the
+// checkpoint runner (both hooks are nil-guarded, so the disarmed loop
+// stays allocation-free). startIter seeds the iteration counter — a
+// resumed frontier node re-enters its loop where the log left off; all
+// other callers pass 0.
+func (e *Engine) expandLoop(m *MutableTree, r int, M int64, opts Options, globalCap int, rec *[]expRec, ck *ckptRunner, startIter int) (loopExit, error) {
+	iter := startIter
 	for {
 		// One check per iteration: each iteration reschedules and
 		// re-simulates a whole subtree, so the select is noise — and a
@@ -344,6 +444,12 @@ func (e *Engine) expandLoop(m *MutableTree, r int, M int64, opts Options, global
 			return 0, mapErr(opts.Ctx, err)
 		}
 		iter++
+		if ck != nil {
+			ck.noteExp(victim, amount)
+			if err := ck.commitLoop(r, iter); err != nil {
+				return 0, err
+			}
+		}
 	}
 }
 
@@ -357,7 +463,7 @@ var ErrEmissionStopped = errors.New("expand: schedule emission stopped by consum
 // the caller receives the original-tree schedule segment by segment during
 // the last pass — which emits in releasing mode, handing each schedule
 // rope back to the cache arena as it streams out.
-func (e *Engine) finishStream(ctx context.Context, t *tree.Tree, m *MutableTree, M int64, capHit bool, yield func(seg []int) bool) (*Result, error) {
+func (e *Engine) finishStream(ctx context.Context, t *tree.Tree, m *MutableTree, M int64, capHit bool, ck *ckptRunner, yield func(seg []int) bool) (*Result, error) {
 	peak := m.SubtreePeak(m.Root())
 	root := m.Root()
 	emitExpanded := func(y func(seg []int) bool) bool {
@@ -372,6 +478,7 @@ func (e *Engine) finishStream(ctx context.Context, t *tree.Tree, m *MutableTree,
 	// second (last) pass releases ropes and tees segments to the caller.
 	pass := 0
 	stopped := false
+	var ckErr error
 	emitPrimary := func(y func(seg []int) bool) bool {
 		pass++
 		last := pass == 2
@@ -386,9 +493,18 @@ func (e *Engine) finishStream(ctx context.Context, t *tree.Tree, m *MutableTree,
 			if len(buf) == 0 {
 				return true
 			}
-			if last && yield != nil && !yield(buf) {
-				stopped = true
-				return false
+			if last {
+				if yield != nil && !yield(buf) {
+					stopped = true
+					return false
+				}
+				// The segment is in the consumer's hands: a quiescent
+				// point of the emission (every K segments hits disk).
+				if ck != nil {
+					if ckErr = ck.commitEmit(len(buf)); ckErr != nil {
+						return false
+					}
+				}
 			}
 			return y(buf)
 		}
@@ -401,6 +517,9 @@ func (e *Engine) finishStream(ctx context.Context, t *tree.Tree, m *MutableTree,
 	if err != nil {
 		if stopped {
 			return nil, ErrEmissionStopped
+		}
+		if ckErr != nil {
+			return nil, ckErr
 		}
 		return nil, mapErr(ctx, fmt.Errorf("expand: simulating transposed schedule: %w", err))
 	}

@@ -47,6 +47,15 @@ const (
 	// that Write call fail with ErrWrite, so arming hit N injects an I/O
 	// error at byte N of the output stream.
 	WriterIO
+	// CkptWrite fires once per durable checkpoint write (ckpt.WriteFile);
+	// a triggered fault fails that write with ErrCkptWrite after flushing
+	// only a prefix of the temp file, so the committed checkpoint on disk
+	// must stay the previous, intact one.
+	CkptWrite
+	// CkptRename fires at the atomic-rename step of a checkpoint write; a
+	// triggered fault fails the rename with ErrCkptRename, leaving a fully
+	// written temp file next to the still-intact previous checkpoint.
+	CkptRename
 
 	numPoints
 )
@@ -64,6 +73,10 @@ func (p Point) String() string {
 		return "WorkerStall"
 	case WriterIO:
 		return "WriterIO"
+	case CkptWrite:
+		return "CkptWrite"
+	case CkptRename:
+		return "CkptRename"
 	}
 	return "Point(?)"
 }
@@ -81,6 +94,12 @@ var (
 	// ErrWrite is the error an injected Writer failure returns (the
 	// WriterIO point).
 	ErrWrite = errors.New("faultinject: injected write error")
+	// ErrCkptWrite is the error an injected checkpoint write failure
+	// returns (the CkptWrite point).
+	ErrCkptWrite = errors.New("faultinject: injected checkpoint write failure")
+	// ErrCkptRename is the error an injected checkpoint rename failure
+	// returns (the CkptRename point).
+	ErrCkptRename = errors.New("faultinject: injected checkpoint rename failure")
 )
 
 // PlanHit derives a deterministic 1-based hit index in [1, total] from a

@@ -1,0 +1,99 @@
+package tree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// RepairSchedule scans a possibly interrupted schedule stream and locates
+// the longest prefix a resumed emission can safely build on. It returns
+// the number of valid id lines in that prefix, the byte offset just past
+// its last trusted line (the truncation point a repair should cut at), and
+// whether the stream is already complete (sealed by a matching end
+// trailer, in which case nothing needs repairing).
+//
+// Trust ends at the first sign of damage, all of which a kill can cause:
+// a final line without its newline (torn write), a malformed id line, a
+// "# truncated count=N" marker (graceful cancellation), or an end trailer
+// whose count disagrees with the ids actually present. Blank lines and
+// ordinary comments are part of the trusted prefix. Only I/O failures
+// from r are reported as errors — damage is the expected input here, not
+// a failure.
+func RepairSchedule(r io.Reader) (ids int64, safeOff int64, complete bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr == io.EOF {
+			// A non-empty remainder is a line the writer never finished;
+			// it is not part of the trusted prefix.
+			return ids, safeOff, false, nil
+		}
+		if rerr != nil {
+			return ids, safeOff, false, fmt.Errorf("schedule: reading stream: %w", rerr)
+		}
+		body := strings.TrimSuffix(line, "\n")
+		switch {
+		case body == "":
+			// Trusted filler.
+		case body[0] == '#':
+			if _, ok := parseTrailer(body, truncTrailerPrefix); ok {
+				// A graceful-cancel marker: everything before it is good;
+				// the marker itself must go so the resumed continuation
+				// can seal the stream with a real end trailer.
+				return ids, safeOff, false, nil
+			}
+			if c, ok := parseTrailer(body, endTrailerPrefix); ok {
+				if c == ids {
+					return ids, safeOff + int64(len(line)), true, nil
+				}
+				// A trailer that miscounts is damage; cut it off.
+				return ids, safeOff, false, nil
+			}
+			// Ordinary comment: trusted filler.
+		default:
+			v, perr := strconv.Atoi(body)
+			if perr != nil || v < 0 {
+				return ids, safeOff, false, nil
+			}
+			ids++
+		}
+		safeOff += int64(len(line))
+	}
+}
+
+// RepairScheduleFile repairs a partial schedule stream in place: it runs
+// RepairSchedule over the file and truncates it at the reported safe
+// offset, discarding any torn final line, truncation marker, or
+// trailer-less garbage so the file ends exactly after its last trusted
+// line and a resumed WriteScheduleAt emission can append to it directly.
+// A complete (end-trailer-sealed) file is left untouched. It returns the
+// id count of the surviving prefix and whether the file was already
+// complete.
+func RepairScheduleFile(path string) (ids int64, complete bool, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	ids, safeOff, complete, err := RepairSchedule(f)
+	if err != nil {
+		return ids, false, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return ids, complete, err
+	}
+	if safeOff < size {
+		if err := f.Truncate(safeOff); err != nil {
+			return ids, complete, fmt.Errorf("schedule: trimming damaged tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return ids, complete, err
+		}
+	}
+	return ids, complete, nil
+}

@@ -1,0 +1,187 @@
+package tree
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTemp drops content into a temp file and returns its path.
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sched.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRepairScheduleClean(t *testing.T) {
+	var buf bytes.Buffer
+	want := Schedule{3, 1, 4, 1, 5}
+	if _, err := WriteSchedule(&buf, want.Emit); err != nil {
+		t.Fatal(err)
+	}
+	ids, safeOff, complete, err := RepairSchedule(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete || ids != 5 || safeOff != int64(buf.Len()) {
+		t.Fatalf("clean stream: ids=%d safeOff=%d complete=%v (len=%d)", ids, safeOff, complete, buf.Len())
+	}
+
+	path := writeTemp(t, buf.String())
+	fids, fcomplete, err := RepairScheduleFile(path)
+	if err != nil || !fcomplete || fids != 5 {
+		t.Fatalf("file repair of clean stream: ids=%d complete=%v err=%v", fids, fcomplete, err)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(after, buf.Bytes()) {
+		t.Fatal("clean file modified by repair")
+	}
+}
+
+// TestRepairScheduleTruncatedTails drives the repair over every damage
+// shape a kill can produce and checks the surviving prefix is exactly the
+// trusted id lines — and that appending a WriteScheduleAt continuation
+// yields a stream ReadScheduleStrict accepts.
+func TestRepairScheduleTruncatedTails(t *testing.T) {
+	full := Schedule{0, 1, 2, 3, 4, 5, 6, 7}
+	cases := []struct {
+		name    string
+		content string
+		ids     int64
+	}{
+		{"no trailer", "0\n1\n2\n", 3},
+		{"torn last line", "0\n1\n27", 2},
+		{"torn trailer", "0\n1\n# end cou", 2},
+		{"truncation marker", "0\n1\n2\n# truncated count=3\n", 3},
+		{"malformed id", "0\n1\nxyz\n2\n3\n", 2},
+		{"negative id", "0\n1\n-4\n2\n", 2},
+		{"miscounting end trailer", "0\n1\n# end count=7\n", 2},
+		{"ids after end trailer", "0\n1\n# end count=2\n9\n", 2},
+		{"empty file", "", 0},
+		{"interior comment kept", "0\n# warm cache\n1\n2\n", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTemp(t, tc.content)
+			ids, complete, err := RepairScheduleFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ids != tc.ids {
+				t.Fatalf("ids = %d, want %d", ids, tc.ids)
+			}
+			wantComplete := tc.name == "ids after end trailer"
+			if complete != wantComplete {
+				t.Fatalf("complete = %v, want %v", complete, wantComplete)
+			}
+			if complete {
+				return
+			}
+
+			// Append the continuation and demand a strict-valid stream
+			// equal to the uninterrupted emission.
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := WriteScheduleAt(f, ids, full.Emit); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadScheduleStrict(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("resumed stream rejected: %v\n%s", err, data)
+			}
+			// The trusted prefix of every case is a prefix of full, so the
+			// concatenation must equal full exactly.
+			if len(got) != len(full) {
+				t.Fatalf("resumed stream has %d ids, want %d", len(got), len(full))
+			}
+			for i := range got {
+				if got[i] != full[i] {
+					t.Fatalf("resumed stream diverges at %d: %d != %d", i, got[i], full[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRepairScheduleFileMissing(t *testing.T) {
+	_, _, err := RepairScheduleFile(filepath.Join(t.TempDir(), "absent"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestWriteScheduleAtAbsoluteTrailers pins that a resumed emission seals
+// with skip+written counts, in both the complete and the cancelled case.
+func TestWriteScheduleAtAbsoluteTrailers(t *testing.T) {
+	s := Schedule{10, 11, 12, 13}
+	var buf bytes.Buffer
+	n, err := WriteScheduleAt(&buf, 3, s.Emit)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "13\n# end count=4\n" {
+		t.Fatalf("continuation = %q", got)
+	}
+
+	buf.Reset()
+	stopEarly := func(yield func(seg []int) bool) bool {
+		yield([]int{10, 11, 12})
+		return false
+	}
+	n, err = WriteScheduleAt(&buf, 2, stopEarly)
+	if !errors.Is(err, ErrTruncatedSchedule) || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "12\n# truncated count=3\n" {
+		t.Fatalf("cancelled continuation = %q", got)
+	}
+}
+
+// TestWriteScheduleAtSkipPastEnd: a source shorter than the resume offset
+// is a mismatch, reported as truncation with nothing written.
+func TestWriteScheduleAtSkipPastEnd(t *testing.T) {
+	s := Schedule{1, 2}
+	var buf bytes.Buffer
+	n, err := WriteScheduleAt(&buf, 5, s.Emit)
+	if !errors.Is(err, ErrTruncatedSchedule) || n != 0 || buf.Len() != 0 {
+		t.Fatalf("n=%d err=%v out=%q", n, err, buf.String())
+	}
+	if !strings.Contains(err.Error(), "resume offset") {
+		t.Fatalf("err lacks context: %v", err)
+	}
+}
+
+// TestWriteScheduleAtSkipSpansSegments: the skip must count across
+// segment boundaries, including a boundary exactly at the offset.
+func TestWriteScheduleAtSkipSpansSegments(t *testing.T) {
+	segs := func(yield func(seg []int) bool) bool {
+		return yield([]int{0, 1}) && yield([]int{2, 3}) && yield([]int{4})
+	}
+	for skip, want := range map[int64]string{
+		0: "0\n1\n2\n3\n4\n# end count=5\n",
+		2: "2\n3\n4\n# end count=5\n",
+		3: "3\n4\n# end count=5\n",
+		5: "# end count=5\n",
+	} {
+		var buf bytes.Buffer
+		if _, err := WriteScheduleAt(&buf, skip, segs); err != nil {
+			t.Fatalf("skip=%d: %v", skip, err)
+		}
+		if buf.String() != want {
+			t.Fatalf("skip=%d: got %q, want %q", skip, buf.String(), want)
+		}
+	}
+}

@@ -125,11 +125,34 @@ const (
 // lets downstream tooling distinguish a deliberate early stop (graceful
 // cancellation) from a crash that left no trailer at all.
 func WriteSchedule(w io.Writer, source func(yield func(seg []int) bool) bool) (int64, error) {
+	return WriteScheduleAt(w, 0, source)
+}
+
+// WriteScheduleAt is WriteSchedule for a resumed emission: the first skip
+// ids of the source are consumed without being written — they are already
+// on disk in the partial stream being appended to — and the trailer counts
+// are ABSOLUTE (skip + written), so the concatenation of the repaired
+// partial file and this continuation is byte-identical to a single
+// uninterrupted WriteSchedule run and passes ReadScheduleStrict. It
+// returns the number of ids actually written (excluding the skipped
+// prefix). A source that completes before producing skip ids cannot be the
+// run the partial file came from; that is reported as an
+// ErrTruncatedSchedule-wrapped error with nothing written.
+func WriteScheduleAt(w io.Writer, skip int64, source func(yield func(seg []int) bool) bool) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var n int64
+	toSkip := skip
 	var werr error
 	buf := make([]byte, 0, 24)
 	complete := source(func(seg []int) bool {
+		if toSkip > 0 {
+			if int64(len(seg)) <= toSkip {
+				toSkip -= int64(len(seg))
+				return true
+			}
+			seg = seg[toSkip:]
+			toSkip = 0
+		}
 		for _, v := range seg {
 			buf = strconv.AppendInt(buf[:0], int64(v), 10)
 			buf = append(buf, '\n')
@@ -143,14 +166,17 @@ func WriteSchedule(w io.Writer, source func(yield func(seg []int) bool) bool) (i
 	if werr != nil {
 		return n, werr
 	}
+	if toSkip > 0 {
+		return n, fmt.Errorf("schedule: source ended %d ids before the resume offset %d: %w", toSkip, skip, ErrTruncatedSchedule)
+	}
 	if !complete {
 		// Best-effort marker: the stream is already incomplete, so a
 		// second write failure here changes nothing for the caller.
-		fmt.Fprintf(bw, "%s%d\n", truncTrailerPrefix, n)
+		fmt.Fprintf(bw, "%s%d\n", truncTrailerPrefix, skip+n)
 		bw.Flush()
-		return n, fmt.Errorf("schedule: stream stopped after %d ids: %w", n, ErrTruncatedSchedule)
+		return n, fmt.Errorf("schedule: stream stopped after %d ids: %w", skip+n, ErrTruncatedSchedule)
 	}
-	if _, err := fmt.Fprintf(bw, "%s%d\n", endTrailerPrefix, n); err != nil {
+	if _, err := fmt.Fprintf(bw, "%s%d\n", endTrailerPrefix, skip+n); err != nil {
 		return n, err
 	}
 	if err := bw.Flush(); err != nil {

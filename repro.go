@@ -97,6 +97,22 @@ type Tuning struct {
 	// knobs, Ctx can change the outcome — from a result to an error —
 	// but never the result of a run it lets complete.
 	Ctx context.Context
+	// CheckpointPath arms durable checkpointing of the expansion
+	// heuristics: the engine atomically persists its decision log and
+	// frontier to this file at quiescent points, so a run killed at any
+	// instant resumes via ResumeFrom with a bit-identical result.
+	// Empty disarms (and costs nothing). Only RecExpand/FullRecExpand
+	// checkpoint; the closed-form algorithms complete too fast to need
+	// it.
+	CheckpointPath string
+	// CheckpointInterval is the number of checkpointable events between
+	// durable writes when CheckpointPath is set; 0 means the engine
+	// default (256).
+	CheckpointInterval int
+	// ResumeFrom resumes from a checkpoint written by a previous run of
+	// the SAME instance and algorithm (enforced by fingerprint). Empty
+	// disables resuming.
+	ResumeFrom string
 }
 
 // ScheduleTuned is Schedule with explicit engine tuning. The result is
@@ -105,6 +121,9 @@ func ScheduleTuned(t *Tree, M int64, alg Algorithm, tn Tuning) (*Result, error) 
 	rn := core.NewRunner(tn.Workers)
 	rn.CacheBudget = tn.CacheBudget
 	rn.Ctx = tn.Ctx
+	rn.CheckpointPath = tn.CheckpointPath
+	rn.CheckpointInterval = tn.CheckpointInterval
+	rn.ResumeFrom = tn.ResumeFrom
 	return rn.Run(alg, t, M)
 }
 
@@ -120,7 +139,14 @@ func ScheduleTuned(t *Tree, M int64, alg Algorithm, tn Tuning) (*Result, error) 
 // >10⁸-node trees: the engine's schedule ropes are released as the
 // emission advances, so no Θ(n) answer is ever resident.
 func ScheduleStreamed(t *Tree, M int64, alg Algorithm, tn Tuning, yield func(seg []int) bool) (*Result, error) {
-	opts := expand.Options{MaxPerNode: 2, Workers: tn.Workers, CacheBudget: tn.CacheBudget, Ctx: tn.Ctx}
+	opts := expand.Options{
+		MaxPerNode:  2,
+		Workers:     tn.Workers,
+		CacheBudget: tn.CacheBudget,
+		Ctx:         tn.Ctx,
+		Checkpoint:  expand.CheckpointOptions{Path: tn.CheckpointPath, Interval: tn.CheckpointInterval},
+		ResumeFrom:  tn.ResumeFrom,
+	}
 	switch alg {
 	case RecExpand:
 	case FullRecExpand:
@@ -162,6 +188,29 @@ var ErrTruncatedSchedule = tree.ErrTruncatedSchedule
 func ReadScheduleStrict(r io.Reader) (TaskSchedule, error) {
 	return tree.ReadScheduleStrict(r)
 }
+
+// WriteScheduleAt is WriteSchedule for resuming an interrupted emission:
+// the first skip ids of the source are consumed without being written
+// (they are already on disk) and the completeness trailer counts
+// absolutely, so the repaired partial stream plus this continuation is
+// byte-identical to an uninterrupted WriteSchedule run.
+func WriteScheduleAt(w io.Writer, skip int64, source func(yield func(seg []int) bool) bool) (int64, error) {
+	return tree.WriteScheduleAt(w, skip, source)
+}
+
+// RepairSchedule trims a partial schedule stream in place to its longest
+// trusted prefix — dropping a torn final line, a truncation marker, or a
+// miscounting trailer — and returns how many ids survive and whether the
+// stream was already complete. The surviving prefix is exactly what a
+// WriteScheduleAt continuation should skip.
+func RepairSchedule(path string) (ids int64, complete bool, err error) {
+	return tree.RepairScheduleFile(path)
+}
+
+// ErrCheckpointMismatch marks a resume whose checkpoint belongs to a
+// different instance (tree, memory bound, algorithm parameters); test
+// with errors.Is.
+var ErrCheckpointMismatch = expand.ErrCheckpointMismatch
 
 // MinMemory returns LB = max_i w̄(i), the smallest memory size for which
 // the tree can be processed at all.

@@ -1,6 +1,13 @@
 package repro
 
-import "testing"
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
 
 func TestFacadeEndToEnd(t *testing.T) {
 	// Figure 2(b) through the public API.
@@ -46,5 +53,73 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if Version == "" {
 		t.Fatal("version empty")
+	}
+}
+
+// TestFacadeCheckpointResume drives the durability knobs through the
+// public facade: a checkpoint-armed ScheduleTuned run, a resumed run
+// reproducing its result, a fingerprint rejection across algorithms, and
+// the repair/continue cycle of an interrupted WriteSchedule stream.
+func TestFacadeCheckpointResume(t *testing.T) {
+	parents := []int{None, 0, 1, 2, 3, 0, 5, 6, 7}
+	weights := []int64{1, 3, 5, 2, 6, 3, 5, 2, 6}
+	tr, err := NewTree(parents, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "run.ckpt")
+	want, err := Schedule(tr, 6, RecExpand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed, err := ScheduleTuned(tr, 6, RecExpand, Tuning{CheckpointPath: ckptPath, CheckpointInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(armed, want) {
+		t.Fatal("checkpoint-armed run diverges")
+	}
+	resumed, err := ScheduleTuned(tr, 6, RecExpand, Tuning{ResumeFrom: ckptPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, want) {
+		t.Fatal("resumed run diverges")
+	}
+	// The checkpoint fingerprints the algorithm's parameters: resuming it
+	// under FullRecExpand must be refused.
+	if _, err := ScheduleTuned(tr, 6, FullRecExpand, Tuning{ResumeFrom: ckptPath}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("cross-algorithm resume: err = %v, want ErrCheckpointMismatch", err)
+	}
+
+	// Interrupted stream: repair the partial file, then continue with
+	// WriteScheduleAt into a strict-valid stream.
+	schedPath := filepath.Join(dir, "sched.txt")
+	if err := os.WriteFile(schedPath, []byte("8\n7\n6\n5"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, complete, err := RepairSchedule(schedPath)
+	if err != nil || complete || ids != 3 {
+		t.Fatalf("repair: ids=%d complete=%v err=%v", ids, complete, err)
+	}
+	f, err := os.OpenFile(schedPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteScheduleAt(f, ids, TaskSchedule{8, 7, 6, 5, 4, 3, 2, 1, 0}.Emit); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(schedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScheduleStrict(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("resumed stream rejected: %v", err)
+	}
+	if len(got) != 9 {
+		t.Fatalf("resumed stream has %d ids", len(got))
 	}
 }
