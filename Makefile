@@ -2,8 +2,10 @@
 # Benchmark methodology and the BENCH_<n>.json format: see BENCH.md.
 
 GO ?= go
-# Benchmarks included in the BENCH_<n>.json trajectory record.
-BENCH ?= RecExpand|FiFSimulator|OptMinMem3000
+# Benchmarks included in the BENCH_<n>.json trajectory record. ScheddLoad
+# is the serving family: end-to-end request latency percentiles and
+# admission outcomes of the schedd daemon (BENCH.md).
+BENCH ?= RecExpand|FiFSimulator|OptMinMem3000|ScheddLoad
 # Trajectory index: bench-json writes BENCH_$(N).json at the repo root.
 N ?= 1
 

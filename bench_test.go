@@ -17,10 +17,18 @@ package repro
 // M2=Peak−1.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -32,6 +40,7 @@ import (
 	"repro/internal/oocexec"
 	"repro/internal/postorder"
 	"repro/internal/randtree"
+	"repro/internal/schedd"
 	"repro/internal/search"
 	"repro/internal/sparse"
 	"repro/internal/tree"
@@ -803,4 +812,154 @@ func BenchmarkParallelExecuteWorkers(b *testing.B) {
 			b.ReportMetric(float64(spilled), "units_spilled")
 		})
 	}
+}
+
+// --- Serving benchmarks (schedd) -------------------------------------------
+//
+// The BenchmarkScheddLoad family measures the daemon end to end — HTTP
+// admission, budget leases, engine pool, schedule streaming — with the
+// in-process equivalent of cmd/schedload: concurrent clients, per-request
+// latency, percentile metrics (nearest rank, as in BENCH.md). ns/op is the
+// per-request wall clock as seen by a client under that concurrency, and
+// p50_ms/p99_ms report the distribution behind it; served_frac separates
+// load-shedding (429, an admission outcome) from service.
+
+// scheddBenchBodies synthesizes I/O-bound request bodies with the bound
+// precomputed client-side, so the serving path measures expansion and
+// streaming rather than per-request instance analysis.
+func scheddBenchBodies(b *testing.B, trees, nodes int, waitMS int64) [][]byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	bodies := make([][]byte, 0, trees)
+	for len(bodies) < trees {
+		tr := randtree.Synth(nodes, rng)
+		in := core.NewInstance("bench", tr)
+		if !in.NeedsIO() {
+			continue
+		}
+		raw, err := json.Marshal(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := json.Marshal(struct {
+			Tree   json.RawMessage `json:"tree"`
+			M      int64           `json:"m"`
+			WaitMS int64           `json:"wait_ms,omitempty"`
+		}{Tree: raw, M: in.M(core.BoundMid), WaitMS: waitMS})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies
+}
+
+// scheddBenchRun drives b.N requests from c concurrent clients round-robin
+// over bodies against an in-process schedd and reports latency percentiles
+// and the served fraction. Any outcome other than a sealed 200 stream or a
+// 429 fails the benchmark.
+func scheddBenchRun(b *testing.B, cfg schedd.Config, c int, bodies [][]byte) {
+	b.Helper()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	s, err := schedd.NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var idx, served, rejected int64
+	var mu sync.Mutex
+	var lat []float64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&idx, 1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				body := bodies[i%int64(len(bodies))]
+				t0 := time.Now()
+				resp, err := http.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				out, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					b.Error(rerr)
+					return
+				}
+				d := time.Since(t0)
+				switch {
+				case resp.StatusCode == http.StatusOK && bytes.Contains(out, []byte("# end count=")):
+					mu.Lock()
+					served++
+					lat = append(lat, float64(d.Microseconds())/1e3)
+					mu.Unlock()
+				case resp.StatusCode == http.StatusTooManyRequests:
+					atomic.AddInt64(&rejected, 1)
+				default:
+					b.Errorf("request %d: status %d, sealed=%v", i, resp.StatusCode,
+						bytes.Contains(out, []byte("# end count=")))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+
+	if st := s.Broker().Stats(); st.Used != 0 || st.Leases != 0 {
+		b.Fatalf("benchmark leaked leases: %+v", st)
+	}
+	sort.Float64s(lat)
+	rank := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	b.ReportMetric(rank(0.50), "p50_ms")
+	b.ReportMetric(rank(0.99), "p99_ms")
+	b.ReportMetric(float64(served)/float64(b.N), "served_frac")
+	b.ReportMetric(float64(rejected), "rejected")
+}
+
+// BenchmarkScheddLoadServe is the headline serving latency: ample budget,
+// every request admitted immediately, four engines under eight clients.
+func BenchmarkScheddLoadServe(b *testing.B) {
+	bodies := scheddBenchBodies(b, 4, 2000, 0)
+	scheddBenchRun(b, schedd.Config{Budget: 256 << 20, Engines: 4}, 8, bodies)
+}
+
+// BenchmarkScheddLoadOverload runs the same workload against a budget that
+// admits only two concurrent leases with fail-fast clients: the served
+// fraction and 429 count quantify load shedding under pressure, and the
+// percentiles cover the served requests only.
+func BenchmarkScheddLoadOverload(b *testing.B) {
+	bodies := scheddBenchBodies(b, 4, 2000, 0)
+	cost := schedd.EstimateCost(2000)
+	scheddBenchRun(b, schedd.Config{Budget: 2 * cost, Engines: 4}, 8, bodies)
+}
+
+// BenchmarkScheddLoadQueued replays the overload with clients that declare
+// an admission wait instead of failing fast: everything is served and the
+// queueing delay shows up in the latency percentiles.
+func BenchmarkScheddLoadQueued(b *testing.B) {
+	bodies := scheddBenchBodies(b, 4, 2000, 10_000)
+	cost := schedd.EstimateCost(2000)
+	scheddBenchRun(b, schedd.Config{Budget: 2 * cost, Engines: 4, MaxWait: 30 * time.Second}, 8, bodies)
 }

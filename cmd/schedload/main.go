@@ -1,0 +1,232 @@
+// Command schedload drives a running schedd with a synthetic multi-tenant
+// workload and reports latency percentiles and admission outcomes — the
+// measurement tool behind the serving benchmarks (BENCH.md).
+//
+// Usage:
+//
+//	schedload -url http://127.0.0.1:8437 -n 200 -c 16 -nodes 2000
+//	schedload -url http://127.0.0.1:8437 -n 500 -c 32 -wait-ms 100 -o load.json
+//
+// It synthesizes -trees distinct I/O-bound instances, POSTs -n requests
+// (round-robin over the instances) from -c concurrent clients, verifies
+// every 200 stream is sealed with the "# end count=" trailer, and writes a
+// JSON report: served/rejected/failed counts and the p50/p90/p99/max
+// latency of served requests. Rejections (429) are an expected outcome of
+// admission control, not an error: the exit code is 0 as long as every
+// request got a well-formed answer.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/randtree"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of the schedd to drive (required)")
+	n := flag.Int("n", 100, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	trees := flag.Int("trees", 4, "distinct synthetic instances to cycle through")
+	nodes := flag.Int("nodes", 2000, "nodes per synthetic instance")
+	seed := flag.Int64("seed", 1, "random seed of the instance synthesis")
+	waitMS := flag.Int64("wait-ms", 0, "admission wait each request declares (0 = fail fast)")
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+	if *url == "" || *n <= 0 || *c <= 0 || *trees <= 0 {
+		fmt.Fprintln(os.Stderr, "schedload: need -url, positive -n, -c and -trees")
+		os.Exit(1)
+	}
+
+	bodies := makeBodies(*trees, *nodes, *seed, *waitMS)
+	rep := drive(*url, *n, *c, bodies)
+	if err := writeReport(rep, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "schedload:", err)
+		os.Exit(1)
+	}
+	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "schedload: %d requests failed outright\n", rep.Failed)
+		os.Exit(1)
+	}
+}
+
+// makeBodies synthesizes the request bodies: distinct I/O-bound instances
+// under the paper's mid bound, fail-fast or queued admission per -wait-ms.
+func makeBodies(trees, nodes int, seed, waitMS int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([][]byte, 0, trees)
+	for len(bodies) < trees {
+		tr := randtree.Synth(nodes, rng)
+		in := core.NewInstance("load", tr)
+		if !in.NeedsIO() {
+			continue
+		}
+		raw, err := json.Marshal(tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedload:", err)
+			os.Exit(1)
+		}
+		body, err := json.Marshal(struct {
+			// The request schema of internal/schedd.Request, spelled out
+			// so the generator matches what a real client would send.
+			Tree   json.RawMessage `json:"tree"`
+			Mid    bool            `json:"mid"`
+			WaitMS int64           `json:"wait_ms,omitempty"`
+			Name   string          `json:"name"`
+		}{Tree: raw, Mid: true, WaitMS: waitMS, Name: fmt.Sprintf("load-%d", len(bodies))})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedload:", err)
+			os.Exit(1)
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies
+}
+
+// Report is the JSON output of one load run.
+type Report struct {
+	// Requests is the total issued; Served counts sealed 200 streams;
+	// Rejected counts 429 load-shed answers; Failed counts transport
+	// errors, non-2xx/429 statuses and unsealed streams.
+	Requests, Served, Rejected, Failed int
+	// LatencyMS holds the served-request latency percentiles.
+	LatencyMS Percentiles `json:"latency_ms"`
+	// WallMS is the whole run's wall clock; ThroughputRPS the served
+	// requests per second over it.
+	WallMS        float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// Percentiles summarizes a latency distribution in milliseconds.
+type Percentiles struct {
+	// P50, P90 and P99 are interpolation-free order statistics (nearest
+	// rank); Max is the worst served request.
+	P50, P90, P99, Max float64
+}
+
+// drive fires n requests from c clients round-robin over bodies and
+// collects the report.
+func drive(base string, n, c int, bodies [][]byte) *Report {
+	type sample struct {
+		latency time.Duration
+		status  int
+		sealed  bool
+		err     error
+	}
+	samples := make([]sample, n)
+	var idx int64
+	var mu sync.Mutex
+	next := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if idx >= int64(n) {
+			return -1
+		}
+		idx++
+		return int(idx - 1)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next()
+				if i < 0 {
+					return
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := http.Post(base+"/schedule", "application/json", bytes.NewReader(body))
+				if err != nil {
+					samples[i] = sample{err: err}
+					continue
+				}
+				b, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					samples[i] = sample{err: rerr}
+					continue
+				}
+				samples[i] = sample{
+					latency: time.Since(t0),
+					status:  resp.StatusCode,
+					sealed:  strings.Contains(string(b), "# end count="),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{Requests: n, WallMS: float64(wall.Microseconds()) / 1e3}
+	var lat []float64
+	for _, s := range samples {
+		switch {
+		case s.err != nil:
+			rep.Failed++
+		case s.status == http.StatusOK && s.sealed:
+			rep.Served++
+			lat = append(lat, float64(s.latency.Microseconds())/1e3)
+		case s.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Failed++
+		}
+	}
+	rep.LatencyMS = percentiles(lat)
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.Served) / wall.Seconds()
+	}
+	return rep
+}
+
+// percentiles computes nearest-rank order statistics of ms latencies.
+func percentiles(lat []float64) Percentiles {
+	if len(lat) == 0 {
+		return Percentiles{}
+	}
+	sort.Float64s(lat)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	return Percentiles{P50: rank(0.50), P90: rank(0.90), P99: rank(0.99), Max: lat[len(lat)-1]}
+}
+
+// writeReport emits the report to stdout or atomically to out.
+func writeReport(rep *Report, out string) error {
+	if out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if err := ckpt.WriteFileAtomic(out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "report written to", out)
+	return nil
+}

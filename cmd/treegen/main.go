@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/ckpt"
 	"repro/internal/faultinject"
@@ -43,13 +47,31 @@ func main() {
 		*ord = "nd"
 	}
 
-	t, err := build(*kind, *n, *deg, *bw, *seed, *relax, *ord, *in)
+	// SIGINT/SIGTERM cancel the context, checked between the generation
+	// stages (pattern build, ordering, symbolic factorization) and before
+	// the output write — an interrupted generator exits 130 without ever
+	// leaving a partial tree at -o (the write itself is atomic). A second
+	// signal hits the re-installed default disposition and kills outright.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
+	t, err := build(ctx, *kind, *n, *deg, *bw, *seed, *relax, *ord, *in)
+	if err == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		} else {
+			err = writeTree(t, *out)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "treegen:", err)
-		os.Exit(1)
-	}
-	if err := writeTree(t, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "treegen:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // interrupted, 128+SIGINT: scripts can tell a cancel from a failure
+		}
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, t.String())
@@ -69,7 +91,7 @@ func writeTree(t *tree.Tree, out string) error {
 	})
 }
 
-func build(kind string, n, deg, bw int, seed, relax int64, ord, in string) (*tree.Tree, error) {
+func build(ctx context.Context, kind string, n, deg, bw int, seed, relax int64, ord, in string) (*tree.Tree, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var p *sparse.Pattern
 	switch kind {
@@ -129,6 +151,12 @@ func build(kind string, n, deg, bw int, seed, relax int64, ord, in string) (*tre
 	default:
 		return nil, fmt.Errorf("unknown kind %q", kind)
 	}
+	// Seam between the pattern build and the fill-reducing ordering; the
+	// orderings and the symbolic factorization below dominate on large
+	// inputs.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch ord {
 	case "natural", "":
 	case "md":
@@ -149,6 +177,9 @@ func build(kind string, n, deg, bw int, seed, relax int64, ord, in string) (*tre
 		return nil, fmt.Errorf("-ord nd is only available for grid kinds")
 	default:
 		return nil, fmt.Errorf("unknown ordering %q", ord)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return sparse.EliminationTaskTree(p, relax)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -23,7 +24,7 @@ func TestBuildKinds(t *testing.T) {
 		{"band", 40, "natural", 5},
 	}
 	for _, c := range cases {
-		tr, err := build(c.kind, c.n, 4, 3, 1, 0, c.ord, "")
+		tr, err := build(context.Background(), c.kind, c.n, 4, 3, 1, 0, c.ord, "")
 		if err != nil {
 			t.Fatalf("%s/%s: %v", c.kind, c.ord, err)
 		}
@@ -34,19 +35,19 @@ func TestBuildKinds(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
-	if _, err := build("nope", 10, 4, 3, 1, 0, "natural", ""); err == nil {
+	if _, err := build(context.Background(), "nope", 10, 4, 3, 1, 0, "natural", ""); err == nil {
 		t.Error("unknown kind accepted")
 	}
-	if _, err := build("rand", 10, 4, 3, 1, 0, "nd", ""); err == nil {
+	if _, err := build(context.Background(), "rand", 10, 4, 3, 1, 0, "nd", ""); err == nil {
 		t.Error("nd on non-grid accepted")
 	}
-	if _, err := build("rand", 10, 4, 3, 1, 0, "quantum", ""); err == nil {
+	if _, err := build(context.Background(), "rand", 10, 4, 3, 1, 0, "quantum", ""); err == nil {
 		t.Error("unknown ordering accepted")
 	}
-	if _, err := build("mm", 10, 4, 3, 1, 0, "natural", ""); err == nil {
+	if _, err := build(context.Background(), "mm", 10, 4, 3, 1, 0, "natural", ""); err == nil {
 		t.Error("mm without input accepted")
 	}
-	if _, err := build("mm", 10, 4, 3, 1, 0, "natural", "/nonexistent.mtx"); err == nil || !strings.Contains(err.Error(), "no such file") {
+	if _, err := build(context.Background(), "mm", 10, 4, 3, 1, 0, "natural", "/nonexistent.mtx"); err == nil || !strings.Contains(err.Error(), "no such file") {
 		t.Errorf("mm with missing file: %v", err)
 	}
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/tree"
+)
+
+// TestGenerateSIGTERM is the interrupt contract of the generator: a real
+// treegen binary on a multi-second workload, a real SIGTERM mid-build.
+// Whatever the race between the signal and the generation stages, the
+// outcome must be crash-evident — either the run won (exit 0, the output
+// file parses as a complete tree) or the signal won (exit 130, the output
+// file was never created; the write is atomic and the seam checks precede
+// it). A third state — exit 1, or a partial file at the output path — is
+// the bug this test exists to rule out.
+func TestGenerateSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a real binary; skipped under -short")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal semantics required")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "treegen")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building treegen: %v\n%s", err, out)
+	}
+
+	// A grid large enough that nested dissection plus the symbolic
+	// factorization take a couple of seconds — long enough for the signal
+	// to land mid-build, short enough that the completed-before-signal
+	// outcome stays cheap.
+	out := filepath.Join(dir, "tree.json")
+	cmd := exec.Command(bin, "-kind", "grid3d", "-n", "40", "-nd", "-o", out)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	time.Sleep(150 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+
+	werr := cmd.Wait()
+	switch {
+	case werr == nil:
+		// The run won: the output must be a complete, parseable tree.
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatalf("clean exit but no output file: %v", err)
+		}
+		defer f.Close()
+		if _, err := tree.ReadJSON(f); err != nil {
+			t.Fatalf("clean exit left an unparseable tree: %v", err)
+		}
+	default:
+		var xerr *exec.ExitError
+		if !errors.As(werr, &xerr) {
+			t.Fatalf("wait: %v", werr)
+		}
+		if code := xerr.ExitCode(); code != 130 {
+			t.Fatalf("interrupted treegen exited %d, want 130", code)
+		}
+		// The signal won: the atomic writer must not have left anything
+		// (committed or partial) at the output path.
+		if _, err := os.Stat(out); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("interrupted treegen left a file at -o: stat err=%v", err)
+		}
+	}
+}

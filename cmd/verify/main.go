@@ -15,10 +15,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/expand"
@@ -35,20 +39,34 @@ func main() {
 	traversalPath := flag.String("traversal", "", "traversal JSON file written by sched -o (overrides -M/-sched/-tau)")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the context, checked at the seams between
+	// stages (load, analysis, validation); a second signal hits the
+	// re-installed default disposition and kills outright. As in sched,
+	// an interrupted run exits 130 so scripts can tell a cancel from an
+	// invalid traversal.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
+	var err error
 	if *traversalPath != "" {
-		if err := runTraversal(*treePath, *traversalPath); err != nil {
-			fmt.Fprintln(os.Stderr, "verify:", err)
-			os.Exit(1)
-		}
-		return
+		err = runTraversal(ctx, *treePath, *traversalPath)
+	} else {
+		err = run(ctx, *treePath, *M, *schedPath, *tauPath)
 	}
-	if err := run(*treePath, *M, *schedPath, *tauPath); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // interrupted, 128+SIGINT: scripts can tell a cancel from a failure
+		}
 		os.Exit(1)
 	}
 }
 
-func runTraversal(treePath, traversalPath string) error {
+func runTraversal(ctx context.Context, treePath, traversalPath string) error {
 	if treePath == "" {
 		return fmt.Errorf("need -tree")
 	}
@@ -70,6 +88,9 @@ func runTraversal(treePath, traversalPath string) error {
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := tv.Validate(t); err != nil {
 		return fmt.Errorf("traversal INVALID: %w", err)
 	}
@@ -77,7 +98,7 @@ func runTraversal(treePath, traversalPath string) error {
 	return nil
 }
 
-func run(treePath string, M int64, schedPath, tauPath string) error {
+func run(ctx context.Context, treePath string, M int64, schedPath, tauPath string) error {
 	if treePath == "" || M <= 0 {
 		return fmt.Errorf("need -tree and -M > 0")
 	}
@@ -88,6 +109,9 @@ func run(treePath string, M int64, schedPath, tauPath string) error {
 	t, err := tree.ReadJSON(f)
 	f.Close()
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	lb := t.MaxWBar()
@@ -111,6 +135,11 @@ func run(treePath string, M int64, schedPath, tauPath string) error {
 		if err := readJSON(tauPath, &tau); err != nil {
 			return err
 		}
+	}
+	// The inputs are loaded and the cheap analysis is printed; bail
+	// before the validation/search stage, which dominates on big trees.
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	switch {
 	case sched != nil && tau != nil:

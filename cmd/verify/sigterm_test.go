@@ -1,0 +1,75 @@
+package main
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/randtree"
+)
+
+// TestVerifySIGTERM is the interrupt contract of the checker: a real
+// verify binary on a tree large enough that the in-core analysis takes
+// seconds, a real SIGTERM mid-run. Either the run wins (exit 0, the
+// report printed) or the signal wins (exit 130 at the next stage seam);
+// a plain failure exit is the bug this test exists to rule out — scripts
+// must be able to tell a cancelled check from an invalid traversal.
+func TestVerifySIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a real binary; skipped under -short")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal semantics required")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "verify")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building verify: %v\n%s", err, out)
+	}
+
+	// Big enough that the peak/lower-bound analysis runs for seconds.
+	tr := randtree.Synth(400000, rand.New(rand.NewSource(7)))
+	treePath := filepath.Join(dir, "tree.json")
+	f, err := os.Create(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-tree", treePath, "-M", strconv.FormatInt(tr.MaxWBar(), 10))
+	cmd.Stderr = os.Stderr
+	cmd.Stdout = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	time.Sleep(150 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+
+	werr := cmd.Wait()
+	if werr == nil {
+		return // the analysis beat the signal: a clean, complete report
+	}
+	var xerr *exec.ExitError
+	if !errors.As(werr, &xerr) {
+		t.Fatalf("wait: %v", werr)
+	}
+	if code := xerr.ExitCode(); code != 130 {
+		t.Fatalf("interrupted verify exited %d, want 130", code)
+	}
+}

@@ -8,9 +8,14 @@ import (
 )
 
 // ParseByteSize parses a human-readable byte count as accepted by the
-// -cache-budget CLI flags: a non-negative integer with an optional
-// case-insensitive suffix K/M/G (or KB/MB/GB, KiB/MiB/GiB — all binary,
-// 1K = 1024). An empty string or "0" means 0 (unlimited).
+// -cache-budget and -budget CLI flags and the schedd request schema: a
+// non-negative number with an optional case-insensitive suffix K/M/G (or
+// KB/MB/GB, KiB/MiB/GiB — all binary, 1K = 1024). Fractional values are
+// accepted with a suffix ("1.5GiB", "0.25M") and rounded to the nearest
+// byte; a fractional count without a suffix ("1.5") is rejected, since a
+// fraction of a byte is not a size. Negative, overflowing and non-finite
+// inputs are rejected with a clear error. An empty string or "0" means 0
+// (unlimited).
 func ParseByteSize(s string) (int64, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -32,12 +37,37 @@ func ParseByteSize(s string) (int64, error) {
 			break
 		}
 	}
-	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
-	if err != nil || n < 0 {
+	num := strings.TrimSpace(u)
+	// Integer counts stay on exact int64 arithmetic; only values that
+	// actually carry a fraction take the float path below.
+	if n, err := strconv.ParseInt(num, 10, 64); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("core: negative byte size %q", s)
+		}
+		if n > math.MaxInt64/mult {
+			return 0, fmt.Errorf("core: byte size %q overflows int64", s)
+		}
+		return n * mult, nil
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
 		return 0, fmt.Errorf("core: invalid byte size %q", s)
 	}
-	if n > math.MaxInt64/mult {
+	if f < 0 {
+		return 0, fmt.Errorf("core: negative byte size %q", s)
+	}
+	if mult == 1 && f != math.Trunc(f) {
+		return 0, fmt.Errorf("core: fractional byte size %q needs a unit suffix", s)
+	}
+	// mult ≤ 2³⁰ and float64 carries 52 mantissa bits, so the product is
+	// exact for every representable fraction of a binary unit; guard the
+	// magnitude before converting so 1e300G fails loudly, not silently.
+	// The comparison is against 2⁶³ (exactly representable), not MaxInt64
+	// (which float64 rounds UP to 2⁶³): any b ≥ 2⁶³ would wrap negative in
+	// the int64 conversion below.
+	b := math.Round(f * float64(mult))
+	if b >= 1<<63 {
 		return 0, fmt.Errorf("core: byte size %q overflows int64", s)
 	}
-	return n * mult, nil
+	return int64(b), nil
 }

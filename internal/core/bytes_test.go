@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseByteSize pins the full accepted grammar of the byte-size flags
+// and the schedd request schema — integers, fractions with every binary
+// suffix, whitespace — and the rejection of everything that must fail
+// loudly: negatives, overflow, fractions of a bare byte, non-numbers.
+func TestParseByteSize(t *testing.T) {
+	ok := []struct {
+		in   string
+		want int64
+	}{
+		{"", 0},
+		{"0", 0},
+		{"  42  ", 42},
+		{"1024", 1024},
+		{"1k", 1024},
+		{"1K", 1024},
+		{"1KB", 1024},
+		{"1KiB", 1024},
+		{"1kib", 1024},
+		{"3M", 3 << 20},
+		{"3MiB", 3 << 20},
+		{"2G", 2 << 30},
+		{"2gb", 2 << 30},
+		{"1.5GiB", 3 << 29}, // 1610612736
+		{"1.5K", 1536},
+		{"0.25M", 256 << 10},
+		{"0.5k", 512},
+		{"2.75G", 2952790016}, // 2.75·2³⁰ — binary fractions are exact
+		{"0.0G", 0},
+		{" 1.5 GiB ", 3 << 29},             // whitespace between number and suffix
+		{"8589934591K", 8589934591 * 1024}, // just under the int64 cap
+	}
+	for _, tc := range ok {
+		got, err := ParseByteSize(tc.in)
+		if err != nil {
+			t.Errorf("ParseByteSize(%q): unexpected error %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+
+	bad := []struct {
+		in      string
+		errPart string
+	}{
+		{"-1", "negative"},
+		{"-1K", "negative"},
+		{"-0.5G", "negative"},
+		{"1.5", "unit suffix"}, // a fraction of a byte is not a size
+		{"0.1", "unit suffix"},
+		{"9223372036854775808", "overflows"}, // MaxInt64+1
+		{"9007199254740993G", "overflows"},   // integer · mult overflow
+		{"1e300G", "overflows"},              // float path overflow
+		{"NaNG", "invalid"},
+		{"InfK", "invalid"},
+		{"+InfK", "invalid"},
+		{"abc", "invalid"},
+		{"12XB", "invalid"},
+		{"1.2.3K", "invalid"},
+		{"K", "invalid"},
+		{".", "invalid"},
+	}
+	for _, tc := range bad {
+		got, err := ParseByteSize(tc.in)
+		if err == nil {
+			t.Errorf("ParseByteSize(%q) = %d, want error containing %q", tc.in, got, tc.errPart)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("ParseByteSize(%q) error = %v, want it to contain %q", tc.in, err, tc.errPart)
+		}
+	}
+}
+
+// TestParseByteSizeNeverNegative fuzz-lite: no accepted input may ever map
+// to a negative size, and every accepted value must round-trip below the
+// int64 ceiling (the broker divides by these values).
+func TestParseByteSizeNeverNegative(t *testing.T) {
+	for _, in := range []string{"0.9999999999G", "8796093022207K", "9007199254740992K"} {
+		v, err := ParseByteSize(in)
+		if err != nil {
+			continue
+		}
+		if v < 0 || v > math.MaxInt64 {
+			t.Fatalf("ParseByteSize(%q) = %d, outside [0, MaxInt64]", in, v)
+		}
+	}
+}

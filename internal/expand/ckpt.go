@@ -12,6 +12,7 @@
 package expand
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -181,6 +182,30 @@ func (ck *ckptRunner) write() error {
 		ckptAfterWrite(ck.path)
 	}
 	return nil
+}
+
+// flushOnCancel is the drain hook of a checkpoint-armed run: when err is a
+// context cancellation (a graceful drain, a SIGTERM, a request timeout)
+// and events are pending since the last durable write, the runner's latest
+// committed state is flushed so a resume continues from the drain point
+// instead of up to Interval events earlier. The state written is always a
+// committed quiescent one — noteExp/commitLoop/commitEmit keep the
+// in-memory runner consistent between events — so the flushed checkpoint
+// is indistinguishable from a periodic one. err is returned unchanged; a
+// failed flush is ignored, because the previous durable checkpoint remains
+// valid and the caller is already failing with the more meaningful
+// cancellation error. Safe on a nil (disarmed) runner.
+func (ck *ckptRunner) flushOnCancel(err error) error {
+	if ck == nil || err == nil {
+		return err
+	}
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if ck.pending > 0 {
+		_ = ck.write()
+	}
+	return err
 }
 
 // loadResume reads and validates the checkpoint a run resumes from. The

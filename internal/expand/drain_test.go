@@ -1,0 +1,126 @@
+package expand
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/liu"
+	"repro/internal/randtree"
+	"repro/internal/tree"
+)
+
+// drainInstance builds an I/O-bound instance big enough that the streamed
+// emission spans several segments (segments are ~4k ids), with the paper's
+// mid bound.
+func drainInstance(t *testing.T, n int) (*tree.Tree, int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tr := randtree.Synth(n, rng)
+	lb := tr.MaxWBar()
+	_, peak := liu.MinMem(tr)
+	if peak <= lb {
+		t.Fatal("drain instance never needs I/O; pick another seed")
+	}
+	return tr, (lb + peak - 1) / 2
+}
+
+// TestDrainFlushesCheckpointOnCancel pins the drain hook of a
+// checkpoint-armed run: with a huge interval (so no periodic write ever
+// fires during emission) a run cancelled mid-stream must still leave the
+// latest committed state durably on disk — the flush-on-cancel path —
+// instead of whatever the last phase-transition write recorded. This is
+// what lets schedd's graceful drain checkpoint in-flight requests at the
+// drain point rather than up to Interval events earlier.
+func TestDrainFlushesCheckpointOnCancel(t *testing.T) {
+	tr, M := drainInstance(t, 20000)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "drain.ckpt")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{
+		MaxPerNode: 2,
+		Workers:    1,
+		Ctx:        ctx,
+		Checkpoint: CheckpointOptions{Path: path, Interval: 1 << 30},
+	}
+	var emitted int64
+	segs := 0
+	_, err := NewEngine().RecExpandStream(tr, M, opts, func(seg []int) bool {
+		emitted += int64(len(seg))
+		segs++
+		if segs == 2 {
+			// Cancel between segments: the engine observes the context at
+			// the next quiescent point and must flush before returning.
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v, want context.Canceled", err)
+	}
+
+	st, rerr := ckpt.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("reading drained checkpoint: %v", rerr)
+	}
+	if st.Phase != ckpt.PhaseFinish {
+		t.Fatalf("drained checkpoint phase = %v, want PhaseFinish", st.Phase)
+	}
+	// Without the flush the last durable write is the finishExpand
+	// transition, whose EmittedIDs is 0; the drain hook must have
+	// committed the emission progress the consumer saw.
+	if st.EmittedIDs == 0 {
+		t.Fatalf("drained checkpoint records 0 emitted ids; consumer saw %d — flush-on-cancel did not fire", emitted)
+	}
+	if st.EmittedIDs > emitted {
+		t.Fatalf("drained checkpoint claims %d emitted ids, consumer saw only %d", st.EmittedIDs, emitted)
+	}
+
+	// The flushed checkpoint is an ordinary committed one: a resume must
+	// reproduce the uninterrupted run bit-identically.
+	resumed, err := RecExpand(tr, M, Options{MaxPerNode: 2, Workers: 1, ResumeFrom: path})
+	if err != nil {
+		t.Fatalf("resume from drained checkpoint: %v", err)
+	}
+	baseline, err := RecExpand(tr, M, Options{MaxPerNode: 2, Workers: 1})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if !reflect.DeepEqual(resumed, baseline) {
+		t.Fatalf("resume from drain-flushed checkpoint diverges from baseline")
+	}
+}
+
+// TestDrainFlushNoCheckpointArmed: cancellation with checkpointing
+// disarmed must not create any file — the nil-runner flush is a no-op.
+func TestDrainFlushNoCheckpointArmed(t *testing.T) {
+	tr, M := drainInstance(t, 12000)
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	segs := 0
+	_, err := NewEngine().RecExpandStream(tr, M, Options{MaxPerNode: 2, Workers: 1, Ctx: ctx}, func(seg []int) bool {
+		segs++
+		if segs == 1 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v, want context.Canceled", err)
+	}
+	ents, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("disarmed cancelled run created files: %v", ents)
+	}
+}

@@ -311,7 +311,7 @@ func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, 
 	if resume == nil && workers > 1 {
 		m, capHit, err := e.recExpandParallel(t, M, opts, globalCap, workers, ck)
 		if err != nil {
-			return nil, false, nil, err
+			return nil, false, nil, ck.flushOnCancel(err)
 		}
 		if ck != nil {
 			if err := ck.finishExpand(capHit); err != nil {
@@ -335,7 +335,7 @@ func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, 
 	// computed (the cache bails between recomputes); bail before any
 	// skip decision reads them.
 	if err := ctxErr(opts.Ctx); err != nil {
-		return nil, false, nil, err
+		return nil, false, nil, ck.flushOnCancel(err)
 	}
 
 	startIdx := 0
@@ -381,7 +381,7 @@ func (e *Engine) expandTree(t *tree.Tree, M int64, opts Options) (*MutableTree, 
 		}
 		exit, err := e.expandLoop(m, r, M, opts, globalCap, nil, ck, startIter)
 		if err != nil {
-			return nil, false, nil, err
+			return nil, false, nil, ck.flushOnCancel(err)
 		}
 		if exit == exitCap {
 			capHit = true
@@ -471,7 +471,7 @@ func (e *Engine) finishStream(ctx context.Context, t *tree.Tree, m *MutableTree,
 	}
 	finalIO, _, err := e.sim.RunStreamCtx(ctx, m, root, M, emitExpanded, memsim.FiF)
 	if err != nil {
-		return nil, mapErr(ctx, fmt.Errorf("expand: simulating final tree: %w", err))
+		return nil, ck.flushOnCancel(mapErr(ctx, fmt.Errorf("expand: simulating final tree: %w", err)))
 	}
 	// The original-tree pass filters the emission down to primary nodes in
 	// original ids. RunStream invokes the source exactly twice; only the
@@ -521,7 +521,7 @@ func (e *Engine) finishStream(ctx context.Context, t *tree.Tree, m *MutableTree,
 		if ckErr != nil {
 			return nil, ckErr
 		}
-		return nil, mapErr(ctx, fmt.Errorf("expand: simulating transposed schedule: %w", err))
+		return nil, ck.flushOnCancel(mapErr(ctx, fmt.Errorf("expand: simulating transposed schedule: %w", err)))
 	}
 	e.cacheStats = m.ProfileStats()
 	return &Result{

@@ -56,6 +56,21 @@ const (
 	// triggered fault fails the rename with ErrCkptRename, leaving a fully
 	// written temp file next to the still-intact previous checkpoint.
 	CkptRename
+	// LeaseAcquire fires per budget-lease acquisition attempt in the
+	// schedd broker; a triggered fault fails that acquisition with
+	// ErrLeaseAcquire (surfaced to the client as a 503), exercising the
+	// admission path's error handling without exhausting the budget.
+	LeaseAcquire
+	// HandlerPanic fires at the start of each schedd request handler; a
+	// triggered fault panics with ErrHandlerPanic inside the handler,
+	// which the server must contain to a 500 on that request only — the
+	// daemon stays serving.
+	HandlerPanic
+	// WriterStall fires per response Write of the schedd streaming path;
+	// a triggered fault makes the server stall that write briefly,
+	// simulating a slow client draining its response at a trickle while
+	// other requests must keep being served.
+	WriterStall
 
 	numPoints
 )
@@ -77,6 +92,12 @@ func (p Point) String() string {
 		return "CkptWrite"
 	case CkptRename:
 		return "CkptRename"
+	case LeaseAcquire:
+		return "LeaseAcquire"
+	case HandlerPanic:
+		return "HandlerPanic"
+	case WriterStall:
+		return "WriterStall"
 	}
 	return "Point(?)"
 }
@@ -100,6 +121,12 @@ var (
 	// ErrCkptRename is the error an injected checkpoint rename failure
 	// returns (the CkptRename point).
 	ErrCkptRename = errors.New("faultinject: injected checkpoint rename failure")
+	// ErrLeaseAcquire is the error an injected budget-lease acquisition
+	// failure returns (the LeaseAcquire point).
+	ErrLeaseAcquire = errors.New("faultinject: injected lease acquisition failure")
+	// ErrHandlerPanic is the panic value of an injected request-handler
+	// panic (the HandlerPanic point).
+	ErrHandlerPanic = errors.New("faultinject: injected handler panic")
 )
 
 // PlanHit derives a deterministic 1-based hit index in [1, total] from a

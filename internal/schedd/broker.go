@@ -1,0 +1,246 @@
+package schedd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// OversizeError rejects a request whose estimated resident cost exceeds
+// the entire global budget: no amount of waiting can ever admit it, so it
+// must be rejected at validation time with the estimate attached (the 413
+// path of the server).
+type OversizeError struct {
+	// Cost is the rejected request's estimated resident bytes.
+	Cost int64
+	// Total is the broker's whole budget.
+	Total int64
+}
+
+// Error formats the estimate against the budget.
+func (e *OversizeError) Error() string {
+	return fmt.Sprintf("schedd: request cost %d bytes exceeds the whole budget of %d bytes", e.Cost, e.Total)
+}
+
+// ErrBudgetBusy is returned by TryAcquire (and by Acquire when its context
+// expires first) when the budget cannot cover the requested lease right
+// now: the admission-control signal the server maps to 429 + Retry-After.
+var ErrBudgetBusy = errors.New("schedd: budget exhausted, retry later")
+
+// Broker partitions one global MaxResidentBytes budget across concurrent
+// requests as leases. Accounting is strict: a lease's cost is debited at
+// grant time and credited back exactly once at Release, so Used returns to
+// zero when the last tenant leaves — the no-leak invariant the drain tests
+// assert. Waiters are served strictly FIFO (a small request never
+// overtakes a big one), which keeps admission starvation-free. A Broker is
+// safe for concurrent use.
+type Broker struct {
+	total int64
+
+	mu       sync.Mutex
+	used     int64
+	peakUsed int64
+	leases   int
+	waiters  []*waiter // FIFO; granted or abandoned entries are nil
+	granted  int64
+	rejected int64
+}
+
+// waiter is one blocked Acquire: ready is closed under the broker lock
+// when the lease is granted; abandoned is set under the lock when the
+// waiter gives up, so a grant and an abandon cannot race.
+type waiter struct {
+	cost      int64
+	ready     chan struct{}
+	granted   bool
+	abandoned bool
+}
+
+// NewBroker returns a broker over a global budget of total bytes; total
+// must be positive.
+func NewBroker(total int64) (*Broker, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("schedd: broker budget must be positive, got %d", total)
+	}
+	return &Broker{total: total}, nil
+}
+
+// Total returns the global budget the broker partitions.
+func (b *Broker) Total() int64 { return b.total }
+
+// TryAcquire grants a lease of cost bytes if the budget can cover it RIGHT
+// NOW and no earlier request is waiting; otherwise it fails immediately
+// with ErrBudgetBusy (or OversizeError if no budget state could ever admit
+// the request). This is the wait_ms=0 admission path: overload sheds load
+// instead of queueing it.
+func (b *Broker) TryAcquire(cost int64) (*Lease, error) {
+	if err := b.precheck(cost); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.waiting() > 0 || b.used+cost > b.total {
+		b.rejected++
+		return nil, ErrBudgetBusy
+	}
+	return b.grant(cost), nil
+}
+
+// Acquire grants a lease of cost bytes, waiting in FIFO order behind
+// earlier requests until the budget can cover it or ctx expires; expiry
+// surfaces as ErrBudgetBusy wrapped with the context cause, so callers
+// treat a timed-out wait exactly like an immediate rejection.
+func (b *Broker) Acquire(ctx context.Context, cost int64) (*Lease, error) {
+	if err := b.precheck(cost); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	if b.waiting() == 0 && b.used+cost <= b.total {
+		l := b.grant(cost)
+		b.mu.Unlock()
+		return l, nil
+	}
+	w := &waiter{cost: cost, ready: make(chan struct{})}
+	b.waiters = append(b.waiters, w)
+	b.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return &Lease{b: b, cost: cost}, nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the lease is ours, take it
+			// rather than leak the debit.
+			b.mu.Unlock()
+			return &Lease{b: b, cost: cost}, nil
+		}
+		w.abandoned = true
+		b.rejected++
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w (%v)", ErrBudgetBusy, ctx.Err())
+	}
+}
+
+// precheck hosts the shared fast rejections of both acquire paths: the
+// LeaseAcquire fault-injection point, nonsensical costs, and oversize
+// requests.
+func (b *Broker) precheck(cost int64) error {
+	if faultinject.Fire(faultinject.LeaseAcquire) {
+		return faultinject.ErrLeaseAcquire
+	}
+	if cost <= 0 {
+		return fmt.Errorf("schedd: lease cost must be positive, got %d", cost)
+	}
+	if cost > b.total {
+		b.mu.Lock()
+		b.rejected++
+		b.mu.Unlock()
+		return &OversizeError{Cost: cost, Total: b.total}
+	}
+	return nil
+}
+
+// grant debits the budget and mints the lease. Caller holds b.mu.
+func (b *Broker) grant(cost int64) *Lease {
+	b.used += cost
+	if b.used > b.peakUsed {
+		b.peakUsed = b.used
+	}
+	b.leases++
+	b.granted++
+	return &Lease{b: b, cost: cost}
+}
+
+// waiting counts live (non-abandoned, ungranted) waiters. Caller holds b.mu.
+func (b *Broker) waiting() int {
+	n := 0
+	for _, w := range b.waiters {
+		if w != nil && !w.granted && !w.abandoned {
+			n++
+		}
+	}
+	return n
+}
+
+// release credits a lease's cost back and wakes FIFO waiters for as long
+// as the freed budget covers the head of the queue.
+func (b *Broker) release(cost int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.used -= cost
+	b.leases--
+	// Compact dead entries and grant from the head while budget allows;
+	// strictly in order, so a small late request cannot starve a big
+	// early one.
+	live := b.waiters[:0]
+	for _, w := range b.waiters {
+		if w == nil || w.granted || w.abandoned {
+			continue
+		}
+		live = append(live, w)
+	}
+	b.waiters = live
+	for len(b.waiters) > 0 {
+		w := b.waiters[0]
+		if b.used+w.cost > b.total {
+			break
+		}
+		b.used += w.cost
+		if b.used > b.peakUsed {
+			b.peakUsed = b.used
+		}
+		b.leases++
+		b.granted++
+		w.granted = true
+		close(w.ready)
+		b.waiters = b.waiters[1:]
+	}
+}
+
+// BrokerStats is a consistent snapshot of the broker's accounting.
+type BrokerStats struct {
+	// Total is the global budget; Used the bytes currently leased out;
+	// PeakUsed the high-water mark of Used.
+	Total, Used, PeakUsed int64
+	// Leases is the number of outstanding leases; Waiting the number of
+	// blocked Acquire calls.
+	Leases, Waiting int
+	// Granted and Rejected count admission outcomes since construction
+	// (Rejected includes oversize and timed-out waits).
+	Granted, Rejected int64
+}
+
+// Stats returns a consistent snapshot of the broker's accounting.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BrokerStats{
+		Total: b.total, Used: b.used, PeakUsed: b.peakUsed,
+		Leases: b.leases, Waiting: b.waiting(),
+		Granted: b.granted, Rejected: b.rejected,
+	}
+}
+
+// Lease is one granted slice of the global budget. The holder runs its
+// engine with a profile-cache budget of Cost bytes and must Release
+// exactly when done; Release is idempotent, so deferred releases compose
+// with early error paths.
+type Lease struct {
+	b        *Broker
+	cost     int64
+	released sync.Once
+}
+
+// Cost returns the leased bytes — the cache budget the holder's engine
+// must run under.
+func (l *Lease) Cost() int64 { return l.cost }
+
+// Release returns the leased bytes to the broker and wakes eligible
+// waiters. Safe to call more than once; only the first call credits.
+func (l *Lease) Release() {
+	l.released.Do(func() { l.b.release(l.cost) })
+}

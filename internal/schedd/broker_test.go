@@ -1,0 +1,208 @@
+package schedd
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBrokerAccounting pins the no-leak invariant: grants debit, releases
+// credit, and after every lease is released — in any order, with Release
+// called redundantly — Used is exactly zero.
+func TestBrokerAccounting(t *testing.T) {
+	b, err := NewBroker(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leases []*Lease
+	for _, c := range []int64{100, 300, 600} {
+		l, err := b.TryAcquire(c)
+		if err != nil {
+			t.Fatalf("TryAcquire(%d): %v", c, err)
+		}
+		leases = append(leases, l)
+	}
+	st := b.Stats()
+	if st.Used != 1000 || st.Leases != 3 || st.PeakUsed != 1000 {
+		t.Fatalf("full broker stats = %+v", st)
+	}
+	if _, err := b.TryAcquire(1); !errors.Is(err, ErrBudgetBusy) {
+		t.Fatalf("TryAcquire on a full broker: %v, want ErrBudgetBusy", err)
+	}
+	// Release out of order, each twice: idempotent.
+	for _, l := range []*Lease{leases[1], leases[0], leases[2]} {
+		l.Release()
+		l.Release()
+	}
+	st = b.Stats()
+	if st.Used != 0 || st.Leases != 0 {
+		t.Fatalf("drained broker leaked: %+v", st)
+	}
+	if st.Granted != 3 || st.Rejected != 1 {
+		t.Fatalf("outcome counters = %+v", st)
+	}
+}
+
+// TestBrokerOversize: a cost beyond the whole budget is rejected with the
+// estimate attached regardless of how idle the broker is, on both paths.
+func TestBrokerOversize(t *testing.T) {
+	b, err := NewBroker(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oe *OversizeError
+	if _, err := b.TryAcquire(101); !errors.As(err, &oe) {
+		t.Fatalf("TryAcquire oversize: %v", err)
+	}
+	if oe.Cost != 101 || oe.Total != 100 {
+		t.Fatalf("oversize report = %+v", oe)
+	}
+	if _, err := b.Acquire(context.Background(), 101); !errors.As(err, &oe) {
+		t.Fatalf("Acquire oversize: %v", err)
+	}
+	if _, err := b.TryAcquire(0); err == nil {
+		t.Fatal("zero-cost lease was granted")
+	}
+	if _, err := NewBroker(0); err == nil {
+		t.Fatal("zero-budget broker was built")
+	}
+}
+
+// TestBrokerFIFO: waiters are served strictly in arrival order even when
+// a later, smaller request would fit sooner — the starvation-freedom
+// property of admission.
+func TestBrokerFIFO(t *testing.T) {
+	b, err := NewBroker(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := b.TryAcquire(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type got struct {
+		order int
+		l     *Lease
+	}
+	results := make(chan got, 2)
+	go func() {
+		// First waiter: wants 80, cannot fit until l0 releases.
+		l, err := b.Acquire(context.Background(), 80)
+		if err != nil {
+			t.Errorf("big waiter: %v", err)
+		}
+		results <- got{order: 1, l: l}
+	}()
+	// Ensure the big waiter is registered before the small one arrives.
+	for b.Stats().Waiting != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		l, err := b.Acquire(context.Background(), 30)
+		if err != nil {
+			t.Errorf("small waiter: %v", err)
+		}
+		results <- got{order: 2, l: l}
+	}()
+	for b.Stats().Waiting != 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A fail-fast arrival must not overtake the queue even though 0 bytes
+	// are free — and even if bytes were free, waiters go first.
+	if _, err := b.TryAcquire(1); !errors.Is(err, ErrBudgetBusy) {
+		t.Fatalf("TryAcquire with waiters queued: %v", err)
+	}
+
+	// 80+30 > 100: releasing l0 can only admit the head of the queue, so
+	// a grant of the small waiter first would be an observable overtake.
+	l0.Release()
+	first := <-results
+	if first.order != 1 {
+		t.Fatalf("small waiter overtook the big one")
+	}
+	first.l.Release()
+	second := <-results
+	if second.order != 2 {
+		t.Fatalf("result order = %d", second.order)
+	}
+	second.l.Release()
+	if st := b.Stats(); st.Used != 0 || st.Leases != 0 || st.Waiting != 0 {
+		t.Fatalf("broker leaked after FIFO round: %+v", st)
+	}
+}
+
+// TestBrokerAcquireTimeout: a waiter whose context expires is rejected as
+// ErrBudgetBusy and leaves no trace — no debit, no stuck queue entry
+// blocking the next grant.
+func TestBrokerAcquireTimeout(t *testing.T) {
+	b, err := NewBroker(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := b.TryAcquire(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := b.Acquire(ctx, 50); !errors.Is(err, ErrBudgetBusy) {
+		t.Fatalf("timed-out Acquire: %v, want ErrBudgetBusy", err)
+	}
+	l0.Release()
+	// The abandoned waiter must not absorb the freed budget.
+	l, err := b.TryAcquire(100)
+	if err != nil {
+		t.Fatalf("acquire after abandoned waiter: %v", err)
+	}
+	l.Release()
+	if st := b.Stats(); st.Used != 0 || st.Leases != 0 {
+		t.Fatalf("broker leaked after timeout round: %+v", st)
+	}
+}
+
+// TestBrokerConcurrentStress hammers the broker from many goroutines with
+// mixed Try/waiting acquires under -race and asserts the terminal
+// accounting: zero used, zero leases, grants+rejections == attempts.
+func TestBrokerConcurrentStress(t *testing.T) {
+	b, err := NewBroker(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				cost := int64(1+(g*perG+i)%64) << 10
+				var l *Lease
+				var err error
+				if i%2 == 0 {
+					l, err = b.TryAcquire(cost)
+				} else {
+					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+					l, err = b.Acquire(ctx, cost)
+					cancel()
+				}
+				if err != nil {
+					continue
+				}
+				l.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Used != 0 || st.Leases != 0 || st.Waiting != 0 {
+		t.Fatalf("stressed broker leaked: %+v", st)
+	}
+	if st.Granted+st.Rejected != goroutines*perG {
+		t.Fatalf("outcomes %d+%d != attempts %d", st.Granted, st.Rejected, goroutines*perG)
+	}
+}

@@ -1,0 +1,150 @@
+//go:build faultinject
+
+package schedd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/tree"
+)
+
+// TestServeFaultGrid is the armed injection grid of the service: for each
+// serving-path point — a failed lease acquisition, a handler panic, a
+// slow-client write stall — arm one deterministic fault, send a request,
+// assert the contained outcome (503 / 500 / served-but-stalled), and then
+// prove the daemon is undamaged: the next clean request is served
+// byte-identically to the direct engine stream and the lease accounting
+// is back to zero.
+func TestServeFaultGrid(t *testing.T) {
+	defer faultinject.Reset()
+	tr, M := testInstance(t, 400, 31)
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := mustBody(t, Request{Tree: raw, M: M})
+	want := expectedStream(t, core.RecExpand, tr, M)
+
+	cases := []struct {
+		point      faultinject.Point
+		wantStatus int
+	}{
+		{faultinject.LeaseAcquire, http.StatusServiceUnavailable},
+		{faultinject.HandlerPanic, http.StatusInternalServerError},
+		{faultinject.WriterStall, http.StatusOK}, // a stalled client is delayed, not failed
+	}
+	for _, tc := range cases {
+		t.Run(tc.point.String(), func(t *testing.T) {
+			s := newTestServer(t, Config{})
+			h := s.Handler()
+
+			// Count-then-arm: measure the point's hits on a clean run,
+			// then arm the first hit of the faulted run.
+			faultinject.Reset()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule", bytes.NewReader(body)))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("clean run status %d", rec.Code)
+			}
+			if faultinject.Hits(tc.point) == 0 {
+				t.Fatalf("point %v never hit on the serving path", tc.point)
+			}
+			faultinject.Reset()
+			faultinject.Arm(tc.point, 1)
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule", bytes.NewReader(body)))
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("faulted run status %d, want %d (%s)", rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			if tc.wantStatus == http.StatusOK {
+				// The stall delays the stream but must not corrupt it.
+				if !bytes.Equal(rec.Body.Bytes(), want) {
+					t.Fatal("stalled stream diverges from the clean stream")
+				}
+			}
+			faultinject.Reset()
+
+			// The containment contract: the daemon keeps serving after
+			// the fault, bit-identically, with no leaked lease.
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule", bytes.NewReader(body)))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("post-fault run status %d", rec.Code)
+			}
+			if !bytes.Equal(rec.Body.Bytes(), want) {
+				t.Fatal("post-fault stream diverges from the clean stream")
+			}
+			if st := s.Broker().Stats(); st.Used != 0 || st.Leases != 0 {
+				t.Fatalf("fault leaked a lease: %+v", st)
+			}
+			if tc.point == faultinject.HandlerPanic {
+				if st := s.Stats(); st.Panics != 1 {
+					t.Fatalf("panic counter = %d, want 1", st.Panics)
+				}
+			}
+		})
+	}
+}
+
+// TestServeFaultConcurrentIsolation: a write-stalled request must slow
+// only itself; a concurrent clean request completes correctly while the
+// stall is in effect, and both streams arrive intact.
+func TestServeFaultConcurrentIsolation(t *testing.T) {
+	defer faultinject.Reset()
+	tr, M := testInstance(t, 400, 37)
+	body := mustBody(t, Request{Tree: mustRaw(t, tr), M: M})
+	want := expectedStream(t, core.RecExpand, tr, M)
+
+	s := newTestServer(t, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	faultinject.Reset()
+	faultinject.Arm(faultinject.WriterStall, 1)
+	type res struct {
+		status int
+		body   []byte
+	}
+	results := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(srv.URL+"/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("post: %v", err)
+				results <- res{}
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			results <- res{status: resp.StatusCode, body: buf.Bytes()}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Fatalf("status %d", r.status)
+		}
+		if !bytes.Equal(r.body, want) {
+			t.Fatal("stream diverges under a concurrent stall")
+		}
+	}
+	if faultinject.Hits(faultinject.WriterStall) == 0 {
+		t.Fatal("stall point never hit")
+	}
+	if st := s.Broker().Stats(); st.Used != 0 || st.Leases != 0 {
+		t.Fatalf("stall round leaked a lease: %+v", st)
+	}
+	// Both streams are strict-readable traversals.
+	if _, err := tree.ReadScheduleStrict(bytes.NewReader(want)); err != nil {
+		t.Fatalf("stream not strict-readable: %v", err)
+	}
+}

@@ -1,0 +1,492 @@
+package schedd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/tree"
+)
+
+// Config carries the serving policy of a Server. Zero fields take the
+// documented defaults; Budget is mandatory.
+type Config struct {
+	// Budget is the global resident-byte budget the lease broker
+	// partitions across concurrent requests. Mandatory, must be positive.
+	Budget int64
+	// Engines bounds concurrent expansions (the core.Runner pool size);
+	// 0 means 4.
+	Engines int
+	// Workers is the per-engine parallelism (core.Runner.Workers); 0
+	// auto-selects.
+	Workers int
+	// MaxTreeBytes bounds the request body; 0 means 64 MiB.
+	MaxTreeBytes int64
+	// DefaultTimeout bounds a request's run+stream when the client sets
+	// no timeout_ms; 0 means 10 minutes.
+	DefaultTimeout time.Duration
+	// MaxWait caps the client-requested admission wait (wait_ms); 0
+	// means 30 seconds.
+	MaxWait time.Duration
+	// CheckpointDir, when non-empty, arms per-request durable
+	// checkpoints (req-<id>.ckpt) for the expansion heuristics, so a
+	// drain can cut a request short and leave a resumable file behind.
+	CheckpointDir string
+	// DrainGrace is how long Drain lets in-flight requests finish before
+	// cancelling them; 0 means 5 seconds.
+	DrainGrace time.Duration
+	// Logger receives one structured line per request; nil means
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// withDefaults resolves the zero-value policy knobs.
+func (c Config) withDefaults() Config {
+	if c.Engines == 0 {
+		c.Engines = 4
+	}
+	if c.MaxTreeBytes == 0 {
+		c.MaxTreeBytes = 64 << 20
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 10 * time.Minute
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	if c.DrainGrace == 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the scheduling service: admission control in front of a
+// bounded engine pool, streaming schedules back over HTTP. Construct with
+// NewServer, expose via Handler, shut down via Drain.
+type Server struct {
+	cfg    Config
+	broker *Broker
+	pool   *enginePool
+	log    *slog.Logger
+
+	// hardCtx is cancelled by Drain after the grace period: every
+	// in-flight request context is derived from the client context AND
+	// this one, so a hard drain stops engines at their next quiescent
+	// point (flushing armed checkpoints on the way out).
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	served   int64
+	errored  int64
+	panics   int64
+	rejected map[string]int64
+
+	// testGate, when set, is called while the budget lease is held and
+	// before the engine runs — the deterministic overload hook: tests
+	// block K requests here with all leases held, fire the next wave,
+	// and assert exact admission counts with no scheduling luck involved.
+	testGate func()
+	// testSegment, when set, is called before each streamed segment is
+	// written — the deterministic drain hook: tests hold a request at
+	// this engine quiescent point mid-stream, trigger Drain, and release,
+	// so truncation and checkpoint flushing are asserted without racing
+	// the engine or the socket buffers.
+	testSegment func(seg int)
+}
+
+// NewServer builds a Server over the given policy.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	broker, err := NewBroker(cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		broker:     broker,
+		pool:       newEnginePool(cfg.Engines, cfg.Workers),
+		log:        cfg.Logger,
+		hardCtx:    hardCtx,
+		hardCancel: hardCancel,
+		rejected:   make(map[string]int64),
+	}, nil
+}
+
+// Broker exposes the server's lease broker for inspection (stats and
+// accounting assertions).
+func (s *Server) Broker() *Broker { return s.broker }
+
+// Handler returns the service's HTTP routes: POST /schedule, GET
+// /healthz, GET /readyz, GET /statz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /schedule", s.handleSchedule)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+// ServingStats is a snapshot of the server's request accounting,
+// complementing BrokerStats with outcome counters.
+type ServingStats struct {
+	// Served counts requests that streamed a complete schedule; Errored
+	// counts admitted requests that failed mid-run or mid-stream; Panics
+	// counts contained handler panics.
+	Served, Errored, Panics int64
+	// Rejected counts pre-admission rejections by cause: "busy" (429),
+	// "oversize" (413), "invalid" (400/422), "draining" (503),
+	// "fault" (injected lease failure, 503).
+	Rejected map[string]int64
+	// InFlight is the number of requests currently admitted; Draining
+	// reports whether admission is closed.
+	InFlight int
+	// Draining reports whether the server has stopped admitting.
+	Draining bool
+}
+
+// Stats returns a consistent snapshot of the serving counters.
+func (s *Server) Stats() ServingStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rej := make(map[string]int64, len(s.rejected))
+	for k, v := range s.rejected {
+		rej[k] = v
+	}
+	return ServingStats{
+		Served: s.served, Errored: s.errored, Panics: s.panics,
+		Rejected: rej, InFlight: s.inflight, Draining: s.draining,
+	}
+}
+
+// reject tallies a pre-admission rejection and writes its status line.
+func (s *Server) reject(w http.ResponseWriter, status int, cause, msg string) {
+	s.mu.Lock()
+	s.rejected[cause]++
+	s.mu.Unlock()
+	http.Error(w, msg, status)
+}
+
+// enter admits one request past the draining gate, or reports failure.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// leave retires one admitted request with its outcome.
+func (s *Server) leave(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	if err != nil {
+		s.errored++
+	} else {
+		s.served++
+	}
+}
+
+// handleSchedule is the serving path: validate, lease, run, stream. Any
+// panic below it — handler bug, engine bug not already contained by the
+// expand worker recovery — is caught here and contained to this request.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.mu.Lock()
+			s.panics++
+			s.mu.Unlock()
+			s.log.Error("schedd: contained handler panic",
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+			// If the schedule stream already started this write is a
+			// no-op and the truncated stream tells the client.
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}
+	}()
+	if faultinject.Fire(faultinject.HandlerPanic) {
+		panic(faultinject.ErrHandlerPanic)
+	}
+	defer drainBody(r.Body)
+
+	if !s.enter() {
+		s.reject(w, http.StatusServiceUnavailable, "draining", "schedd: draining, not admitting")
+		return
+	}
+	var outcome error
+	defer func() { s.leave(outcome) }()
+	outcome = s.serve(w, r)
+}
+
+// serve runs the admitted request end to end and returns its outcome for
+// the serving counters.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) error {
+	id := s.nextID.Add(1)
+	start := time.Now()
+
+	req, t, err := ParseRequest(r, s.cfg.MaxTreeBytes)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "invalid", err.Error())
+		return err
+	}
+	cost, err := req.leaseCost(t.N())
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "invalid", err.Error())
+		return err
+	}
+
+	// Admission: one lease of cost bytes, waiting at most the declared
+	// wait_ms (capped by policy); wait_ms=0 sheds load immediately.
+	lease, qwait, err := s.acquire(r.Context(), req, cost)
+	if err != nil {
+		s.rejectLease(w, err, cost)
+		return err
+	}
+	defer lease.Release()
+	if s.testGate != nil {
+		s.testGate()
+	}
+
+	// The request context: client disconnect, the per-request timeout,
+	// and the server's hard-drain signal all cancel the engine at its
+	// next quiescent point.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stopHard := context.AfterFunc(s.hardCtx, cancel)
+	defer stopHard()
+
+	rn, err := s.pool.get(ctx)
+	if err != nil {
+		err = fmt.Errorf("schedd: waiting for an engine: %w", err)
+		s.reject(w, http.StatusServiceUnavailable, "busy", err.Error())
+		return err
+	}
+	defer s.pool.put(rn)
+	engineWait := time.Since(start) - qwait
+
+	// Resolve the memory bound inside the lease: the mid bound needs the
+	// instance's Liu peak, which is the expensive analysis admission
+	// deferred.
+	alg := req.algorithm()
+	M := req.M
+	if req.Mid {
+		M = core.NewInstance(req.Name, t).M(core.BoundMid)
+	} else if lb := t.MaxWBar(); M < lb {
+		err = fmt.Errorf("schedd: m=%d is below the instance lower bound %d (no schedule exists)", M, lb)
+		s.reject(w, http.StatusUnprocessableEntity, "invalid", err.Error())
+		return err
+	}
+
+	rn.CacheBudget = lease.Cost()
+	rn.Ctx = ctx
+	ckptPath := ""
+	if s.cfg.CheckpointDir != "" && (alg == core.RecExpand || alg == core.FullRecExpand) {
+		ckptPath = filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("req-%d.ckpt", id))
+		rn.CheckpointPath = ckptPath
+	}
+
+	// Commit to 200: everything rejectable is checked; what remains are
+	// run/stream failures, reported by the crash-evident trailer of the
+	// schedule stream plus the X-Schedd-Error HTTP trailer.
+	h := w.Header()
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("X-Schedd-Request-Id", fmt.Sprint(id))
+	h.Set("Trailer", "X-Schedd-Io, X-Schedd-Peak, X-Schedd-Cache-Peak-Bytes, X-Schedd-Error")
+	w.WriteHeader(http.StatusOK)
+
+	out := faultinject.NewWriter(&stallWriter{w: w})
+	streamStart := time.Now()
+	var res *core.Result
+	var runErr error
+	ids, werr := tree.WriteSchedule(out, func(yield func(seg []int) bool) bool {
+		segs := 0
+		res, runErr = rn.RunStream(alg, t, M, func(seg []int) bool {
+			if s.testSegment != nil {
+				segs++
+				s.testSegment(segs)
+			}
+			return yield(seg)
+		})
+		return runErr == nil
+	})
+	streamDur := time.Since(streamStart)
+
+	outcome := runErr
+	if outcome == nil && werr != nil {
+		outcome = werr
+	}
+	if outcome == nil {
+		if res != nil {
+			cs := rn.CacheStats()
+			h.Set("X-Schedd-Io", fmt.Sprint(res.IO))
+			h.Set("X-Schedd-Peak", fmt.Sprint(res.Peak))
+			h.Set("X-Schedd-Cache-Peak-Bytes", fmt.Sprint(cs.PeakResidentBytes))
+		}
+		if ckptPath != "" {
+			// A served request needs no resume; only drained ones leave
+			// their checkpoint behind.
+			_ = os.Remove(ckptPath)
+		}
+	} else {
+		h.Set("X-Schedd-Error", outcome.Error())
+	}
+
+	s.log.Info("schedd: request",
+		"id", id, "name", req.Name, "n", t.N(), "alg", string(alg), "m", M,
+		"lease_bytes", lease.Cost(), "queue_wait_ms", qwait.Milliseconds(),
+		"engine_wait_ms", engineWait.Milliseconds(),
+		"stream_ms", streamDur.Milliseconds(), "ids", ids,
+		"err", errString(outcome))
+	return outcome
+}
+
+// acquire resolves the request's admission wait policy against the broker
+// and reports how long admission queued.
+func (s *Server) acquire(ctx context.Context, req *Request, cost int64) (*Lease, time.Duration, error) {
+	if req.WaitMS <= 0 {
+		l, err := s.broker.TryAcquire(cost)
+		return l, 0, err
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait > s.cfg.MaxWait {
+		wait = s.cfg.MaxWait
+	}
+	wctx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	start := time.Now()
+	l, err := s.broker.Acquire(wctx, cost)
+	return l, time.Since(start), err
+}
+
+// rejectLease maps a failed lease acquisition to its status: 413 for
+// oversize (with the estimate attached), 503 for an injected acquisition
+// fault, 429 + Retry-After for budget pressure.
+func (s *Server) rejectLease(w http.ResponseWriter, err error, cost int64) {
+	var oe *OversizeError
+	switch {
+	case errors.As(err, &oe):
+		s.reject(w, http.StatusRequestEntityTooLarge, "oversize",
+			fmt.Sprintf("schedd: estimated cost %d bytes exceeds the global budget %d bytes", oe.Cost, oe.Total))
+	case errors.Is(err, faultinject.ErrLeaseAcquire):
+		s.reject(w, http.StatusServiceUnavailable, "fault", err.Error())
+	case errors.Is(err, ErrBudgetBusy):
+		w.Header().Set("Retry-After", "1")
+		s.reject(w, http.StatusTooManyRequests, "busy",
+			fmt.Sprintf("schedd: budget busy for a %d-byte lease, retry later", cost))
+	default:
+		s.reject(w, http.StatusBadRequest, "invalid", err.Error())
+	}
+}
+
+// Drain gracefully shuts the service down: stop admitting, let in-flight
+// requests finish for the configured grace, then cancel the stragglers so
+// checkpoint-armed runs flush a resumable state and the streams seal with
+// a truncation trailer. It returns nil once no request is in flight, or
+// ctx.Err() if ctx expires first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	graceDone := time.After(s.cfg.DrainGrace)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-graceDone:
+			// Grace expired: cancel every in-flight request context and
+			// keep waiting for the engines to reach a quiescent point.
+			s.hardCancel()
+			graceDone = nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// handleHealthz reports process liveness: 200 for as long as the handler
+// can run at all, draining included.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports admission readiness: 503 once draining begins, so
+// a load balancer stops routing before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleStatz serves the broker and serving counters as JSON.
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		// Broker is the lease accounting; Serving the request outcomes.
+		Broker  BrokerStats  `json:"broker"`
+		Serving ServingStats `json:"serving"`
+	}{s.broker.Stats(), s.Stats()})
+}
+
+// stallWriter is the slow-client injection shim of the response path: a
+// triggered WriterStall fault delays the write, simulating a client that
+// stops reading mid-stream, which must stall only its own request while
+// the daemon keeps serving others.
+type stallWriter struct {
+	w io.Writer
+}
+
+// Write delays when the armed WriterStall fault triggers, then forwards.
+func (sw *stallWriter) Write(p []byte) (int, error) {
+	if faultinject.Fire(faultinject.WriterStall) {
+		time.Sleep(100 * time.Millisecond)
+	}
+	return sw.w.Write(p)
+}
+
+// errString renders an outcome for the request log, "" for success.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,598 @@
+package schedd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/randtree"
+	"repro/internal/tree"
+)
+
+// quietLogger drops the per-request lines so test output stays readable.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newTestServer builds a Server with test-friendly defaults over cfg.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Budget == 0 {
+		cfg.Budget = 256 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// testInstance synthesizes an I/O-bound instance: random binary tree, the
+// paper's mid bound.
+func testInstance(t *testing.T, n int, seed int64) (*tree.Tree, int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		tr := randtree.Synth(n, rng)
+		in := core.NewInstance("test", tr)
+		if in.NeedsIO() {
+			return tr, in.M(core.BoundMid)
+		}
+	}
+}
+
+// postJSON builds the JSON request body for tr with the given overrides.
+func postJSON(t *testing.T, tr *tree.Tree, mutate func(*Request)) *bytes.Reader {
+	t.Helper()
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Tree: raw, Mid: true}
+	if mutate != nil {
+		mutate(&req)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(body)
+}
+
+// expectedStream renders what the serving path must produce for (alg, t,
+// M): the tree.WriteSchedule bytes of a direct engine stream — the same
+// bytes `sched -stream-sched` writes.
+func expectedStream(t *testing.T, alg core.Algorithm, tr *tree.Tree, M int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rn := core.NewRunner(0)
+	if _, err := tree.WriteSchedule(&buf, func(yield func(seg []int) bool) bool {
+		_, err := rn.RunStream(alg, tr, M, yield)
+		return err == nil
+	}); err != nil {
+		t.Fatalf("direct stream of %s: %v", alg, err)
+	}
+	return buf.Bytes()
+}
+
+// TestServeByteIdentity is the fidelity contract of the service: over a
+// corpus of instances spanning every algorithm, the response body must be
+// byte-identical to the direct engine stream (and therefore to what
+// `sched -stream-sched` writes for the same instance), and the trailers
+// must carry the run report.
+func TestServeByteIdentity(t *testing.T) {
+	corpus := 220
+	if testing.Short() {
+		corpus = 40
+	}
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	algs := []core.Algorithm{
+		core.RecExpand, core.FullRecExpand, core.OptMinMem,
+		core.PostOrderMinIO, core.PostOrderMinMem, core.NaturalPostOrder,
+	}
+	rng := rand.New(rand.NewSource(41))
+	tried := 0
+	for trial := 0; tried < corpus; trial++ {
+		tr := randtree.Synth(20+rng.Intn(150), rng)
+		in := core.NewInstance("corpus", tr)
+		if !in.NeedsIO() {
+			continue
+		}
+		alg := algs[tried%len(algs)]
+		M := in.M(core.BoundMid)
+		raw, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(Request{Tree: raw, M: M, Algorithm: string(alg)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("trial %d (%s): status %d: %s", tried, alg, rec.Code, rec.Body.String())
+		}
+		want := expectedStream(t, alg, tr, M)
+		if !bytes.Equal(rec.Body.Bytes(), want) {
+			t.Fatalf("trial %d (%s): served stream diverges from the direct engine stream", tried, alg)
+		}
+		// The stream itself must pass the strict reader: sealed trailer,
+		// a valid traversal of the tree.
+		if _, err := tree.ReadScheduleStrict(bytes.NewReader(rec.Body.Bytes())); err != nil {
+			t.Fatalf("trial %d (%s): served stream not strict-readable: %v", tried, alg, err)
+		}
+		tried++
+	}
+	if st := s.Broker().Stats(); st.Used != 0 || st.Leases != 0 {
+		t.Fatalf("corpus run leaked leases: %+v", st)
+	}
+	if st := s.Stats(); st.Served != int64(corpus) {
+		t.Fatalf("served = %d, want %d", st.Served, corpus)
+	}
+}
+
+// TestServeTextPlain: the text ingest path (treegen format body, query
+// scalars) serves the same bytes as the JSON path.
+func TestServeTextPlain(t *testing.T) {
+	tr, M := testInstance(t, 300, 5)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	var text bytes.Buffer
+	if err := tr.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", fmt.Sprintf("/schedule?m=%d&algorithm=RecExpand", M), bytes.NewReader(text.Bytes()))
+	req.Header.Set("Content-Type", "text/plain")
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("text POST: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if want := expectedStream(t, core.RecExpand, tr, M); !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatal("text-path stream diverges from the direct engine stream")
+	}
+}
+
+// TestServeRejections drives each rejection path and checks its status
+// code, cause counter, and that no lease leaks.
+func TestServeRejections(t *testing.T) {
+	tr, M := testInstance(t, 200, 7)
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Budget: 1 << 20}) // exactly one minimum lease
+	h := s.Handler()
+
+	post := func(body io.Reader, ct string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/schedule", body)
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Malformed JSON.
+	if rec := post(strings.NewReader("{"), ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed json: %d", rec.Code)
+	}
+	// Validator rejection, field-keyed.
+	if rec := post(strings.NewReader(`{"tree":{},"m":1,"algorithm":"Magic"}`), ""); rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), `"algorithm"`) {
+		t.Fatalf("bad algorithm: %d %q", rec.Code, rec.Body.String())
+	}
+	// Neither m nor mid.
+	if rec := post(bytes.NewReader(mustBody(t, Request{Tree: raw})), ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("no bound: %d", rec.Code)
+	}
+	// Both m and mid.
+	if rec := post(bytes.NewReader(mustBody(t, Request{Tree: raw, M: M, Mid: true})), ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("both bounds: %d", rec.Code)
+	}
+	// Unsupported content type.
+	if rec := post(strings.NewReader("x"), "application/xml"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad content type: %d", rec.Code)
+	}
+	// Infeasible bound: m below the instance lower bound.
+	if rec := post(bytes.NewReader(mustBody(t, Request{Tree: raw, M: 1})), ""); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible m: %d", rec.Code)
+	}
+	// Oversize: a tree whose estimate exceeds the whole budget is 413
+	// with the estimate in the body.
+	bigTr, _ := testInstance(t, 30000, 11)
+	bigRaw, err := json.Marshal(bigTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(bytes.NewReader(mustBody(t, Request{Tree: bigRaw, Mid: true})), "")
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize: %d %q", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), fmt.Sprint(EstimateCost(bigTr.N()))) {
+		t.Fatalf("oversize body lacks the estimate: %q", rec.Body.String())
+	}
+
+	if st := s.Broker().Stats(); st.Used != 0 || st.Leases != 0 {
+		t.Fatalf("rejections leaked leases: %+v", st)
+	}
+	if st := s.Stats(); st.Served != 0 || st.Rejected["invalid"] != 6 || st.Rejected["oversize"] != 1 {
+		t.Fatalf("rejection counters = %+v", st)
+	}
+}
+
+// mustBody marshals a request.
+func mustBody(t *testing.T, req Request) []byte {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestOverloadExactAdmission is the acceptance property of admission
+// control: with a budget sized for exactly K concurrent minimum leases and
+// 2K concurrent fail-fast POSTs, exactly K are served and exactly K get
+// 429 — no panic, no deadlock, and the lease accounting returns to zero.
+// The testGate hook holds the first K requests with their leases while the
+// second wave arrives, so the counts are deterministic.
+func TestOverloadExactAdmission(t *testing.T) {
+	const K = 3
+	tr, _ := testInstance(t, 200, 13) // cost = the 1 MiB floor
+	cost := EstimateCost(tr.N())
+	s := newTestServer(t, Config{Budget: K * cost, Engines: K})
+
+	arrived := make(chan struct{}, 2*K)
+	release := make(chan struct{})
+	s.testGate = func() {
+		arrived <- struct{}{}
+		<-release
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := mustBody(t, Request{Tree: mustRaw(t, tr), Mid: true}) // wait_ms=0: fail fast
+	statuses := make(chan int, 2*K)
+	bodies := make(chan []byte, 2*K)
+	var wg sync.WaitGroup
+	post := func() {
+		defer wg.Done()
+		resp, err := http.Post(srv.URL+"/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("post: %v", err)
+			statuses <- -1
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		statuses <- resp.StatusCode
+		if resp.StatusCode == http.StatusOK {
+			bodies <- b
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+	}
+	// Wave 1: K requests; wait until all K hold their leases at the gate.
+	wg.Add(K)
+	for i := 0; i < K; i++ {
+		go post()
+	}
+	for i := 0; i < K; i++ {
+		select {
+		case <-arrived:
+		case <-time.After(30 * time.Second):
+			t.Fatal("gate never saw K lease holders")
+		}
+	}
+	st := s.Broker().Stats()
+	if st.Used != K*cost || st.Leases != K {
+		t.Fatalf("gated broker state = %+v, want %d leases of %d", st, K, cost)
+	}
+	// Wave 2: K more fail-fast requests against the pinned budget; each
+	// must resolve to 429 before the gate opens (their statuses arrive
+	// while every lease is still held).
+	wg.Add(K)
+	for i := 0; i < K; i++ {
+		go post()
+	}
+	var ok, busy, other int
+	count := func(status int) {
+		switch status {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			busy++
+		default:
+			other++
+		}
+	}
+	for i := 0; i < K; i++ {
+		count(<-statuses)
+	}
+	if busy != K {
+		t.Fatalf("shed wave against a pinned budget: %d ok, %d busy, %d other; want 0/%d/0", ok, busy, other, K)
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		count(<-statuses)
+	}
+	if ok != K || busy != K || other != 0 {
+		t.Fatalf("admission outcomes: %d ok, %d busy, %d other; want %d/%d/0", ok, busy, other, K, K)
+	}
+	// Served schedules are complete and identical across the winners.
+	want := <-bodies
+	if !strings.Contains(string(want), "# end count=") {
+		t.Fatal("served stream is not sealed")
+	}
+	for i := 1; i < K; i++ {
+		if !bytes.Equal(<-bodies, want) {
+			t.Fatal("winners served divergent streams")
+		}
+	}
+	// The no-leak invariant: accounting back to zero.
+	st = s.Broker().Stats()
+	if st.Used != 0 || st.Leases != 0 || st.Waiting != 0 {
+		t.Fatalf("overload leaked leases: %+v", st)
+	}
+	if sst := s.Stats(); sst.Served != K || sst.Rejected["busy"] != K {
+		t.Fatalf("serving counters = %+v", sst)
+	}
+}
+
+// mustRaw marshals a tree to its JSON wire form.
+func mustRaw(t *testing.T, tr *tree.Tree) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestWaitingAdmissionServesAll: with wait_ms allowed, an overload wave
+// queues instead of shedding — every request is eventually served, FIFO.
+func TestWaitingAdmissionServesAll(t *testing.T) {
+	const K = 2
+	tr, _ := testInstance(t, 200, 17)
+	cost := EstimateCost(tr.N())
+	s := newTestServer(t, Config{Budget: K * cost, Engines: K})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := mustBody(t, Request{Tree: mustRaw(t, tr), Mid: true, WaitMS: 10000})
+	var wg sync.WaitGroup
+	errs := make(chan error, 3*K)
+	for i := 0; i < 3*K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("waiting request failed: %v", err)
+	}
+	if st := s.Broker().Stats(); st.Used != 0 || st.Leases != 0 {
+		t.Fatalf("waiting wave leaked leases: %+v", st)
+	}
+}
+
+// TestDrainMidStream is the graceful-shutdown contract: a drain triggered
+// while a request streams lets admission close (readyz 503, new POSTs
+// 503), cancels the in-flight request after the grace period at an engine
+// quiescent point, seals its stream with the truncation trailer, leaves a
+// resumable checkpoint behind, and returns with zero leases outstanding.
+func TestDrainMidStream(t *testing.T) {
+	ckptDir := t.TempDir()
+	tr, M := testInstance(t, 20000, 19)
+	s := newTestServer(t, Config{
+		CheckpointDir: ckptDir,
+		DrainGrace:    10 * time.Millisecond,
+	})
+	atSegment := make(chan struct{})
+	holdSegment := make(chan struct{})
+	var once sync.Once
+	s.testSegment = func(seg int) {
+		if seg == 2 {
+			once.Do(func() {
+				close(atSegment)
+				<-holdSegment
+			})
+		}
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/schedule", "application/json",
+			bytes.NewReader(mustBody(t, Request{Tree: mustRaw(t, tr), M: M})))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, body: b, err: err}
+	}()
+
+	<-atSegment // the request is mid-stream, holding its lease
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Admission must close immediately, before in-flight work resolves.
+	waitFor(t, func() bool { return s.Stats().Draining })
+	if resp, err := http.Get(srv.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := http.Post(srv.URL+"/schedule", "application/json",
+		bytes.NewReader(mustBody(t, Request{Tree: mustRaw(t, tr), M: M})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining: %d", resp.StatusCode)
+	}
+	// healthz stays green through the whole drain.
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Wait for the grace period to expire and the hard cancel to land on
+	// the in-flight request's context, then release the held segment: the
+	// engine resumes, observes the cancellation at its next quiescent
+	// point, truncates the stream, and flushes the checkpoint.
+	waitFor(t, func() bool { return s.hardCtx.Err() != nil })
+	close(holdSegment)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("draining client: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("draining client status: %d", res.status)
+	}
+	if !strings.Contains(string(res.body), "# truncated count=") {
+		t.Fatalf("drained stream is not sealed with a truncation trailer:\n...%q", tail(res.body, 80))
+	}
+
+	// The in-flight request left a resumable checkpoint at the drain
+	// point: committed, finish-phase, emission progress recorded.
+	ents, err := os.ReadDir(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("checkpoint dir holds %d files, want 1: %v", len(ents), ents)
+	}
+	st, err := ckpt.ReadFile(filepath.Join(ckptDir, ents[0].Name()))
+	if err != nil {
+		t.Fatalf("reading drained checkpoint: %v", err)
+	}
+	if st.Phase != ckpt.PhaseFinish || st.EmittedIDs == 0 {
+		t.Fatalf("drained checkpoint phase=%v emitted=%d", st.Phase, st.EmittedIDs)
+	}
+
+	if bst := s.Broker().Stats(); bst.Used != 0 || bst.Leases != 0 {
+		t.Fatalf("drain leaked leases: %+v", bst)
+	}
+}
+
+// TestServedRequestRemovesCheckpoint: a request that completes normally
+// leaves no checkpoint file behind.
+func TestServedRequestRemovesCheckpoint(t *testing.T) {
+	ckptDir := t.TempDir()
+	tr, M := testInstance(t, 2000, 23)
+	s := newTestServer(t, Config{CheckpointDir: ckptDir})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(mustBody(t, Request{Tree: mustRaw(t, tr), M: M}))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	ents, err := os.ReadDir(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("served request left checkpoints: %v", ents)
+	}
+}
+
+// TestStatzEndpoint: the counters round-trip as JSON.
+func TestStatzEndpoint(t *testing.T) {
+	tr, M := testInstance(t, 300, 29)
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(mustBody(t, Request{Tree: mustRaw(t, tr), M: M}))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/statz", nil))
+	var statz struct {
+		Broker  BrokerStats  `json:"broker"`
+		Serving ServingStats `json:"serving"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &statz); err != nil {
+		t.Fatalf("statz decode: %v", err)
+	}
+	if statz.Serving.Served != 1 || statz.Broker.Granted != 1 || statz.Broker.Used != 0 {
+		t.Fatalf("statz = %+v", statz)
+	}
+}
+
+// waitFor polls cond to true within a bounded window.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// tail returns the last n bytes of b for failure messages.
+func tail(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return b[len(b)-n:]
+}

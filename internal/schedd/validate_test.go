@@ -1,0 +1,112 @@
+package schedd
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tagged is the validator-exercise struct of the table test: one field per
+// rule family, with json names to check wire-name reporting.
+type tagged struct {
+	Raw    json.RawMessage `json:"raw" validate:"required"`
+	Count  int             `json:"count" validate:"min=1,max=10"`
+	Uns    uint32          `json:"uns" validate:"max=100"`
+	Label  string          `json:"label" validate:"maxlen=4"`
+	Mode   string          `json:"mode" validate:"oneof=fast slow"`
+	Budget string          `json:"budget" validate:"bytesize"`
+}
+
+func valid() tagged {
+	return tagged{Raw: json.RawMessage("{}"), Count: 5, Uns: 7, Label: "ok", Mode: "fast", Budget: "1.5GiB"}
+}
+
+// TestValidateTable drives each rule through passing and failing values
+// and asserts the violation names the JSON field and rule.
+func TestValidateTable(t *testing.T) {
+	if err := Validate(valid()); err != nil {
+		t.Fatalf("valid struct rejected: %v", err)
+	}
+	v := valid()
+	v.Mode = ""
+	v.Budget = ""
+	if err := Validate(v); err != nil {
+		t.Fatalf("empty oneof/bytesize (server default) rejected: %v", err)
+	}
+
+	cases := []struct {
+		name     string
+		mutate   func(*tagged)
+		field    string
+		rulePart string
+	}{
+		{"missing required", func(g *tagged) { g.Raw = nil }, "raw", "required"},
+		{"below min", func(g *tagged) { g.Count = 0 }, "count", "min=1"},
+		{"above max", func(g *tagged) { g.Count = 11 }, "count", "max=10"},
+		{"uint above max", func(g *tagged) { g.Uns = 101 }, "uns", "max=100"},
+		{"too long", func(g *tagged) { g.Label = "overlong" }, "label", "maxlen=4"},
+		{"bad oneof", func(g *tagged) { g.Mode = "warp" }, "mode", "oneof"},
+		{"bad bytesize", func(g *tagged) { g.Budget = "-1K" }, "budget", "bytesize"},
+		{"fractional no-unit bytesize", func(g *tagged) { g.Budget = "1.5" }, "budget", "bytesize"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := valid()
+			tc.mutate(&g)
+			err := Validate(&g)
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("got %v, want ValidationError", err)
+			}
+			if len(verr.Fields) != 1 {
+				t.Fatalf("got %d violations, want 1: %v", len(verr.Fields), verr)
+			}
+			fe := verr.Fields[0]
+			if fe.Field != tc.field || !strings.Contains(fe.Rule, tc.rulePart) {
+				t.Fatalf("violation = %+v, want field %q rule ~%q", fe, tc.field, tc.rulePart)
+			}
+		})
+	}
+}
+
+// TestValidateAggregates: every violated field is reported at once, so a
+// client fixes a bad request in one round trip.
+func TestValidateAggregates(t *testing.T) {
+	g := tagged{Count: 0, Mode: "warp"} // also missing required raw
+	err := Validate(&g)
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("got %v, want ValidationError", err)
+	}
+	if len(verr.Fields) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(verr.Fields), verr)
+	}
+}
+
+// TestValidateUnknownRule: a typoed tag must fail validation loudly, never
+// silently validate nothing.
+func TestValidateUnknownRule(t *testing.T) {
+	type typo struct {
+		X int `validate:"atleast=3"`
+	}
+	err := Validate(typo{X: 5})
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("unknown rule passed validation: %v", err)
+	}
+	if !strings.Contains(verr.Error(), "unknown validation rule") {
+		t.Fatalf("unknown-rule violation reads %q", verr.Error())
+	}
+}
+
+// TestValidateNonStruct pins the misuse errors: nil pointers and
+// non-struct values are rejected, not reflected into a panic.
+func TestValidateNonStruct(t *testing.T) {
+	if err := Validate((*tagged)(nil)); err == nil {
+		t.Fatal("nil pointer validated")
+	}
+	if err := Validate(42); err == nil {
+		t.Fatal("non-struct validated")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose shadow memory inflates RSS far past any engine budget — tests with
+// resident-memory envelopes skip those assertions when it is set.
+const raceEnabled = true
