@@ -9,7 +9,7 @@ BENCH ?= RecExpand|FiFSimulator|OptMinMem3000|ScheddLoad
 # Trajectory index: bench-json writes BENCH_$(N).json at the repo root.
 N ?= 1
 
-.PHONY: test test-race test-faultinject fuzz-smoke build vet bench bench-json bench-smoke
+.PHONY: test test-race test-faultinject fuzz-smoke certify certify-long build vet bench bench-json bench-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 20s ./internal/tree
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSchedule$$' -fuzztime 20s ./internal/tree
 	$(GO) test -run '^$$' -fuzz '^FuzzReadCheckpoint$$' -fuzztime 20s ./internal/ckpt
+	$(GO) test -run '^$$' -fuzz '^FuzzCertifySmall$$' -fuzztime 20s ./internal/cert
+	$(GO) test -run '^$$' -fuzz '^FuzzCertifyProperties$$' -fuzztime 20s ./internal/cert
+
+# The optimality-certification harness (DESIGN.md §2.12): a seeded sweep
+# certified against the brute oracles plus the metamorphic property suite.
+# CI runs the same 200-instance race-enabled smoke; certify-long is the
+# local soak (more instances, more properties, bigger brute budget).
+certify:
+	$(GO) run -race ./cmd/certify -n 200 -seed 1
+
+certify-long:
+	$(GO) run -race ./cmd/certify -n 5000 -props 500 -max-orders 20000000 -seed 1
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .

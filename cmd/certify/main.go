@@ -1,0 +1,180 @@
+// Command certify runs the optimality-certification harness as a seeded
+// sweep: it draws instances from the generator families of internal/cert,
+// certifies each against the brute-force oracles (exact optimal peak and
+// I/O volume, best postorder, engine soundness), and property-checks
+// larger instances beyond brute range. On a divergence it shrinks the
+// failing instance to a minimal reproducer, writes it as a JSON
+// regression file, and exits 1.
+//
+// Usage:
+//
+//	certify -n 500 -seed 1             # certify 500 small instances
+//	certify -n 200 -props 40           # plus 40 property-range instances
+//	certify -families sparse -n 100    # one family only
+//	certify -out /tmp/regressions      # where shrunk divergences land
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/brute"
+	"repro/internal/cert"
+	"repro/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, signalContext()))
+}
+
+// signalContext cancels on the first SIGINT/SIGTERM and restores default
+// signal handling afterwards so a second signal force-kills.
+func signalContext() context.Context {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx
+}
+
+// familyStats accumulates the per-family summary of one sweep phase.
+type familyStats struct {
+	certified int
+	ioBound   int
+	skipped   int
+	maxNodes  int
+	optIO     int64
+}
+
+func run(args []string, stdout, stderr io.Writer, ctx context.Context) int {
+	fs := flag.NewFlagSet("certify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 200, "number of small instances to certify against the brute oracles")
+	props := fs.Int("props", -1, "number of property-range instances for the metamorphic suite (-1 = n/10)")
+	seed := fs.Int64("seed", 1, "base seed; instance k uses seed+k")
+	familiesFlag := fs.String("families", strings.Join(cert.Families, ","), "comma-separated generator families")
+	maxOrders := fs.Int("max-orders", 2_000_000, "enumeration budget per brute-force call; instances beyond it are skipped")
+	out := fs.String("out", filepath.Join("internal", "cert", "testdata", "cert"), "directory for shrunk divergence regressions")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *props < 0 {
+		*props = *n / 10
+	}
+	var families []string
+	for _, f := range strings.Split(*familiesFlag, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			families = append(families, f)
+		}
+	}
+	if len(families) == 0 {
+		fmt.Fprintln(stderr, "certify: no families selected")
+		return 2
+	}
+	opts := cert.Options{Limits: brute.Limits{MaxOrders: *maxOrders}}
+
+	// report writes the shrunk form of a diverging instance and explains
+	// how to replay it.
+	report := func(inst cert.Instance, err error, fails cert.FailFunc) int {
+		fmt.Fprintf(stderr, "certify: DIVERGENCE: %v\n", err)
+		shrunk := cert.Shrink(inst, fails)
+		path := filepath.Join(*out, fmt.Sprintf("divergence-%s-%d.json", inst.Family, inst.Seed))
+		if werr := shrunk.WriteFile(path); werr != nil {
+			fmt.Fprintf(stderr, "certify: writing regression: %v\n", werr)
+		} else {
+			fmt.Fprintf(stderr, "certify: shrunk to %d nodes -> %s\n", shrunk.Tree.N(), path)
+			fmt.Fprintf(stderr, "certify: commit the file; internal/cert's regression test replays it\n")
+		}
+		return 1
+	}
+
+	start := time.Now()
+	perFam := make(map[string]*familyStats)
+	for _, f := range families {
+		perFam[f] = &familyStats{}
+	}
+	certified := 0
+	for attempt := 0; certified < *n; attempt++ {
+		fam := families[attempt%len(families)]
+		st := perFam[fam]
+		inst, err := cert.GenSmall(fam, *seed+int64(attempt))
+		if err != nil {
+			fmt.Fprintf(stderr, "certify: %v\n", err)
+			return 2
+		}
+		rep, err := cert.Certify(ctx, inst, opts)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(stderr, "certify: interrupted")
+				return 130
+			}
+			if cert.IsSkip(err) {
+				st.skipped++
+				continue
+			}
+			return report(inst, err, func(in cert.Instance) bool {
+				_, cerr := cert.Certify(ctx, in, opts)
+				return cerr != nil && !cert.IsSkip(cerr)
+			})
+		}
+		certified++
+		st.certified++
+		st.optIO += rep.OptIO
+		if rep.OptIO > 0 {
+			st.ioBound++
+		}
+		if nn := inst.Tree.N(); nn > st.maxNodes {
+			st.maxNodes = nn
+		}
+	}
+	certDur := time.Since(start)
+
+	start = time.Now()
+	checked := 0
+	for attempt := 0; checked < *props; attempt++ {
+		fam := families[attempt%len(families)]
+		inst, err := cert.GenMedium(fam, *seed+int64(attempt))
+		if err != nil {
+			fmt.Fprintf(stderr, "certify: %v\n", err)
+			return 2
+		}
+		err = cert.CheckProperties(ctx, inst)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(stderr, "certify: interrupted")
+				return 130
+			}
+			if cert.IsSkip(err) {
+				continue
+			}
+			return report(inst, err, func(in cert.Instance) bool {
+				return cert.CheckProperties(ctx, in) != nil
+			})
+		}
+		checked++
+	}
+	propsDur := time.Since(start)
+
+	tab := stats.NewTable("family", "certified", "io_bound", "skipped", "max_nodes", "sum_opt_io")
+	for _, f := range families {
+		st := perFam[f]
+		tab.AddRowf("%s %d %d %d %d %d", f, st.certified, st.ioBound, st.skipped, st.maxNodes, st.optIO)
+	}
+	if err := tab.Write(stdout); err != nil {
+		fmt.Fprintf(stderr, "certify: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "certified %d instances in %s, property-checked %d in %s: zero divergences\n",
+		certified, certDur.Round(time.Millisecond), checked, propsDur.Round(time.Millisecond))
+	return 0
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke: a short seeded sweep certifies with zero divergences and
+// prints the per-family summary.
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-n", "25", "-props", "5", "-seed", "1"}, &out, &errOut, context.Background())
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "zero divergences") {
+		t.Fatalf("missing success line:\n%s", got)
+	}
+	for _, fam := range []string{"randtree", "adversarial", "sparse"} {
+		if !strings.Contains(got, fam) {
+			t.Fatalf("summary missing family %s:\n%s", fam, got)
+		}
+	}
+}
+
+// TestRunFamilyFilter restricts the sweep to one family.
+func TestRunFamilyFilter(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-n", "10", "-props", "0", "-families", "sparse"}, &out, &errOut, context.Background())
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "randtree") {
+		t.Fatalf("filtered family leaked into summary:\n%s", out.String())
+	}
+}
+
+// TestRunBadInput: unknown flags and unknown families are usage errors.
+func TestRunBadInput(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut, context.Background()); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-families", "nope", "-n", "1"}, &out, &errOut, context.Background()); code != 2 {
+		t.Fatalf("unknown family: exit %d, want 2", code)
+	}
+	if code := run([]string{"-families", " , "}, &out, &errOut, context.Background()); code != 2 {
+		t.Fatalf("empty families: exit %d, want 2", code)
+	}
+}
+
+// TestRunCancelled: a pre-cancelled context exits 130, the conventional
+// SIGINT code.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	if code := run([]string{"-n", "5"}, &out, &errOut, ctx); code != 130 {
+		t.Fatalf("exit %d, want 130", code)
+	}
+}

@@ -41,9 +41,10 @@ func main() {
 		full.Expansions, full.IO)
 	fmt.Printf("final schedule on the original tree: %v\n", full.Schedule)
 
-	simIO, err := repro.IOVolume(t, M, full.Schedule)
+	score, err := memsim.ScoreSchedule(t, M, full.Schedule)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("re-simulating that schedule with FiF paging: %d units of I/O\n", simIO)
+	fmt.Printf("re-simulating that schedule with FiF paging: %d units of I/O (in-core peak %d, fits M: %v)\n",
+		score.IO, score.Peak, score.Bounded)
 }

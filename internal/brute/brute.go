@@ -1,12 +1,20 @@
-// Package brute provides an exact exponential-time MinIO solver used as a
-// test oracle. By the paper's Theorem 1, for any fixed schedule σ the FiF
+// Package brute provides exact exponential-time solvers used as test
+// oracles. By the paper's Theorem 1, for any fixed schedule σ the FiF
 // policy yields an optimal I/O function τ, so the global optimum is the
 // minimum of the FiF I/O volume over all topological orders of the tree.
-// The solver enumerates all linear extensions; it is intended for trees of
-// at most a dozen nodes.
+// The solvers enumerate all linear extensions (MinIO, OptimalPeak) or all
+// postorders (MinIOPostorder); they are intended for trees of at most a
+// dozen nodes.
+//
+// Long enumerations are interruptible: the Ctx variants poll the context
+// at node boundaries of the search, and Limits bounds the number of
+// complete orders visited so a certification sweep can skip an instance
+// whose extension count explodes instead of stalling (ErrBudget).
 package brute
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -14,148 +22,312 @@ import (
 	"repro/internal/tree"
 )
 
-// MaxOrders bounds the number of topological orders the solver will visit
-// before giving up, as a guard against accidental use on large trees.
+// MaxOrders is the default bound on the number of complete orders a solver
+// will visit before giving up, as a guard against accidental use on large
+// trees. Limits.MaxOrders overrides it per call.
 const MaxOrders = 20_000_000
 
-// MinIO returns an optimal schedule and the optimal I/O volume for tree t
-// under memory bound M. It errors if M < LB or if the enumeration exceeds
-// MaxOrders.
-func MinIO(t *tree.Tree, M int64) (tree.Schedule, int64, error) {
-	if lb := t.MaxWBar(); M < lb {
-		return nil, 0, fmt.Errorf("brute: M=%d below LB=%d", M, lb)
-	}
-	n := t.N()
-	remaining := make([]int, n) // unprocessed children count
-	for i := 0; i < n; i++ {
-		remaining[i] = t.NumChildren(i)
-	}
-	avail := make([]bool, n)
-	for i := 0; i < n; i++ {
-		avail[i] = remaining[i] == 0
-	}
-	cur := make(tree.Schedule, 0, n)
-	best := tree.Schedule(nil)
-	bestIO := int64(math.MaxInt64)
-	visited := 0
-	var overflow bool
+// ErrBudget is wrapped by the error returned when an enumeration visits
+// more complete orders than its budget allows. Callers sweeping random
+// instances match it with errors.Is and skip the instance.
+var ErrBudget = errors.New("brute: enumeration budget exhausted")
 
+// Limits bounds one enumeration call. The zero value applies the package
+// defaults.
+type Limits struct {
+	// MaxOrders caps the number of complete orders visited; 0 means the
+	// package-level MaxOrders default.
+	MaxOrders int
+}
+
+func (l Limits) maxOrders() int {
+	if l.MaxOrders <= 0 {
+		return MaxOrders
+	}
+	return l.MaxOrders
+}
+
+// ctxPollMask throttles context polling: the enumerator checks Done once
+// every ctxPollMask+1 node boundaries, keeping the poll off the critical
+// path while still reacting within microseconds of a cancellation.
+const ctxPollMask = 255
+
+// enumerator holds the shared depth-first linear-extension walk state.
+// The simulator is reused across all visited orders, so the inner loop of
+// an enumeration does not allocate.
+type enumerator struct {
+	t         *tree.Tree
+	remaining []int // unprocessed children count
+	avail     []bool
+	cur       tree.Schedule
+	sim       *memsim.Simulator
+	visited   int
+	budget    int
+	steps     int
+	ctx       context.Context
+	err       error // ctx error or budget overflow, sticky
+	stop      bool  // early exit (err or visitor cut-off)
+}
+
+func newEnumerator(ctx context.Context, t *tree.Tree, lim Limits) *enumerator {
+	n := t.N()
+	e := &enumerator{
+		t:         t,
+		remaining: make([]int, n),
+		avail:     make([]bool, n),
+		cur:       make(tree.Schedule, 0, n),
+		sim:       memsim.NewSimulator(),
+		budget:    lim.maxOrders(),
+		ctx:       ctx,
+	}
+	for i := 0; i < n; i++ {
+		e.remaining[i] = t.NumChildren(i)
+		e.avail[i] = e.remaining[i] == 0
+	}
+	return e
+}
+
+// poll checks the context every ctxPollMask+1 calls (one call per node
+// boundary of the search) and the order budget at every complete order.
+func (e *enumerator) poll() bool {
+	if e.ctx == nil {
+		return true
+	}
+	if e.steps++; e.steps&ctxPollMask != 0 {
+		return true
+	}
+	select {
+	case <-e.ctx.Done():
+		e.err = e.ctx.Err()
+		e.stop = true
+		return false
+	default:
+		return true
+	}
+}
+
+// walk enumerates all linear extensions depth first, calling visit with
+// each complete order. visit returns false to cut the whole search short
+// (e.g. a provably unbeatable incumbent was found).
+func (e *enumerator) walk(visit func(sched tree.Schedule) bool) {
+	n := e.t.N()
 	var rec func()
 	rec = func() {
-		if overflow || bestIO == 0 && best != nil {
-			return // cannot beat a zero-I/O schedule
+		if e.stop || !e.poll() {
+			return
 		}
-		if len(cur) == n {
-			visited++
-			if visited > MaxOrders {
-				overflow = true
+		if len(e.cur) == n {
+			if e.visited++; e.visited > e.budget {
+				e.err = fmt.Errorf("%w: more than %d complete orders", ErrBudget, e.budget)
+				e.stop = true
 				return
 			}
-			res, err := memsim.Run(t, M, cur, memsim.FiF)
-			if err != nil {
-				panic("brute: generated invalid schedule: " + err.Error())
-			}
-			if res.IO < bestIO {
-				bestIO = res.IO
-				best = append(tree.Schedule(nil), cur...)
+			if !visit(e.cur) {
+				e.stop = true
 			}
 			return
 		}
 		for v := 0; v < n; v++ {
-			if !avail[v] {
+			if !e.avail[v] {
 				continue
 			}
-			avail[v] = false
-			cur = append(cur, v)
-			p := t.Parent(v)
+			e.avail[v] = false
+			e.cur = append(e.cur, v)
+			p := e.t.Parent(v)
 			if p != tree.None {
-				remaining[p]--
-				if remaining[p] == 0 {
-					avail[p] = true
+				e.remaining[p]--
+				if e.remaining[p] == 0 {
+					e.avail[p] = true
 				}
 			}
 			rec()
 			if p != tree.None {
-				if remaining[p] == 0 {
-					avail[p] = false
+				if e.remaining[p] == 0 {
+					e.avail[p] = false
 				}
-				remaining[p]++
+				e.remaining[p]++
 			}
-			cur = cur[:len(cur)-1]
-			avail[v] = true
+			e.cur = e.cur[:len(e.cur)-1]
+			e.avail[v] = true
+			if e.stop {
+				return
+			}
 		}
 	}
 	rec()
-	if overflow {
-		return nil, 0, fmt.Errorf("brute: more than %d topological orders", MaxOrders)
+}
+
+// MinIO returns an optimal schedule and the optimal I/O volume for tree t
+// under memory bound M. It errors if M < LB or if the enumeration exceeds
+// MaxOrders. It is MinIOCtx without cancellation and with default limits.
+func MinIO(t *tree.Tree, M int64) (tree.Schedule, int64, error) {
+	return MinIOCtx(context.Background(), t, M, Limits{})
+}
+
+// MinIOCtx is MinIO with cooperative cancellation (polled at node
+// boundaries of the enumeration) and an explicit order budget. A cancelled
+// call returns ctx.Err(); a blown budget returns an error matching
+// ErrBudget.
+func MinIOCtx(ctx context.Context, t *tree.Tree, M int64, lim Limits) (tree.Schedule, int64, error) {
+	if lb := t.MaxWBar(); M < lb {
+		return nil, 0, fmt.Errorf("brute: M=%d below LB=%d", M, lb)
+	}
+	e := newEnumerator(ctx, t, lim)
+	root := t.Root()
+	best := tree.Schedule(nil)
+	bestIO := int64(math.MaxInt64)
+	e.walk(func(cur tree.Schedule) bool {
+		io, _, err := e.sim.Run(t, root, M, cur, memsim.FiF)
+		if err != nil {
+			panic("brute: generated invalid schedule: " + err.Error())
+		}
+		if io < bestIO {
+			bestIO = io
+			best = append(best[:0], cur...)
+		}
+		return bestIO > 0 // a zero-I/O schedule cannot be beaten
+	})
+	if e.err != nil {
+		return nil, 0, e.err
 	}
 	return best, bestIO, nil
 }
 
 // OptimalPeak returns the minimum in-core peak memory over all topological
-// orders, by exhaustive enumeration (an oracle for Liu's MinMem).
+// orders, by exhaustive enumeration (an oracle for Liu's MinMem). It is
+// OptimalPeakCtx without cancellation and with default limits.
 func OptimalPeak(t *tree.Tree) (int64, error) {
-	n := t.N()
-	remaining := make([]int, n)
-	for i := 0; i < n; i++ {
-		remaining[i] = t.NumChildren(i)
-	}
-	avail := make([]bool, n)
-	for i := 0; i < n; i++ {
-		avail[i] = remaining[i] == 0
-	}
-	cur := make(tree.Schedule, 0, n)
-	bestPeak := int64(math.MaxInt64)
-	visited := 0
-	var overflow bool
+	return OptimalPeakCtx(context.Background(), t, Limits{})
+}
 
-	var rec func()
-	rec = func() {
-		if overflow {
-			return
+// OptimalPeakCtx is OptimalPeak with cooperative cancellation and an
+// explicit order budget; see MinIOCtx for the failure modes.
+func OptimalPeakCtx(ctx context.Context, t *tree.Tree, lim Limits) (int64, error) {
+	e := newEnumerator(ctx, t, lim)
+	root := t.Root()
+	bestPeak := int64(math.MaxInt64)
+	e.walk(func(cur tree.Schedule) bool {
+		_, peak, err := e.sim.Run(t, root, memsim.Unbounded, cur, memsim.FiF)
+		if err != nil {
+			panic("brute: generated invalid schedule: " + err.Error())
 		}
-		if len(cur) == n {
-			visited++
-			if visited > MaxOrders {
-				overflow = true
-				return
-			}
-			p, err := memsim.Peak(t, cur)
-			if err != nil {
-				panic("brute: generated invalid schedule: " + err.Error())
-			}
-			if p < bestPeak {
-				bestPeak = p
-			}
-			return
+		if peak < bestPeak {
+			bestPeak = peak
 		}
-		for v := 0; v < n; v++ {
-			if !avail[v] {
-				continue
-			}
-			avail[v] = false
-			cur = append(cur, v)
-			p := t.Parent(v)
-			if p != tree.None {
-				remaining[p]--
-				if remaining[p] == 0 {
-					avail[p] = true
-				}
-			}
-			rec()
-			if p != tree.None {
-				if remaining[p] == 0 {
-					avail[p] = false
-				}
-				remaining[p]++
-			}
-			cur = cur[:len(cur)-1]
-			avail[v] = true
-		}
-	}
-	rec()
-	if overflow {
-		return 0, fmt.Errorf("brute: more than %d topological orders", MaxOrders)
+		return true
+	})
+	if e.err != nil {
+		return 0, e.err
 	}
 	return bestPeak, nil
+}
+
+// MinIOPostorder returns a best postorder schedule and its FiF I/O volume
+// under memory bound M, by exhaustively enumerating every depth-first
+// postorder (all child-order permutations at every node). It is the
+// independent oracle for the paper's Theorem 3 claim that POSTORDERMINIO's
+// child ordering minimizes the I/O volume among all postorders. The number
+// of postorders is Π_v (#children(v))!, far below the linear-extension
+// count, so it reaches slightly larger trees than MinIO.
+func MinIOPostorder(ctx context.Context, t *tree.Tree, M int64, lim Limits) (tree.Schedule, int64, error) {
+	if lb := t.MaxWBar(); M < lb {
+		return nil, 0, fmt.Errorf("brute: M=%d below LB=%d", M, lb)
+	}
+	n := t.N()
+	e := &enumerator{ // only poll/budget/sim state is used by this walk
+		t:      t,
+		cur:    make(tree.Schedule, 0, n),
+		sim:    memsim.NewSimulator(),
+		budget: lim.maxOrders(),
+		ctx:    ctx,
+	}
+	root := t.Root()
+	best := tree.Schedule(nil)
+	bestIO := int64(math.MaxInt64)
+	// order[v] is the current permutation of v's children, permuted in
+	// place by the recursive generator below.
+	order := make([][]int, n)
+	for v := 0; v < n; v++ {
+		order[v] = append([]int(nil), t.Children(v)...)
+	}
+	// emit appends the postorder of v's subtree under the current child
+	// orders, then continues with cont; cont is called once per complete
+	// assignment below v. Child permutations are generated lazily: perm(v)
+	// iterates the permutations of order[v] and recurses into each child's
+	// own permutation space before emitting.
+	var eval func()
+	eval = func() {
+		if e.stop {
+			return
+		}
+		if e.visited++; e.visited > e.budget {
+			e.err = fmt.Errorf("%w: more than %d postorders", ErrBudget, e.budget)
+			e.stop = true
+			return
+		}
+		e.cur = e.cur[:0]
+		var emit func(v int)
+		emit = func(v int) {
+			for _, c := range order[v] {
+				emit(c)
+			}
+			e.cur = append(e.cur, v)
+		}
+		emit(root)
+		io, _, err := e.sim.Run(t, root, M, e.cur, memsim.FiF)
+		if err != nil {
+			panic("brute: generated invalid postorder: " + err.Error())
+		}
+		if io < bestIO {
+			bestIO = io
+			best = append(best[:0], e.cur...)
+		}
+		if bestIO == 0 {
+			e.stop = true
+		}
+	}
+	// nodes in a fixed order; permute each node's child list with Heap's
+	// algorithm, recursing to the next node for every permutation.
+	nodes := t.TopDown()
+	var perm func(k int)
+	perm = func(k int) {
+		if e.stop || !e.poll() {
+			return
+		}
+		for k < len(nodes) && len(order[nodes[k]]) < 2 {
+			k++
+		}
+		if k == len(nodes) {
+			eval()
+			return
+		}
+		cs := order[nodes[k]]
+		var heaps func(m int)
+		heaps = func(m int) {
+			if e.stop {
+				return
+			}
+			if m == 1 {
+				perm(k + 1)
+				return
+			}
+			for i := 0; i < m; i++ {
+				heaps(m - 1)
+				if e.stop {
+					return
+				}
+				if m%2 == 0 {
+					cs[i], cs[m-1] = cs[m-1], cs[i]
+				} else {
+					cs[0], cs[m-1] = cs[m-1], cs[0]
+				}
+			}
+		}
+		heaps(len(cs))
+	}
+	perm(0)
+	if e.err != nil {
+		return nil, 0, e.err
+	}
+	return best, bestIO, nil
 }

@@ -1,8 +1,11 @@
 package brute
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/memsim"
 	"repro/internal/tree"
@@ -104,6 +107,102 @@ func TestMinIONeverAboveAnyHeuristicSchedule(t *testing.T) {
 		}
 		if opt > io {
 			t.Fatalf("trial %d: optimum %d above a concrete schedule's %d", trial, opt, io)
+		}
+	}
+}
+
+// sixChains builds an I/O-bound instance with an astronomically large
+// linear-extension count (18!/6⁶ ≈ 10¹¹) and 720 distinct postorders:
+// six grafted Figure-2(b)-style chains. At M = LB = 18 the minimum peak
+// over all orders is 20, so the optimum is nonzero and the zero-I/O
+// short circuit never cuts the search.
+func sixChains() (*tree.Tree, int64) {
+	return tree.Graft(1,
+		tree.Chain(3, 5, 2), tree.Chain(3, 5, 2), tree.Chain(3, 5, 2),
+		tree.Chain(3, 5, 2), tree.Chain(3, 5, 2), tree.Chain(3, 5, 2),
+	), 18
+}
+
+func TestMinIOCtxCancel(t *testing.T) {
+	// Without the context this enumeration would only stop at the default
+	// order budget, long after this test's deadline. Cancellation must cut
+	// it short at a node boundary and surface ctx.Err().
+	tr, M := sixChains()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := MinIOCtx(ctx, tr, M, Limits{})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled enumeration did not return")
+	}
+
+	if _, err := OptimalPeakCtx(ctx, tr, Limits{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OptimalPeakCtx on cancelled ctx: %v", err)
+	}
+	if _, _, err := MinIOPostorder(ctx, tr, M, Limits{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MinIOPostorder on cancelled ctx: %v", err)
+	}
+}
+
+func TestMinIOBudget(t *testing.T) {
+	// Two grafted chains: C(8,4) = 70 linear extensions, optimum 3 > 0 at
+	// M = 6, so every order is visited.
+	tr := tree.Graft(1, tree.Chain(3, 5, 2, 6), tree.Chain(3, 5, 2, 6))
+	if _, _, err := MinIOCtx(context.Background(), tr, 6, Limits{MaxOrders: 10}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if _, io, err := MinIOCtx(context.Background(), tr, 6, Limits{MaxOrders: 100}); err != nil || io != 3 {
+		t.Fatalf("budget 100 should cover 70 orders: io=%d err=%v", io, err)
+	}
+	if _, err := OptimalPeakCtx(context.Background(), tr, Limits{MaxOrders: 10}); !errors.Is(err, ErrBudget) {
+		t.Fatal("OptimalPeakCtx ignored the budget")
+	}
+	six, M := sixChains() // 720 postorders, all I/O-bound
+	if _, _, err := MinIOPostorder(context.Background(), six, M, Limits{MaxOrders: 100}); !errors.Is(err, ErrBudget) {
+		t.Fatal("MinIOPostorder ignored the budget")
+	}
+}
+
+func TestMinIOPostorderOracle(t *testing.T) {
+	// The postorder enumeration must agree with the general one whenever
+	// some postorder is optimal, and can never beat it.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		parent := make([]int, n)
+		weight := make([]int64, n)
+		parent[0] = tree.None
+		weight[0] = 1 + rng.Int63n(9)
+		for i := 1; i < n; i++ {
+			parent[i] = rng.Intn(i)
+			weight[i] = 1 + rng.Int63n(9)
+		}
+		tr := tree.MustNew(parent, weight)
+		M := tr.MaxWBar() + rng.Int63n(5)
+		sched, poIO, err := MinIOPostorder(context.Background(), tr, M, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.IsPostorder(tr, sched) {
+			t.Fatalf("trial %d: best postorder is not a postorder: %v", trial, sched)
+		}
+		if got, err := memsim.IOOf(tr, M, sched); err != nil || got != poIO {
+			t.Fatalf("trial %d: declared %d, simulated %d (%v)", trial, poIO, got, err)
+		}
+		_, opt, err := MinIO(tr, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if poIO < opt {
+			t.Fatalf("trial %d: postorder optimum %d below global optimum %d", trial, poIO, opt)
 		}
 	}
 }

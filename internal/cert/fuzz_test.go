@@ -1,0 +1,58 @@
+package cert
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/brute"
+)
+
+// fuzzLimits keeps a single fuzz execution bounded: an instance whose
+// enumeration would explode is skipped, not waited for.
+var fuzzLimits = Options{Limits: brute.Limits{MaxOrders: 500_000}}
+
+// FuzzCertifySmall drives the full exact-optimality wall from a
+// three-int64 tuple: generator family, seed, and a shift applied to the
+// generated memory bound (so the fuzzer explores bounds the generator's
+// own mix would not pick, including infeasible ones, which skip). Any
+// non-skip error is a certification divergence and a crasher.
+func FuzzCertifySmall(f *testing.F) {
+	f.Add(int64(0), int64(1), int64(0))
+	f.Add(int64(1), int64(2), int64(1))
+	f.Add(int64(2), int64(3), int64(-1))
+	f.Add(int64(0), int64(77), int64(5))
+	f.Fuzz(func(t *testing.T, famIdx, seed, mShift int64) {
+		inst, err := GenSmall(FamilyByIndex(famIdx), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.M += mShift % 8
+		if _, err := Certify(context.Background(), inst, fuzzLimits); err != nil {
+			if IsSkip(err) {
+				t.Skip()
+			}
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzCertifyProperties drives the metamorphic property suite on
+// property-range instances (beyond brute reach) from a (family, seed)
+// tuple.
+func FuzzCertifyProperties(f *testing.F) {
+	f.Add(int64(0), int64(1))
+	f.Add(int64(1), int64(2))
+	f.Add(int64(2), int64(3))
+	f.Fuzz(func(t *testing.T, famIdx, seed int64) {
+		inst, err := GenMedium(FamilyByIndex(famIdx), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckProperties(context.Background(), inst); err != nil {
+			if IsSkip(err) {
+				t.Skip()
+			}
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package cert
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/experiments"
+	"repro/internal/liu"
+	"repro/internal/randtree"
+	"repro/internal/sparse"
+	"repro/internal/tree"
+)
+
+// Families lists the generator family names understood by GenSmall and
+// GenMedium: uniform random trees (binary Rémy shapes and unbounded-arity
+// recursive trees), the paper's adversarial constructions (Figure 2
+// gadgets, grafted chains, stars, caterpillars), and real elimination
+// trees obtained by symbolic factorization of random and grid sparse
+// patterns.
+var Families = []string{"randtree", "adversarial", "sparse"}
+
+// FamilyByIndex maps an arbitrary integer (for example a fuzz-mutated
+// one) onto a valid family name.
+func FamilyByIndex(i int64) string {
+	return Families[int(((i%3)+3)%3)]
+}
+
+// GenSmall draws a brute-range instance: at most about a dozen nodes, so
+// that the exhaustive oracles of internal/brute stay affordable. The
+// (family, seed) pair fully determines the instance.
+func GenSmall(family string, seed int64) (Instance, error) {
+	return generate(family, seed, true)
+}
+
+// GenMedium draws a property-range instance: up to ~150 nodes, beyond
+// exhaustive enumeration but well inside the metamorphic property checks
+// of CheckProperties. The (family, seed) pair fully determines the
+// instance.
+func GenMedium(family string, seed int64) (Instance, error) {
+	return generate(family, seed, false)
+}
+
+func generate(family string, seed int64, small bool) (Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		t     *tree.Tree
+		label string
+		m     int64 // 0 means "pick with chooseM"
+	)
+	switch family {
+	case "randtree":
+		t, label = genRandtree(rng, small)
+	case "adversarial":
+		t, label, m = genAdversarial(rng, small)
+	case "sparse":
+		t, label = genSparse(rng, small)
+	default:
+		return Instance{}, fmt.Errorf("cert: unknown family %q (have %v)", family, Families)
+	}
+	if m == 0 {
+		m = chooseM(t, rng)
+	}
+	return Instance{Family: family, Seed: seed, Label: label, M: m, Tree: t}, nil
+}
+
+// chooseM picks a memory bound for t: mostly interior points of
+// [LB, peak] — where I/O actually happens — with the endpoints and a
+// beyond-peak bound mixed in so the zero-I/O and at-LB edge cases stay
+// covered. The peak here is only generator guidance (liu.MinMemPeak);
+// the certification itself re-derives the optimal peak from brute force.
+func chooseM(t *tree.Tree, rng *rand.Rand) int64 {
+	lb := t.MaxWBar()
+	peak := liu.MinMemPeak(t)
+	switch rng.Intn(6) {
+	case 0:
+		return lb
+	case 1:
+		return peak
+	case 2:
+		return peak + 1 + rng.Int63n(3)
+	case 3:
+		if peak > lb {
+			return lb + rng.Int63n(peak-lb+1)
+		}
+		return lb
+	default:
+		// Two of six draws land in the lower half of [LB, peak], where
+		// schedules overflow M most often — the I/O-bound regime the
+		// harness is really about.
+		if peak > lb {
+			return lb + rng.Int63n((peak-lb)/2+1)
+		}
+		return lb
+	}
+}
+
+func genRandtree(rng *rand.Rand, small bool) (*tree.Tree, string) {
+	if small {
+		n := 2 + rng.Intn(9) // 2..10 nodes
+		switch rng.Intn(3) {
+		case 0:
+			return randtree.AssignWeights(randtree.Remy(n, rng), 1, 9, rng),
+				fmt.Sprintf("remy n=%d", n)
+		case 1:
+			return randtree.AssignWeights(randtree.Recursive(n, rng), 1, 9, rng),
+				fmt.Sprintf("recursive n=%d", n)
+		default:
+			return randtree.AssignWeights(randtree.CatalanSplit(n, rng), 1, 9, rng),
+				fmt.Sprintf("catalan n=%d", n)
+		}
+	}
+	n := 20 + rng.Intn(131) // 20..150 nodes
+	if rng.Intn(2) == 0 {
+		return randtree.Synth(n, rng), fmt.Sprintf("synth n=%d", n)
+	}
+	return randtree.AssignWeights(randtree.Recursive(n, rng), 1, 12, rng),
+		fmt.Sprintf("recursive n=%d", n)
+}
+
+// genAdversarial draws from the paper's worst-case constructions. The
+// Figure 2 gadgets are returned with their designed memory bound (the
+// bound at which the construction bites) half of the time; the grafted
+// chains, stars and caterpillars get a chooseM bound like everyone else.
+func genAdversarial(rng *rand.Rand, small bool) (*tree.Tree, string, int64) {
+	useDesignedM := rng.Intn(2) == 0
+	switch rng.Intn(5) {
+	case 0: // Figure 2(a): postorders pay per leaf, one order pays 1.
+		levels, M := 0, int64(4+2*rng.Int63n(2)) // M ∈ {4, 6}
+		if !small {
+			levels = rng.Intn(4)
+			M = 4 + 2*rng.Int63n(3) // M ∈ {4, 6, 8}
+		}
+		t, _, err := experiments.Fig2a(levels, M)
+		if err != nil {
+			panic(err) // unreachable: parameters are in range by construction
+		}
+		label := fmt.Sprintf("fig2a levels=%d M=%d", levels, M)
+		if useDesignedM {
+			return t, label, M
+		}
+		return t, label, 0
+	case 1: // Figure 2(c): OptMinMem pays Θ(k²), chain-after-chain 2k.
+		k := int64(1 + rng.Intn(2))
+		if !small {
+			k = int64(1 + rng.Intn(12))
+		}
+		t, _, M, err := experiments.Fig2c(k)
+		if err != nil {
+			panic(err) // unreachable: k >= 1
+		}
+		label := fmt.Sprintf("fig2c k=%d", k)
+		if useDesignedM {
+			return t, label, M
+		}
+		return t, label, 0
+	case 2: // Grafted deep chains: the Figure 2(b) shape, randomized.
+		chains := 2 + rng.Intn(2)
+		maxLen, maxW := 4, int64(9)
+		if !small {
+			chains = 3 + rng.Intn(6)
+			maxLen, maxW = 10, 20
+		}
+		subs := make([]*tree.Tree, chains)
+		for i := range subs {
+			ws := make([]int64, 2+rng.Intn(maxLen-1))
+			for j := range ws {
+				ws[j] = 1 + rng.Int63n(maxW)
+			}
+			subs[i] = tree.Chain(ws...)
+		}
+		return tree.Graft(1+rng.Int63n(3), subs...), fmt.Sprintf("chains k=%d", chains), 0
+	case 3: // Fan-out: a star stresses sibling ordering and FiF ties.
+		leaves := 3 + rng.Intn(5)
+		maxW := int64(9)
+		if !small {
+			leaves = 10 + rng.Intn(60)
+			maxW = 30
+		}
+		ws := make([]int64, leaves)
+		for j := range ws {
+			ws[j] = 1 + rng.Int63n(maxW)
+		}
+		return tree.Star(1+rng.Int63n(maxW), ws...), fmt.Sprintf("star leaves=%d", leaves), 0
+	default: // Caterpillar: one leaf per spine node, mixed depth/fan-out.
+		n := 3 + rng.Intn(4)
+		if !small {
+			n = 10 + rng.Intn(40)
+		}
+		return tree.Caterpillar(n, 1+rng.Int63n(6), 1+rng.Int63n(9)),
+			fmt.Sprintf("caterpillar n=%d", n), 0
+	}
+}
+
+func genSparse(rng *rand.Rand, small bool) (*tree.Tree, string) {
+	if small {
+		// Dense-ish random patterns have near-chain elimination trees
+		// (one topological order, peak == LB, never I/O-bound), so the
+		// small class mixes very sparse patterns — whose forests become
+		// branchy trees under the virtual root — with tiny
+		// nested-dissection grids, whose separators branch by design.
+		if rng.Intn(2) == 0 {
+			nx, ny := 2+rng.Intn(2), 3 // 2x3 or 3x3 grid
+			p, err := sparse.Grid2D(nx, ny)
+			if err != nil {
+				panic(err) // unreachable: dimensions are in range
+			}
+			t, err := sparse.TaskTree(p, sparse.NestedDissection2D(nx, ny, 1))
+			if err != nil {
+				panic(err) // unreachable: Etree output is well-formed
+			}
+			return t, fmt.Sprintf("etree-nd2d %dx%d", nx, ny)
+		}
+		n := 4 + rng.Intn(6) // 4..9 columns
+		p, err := sparse.RandomSymmetric(n, 1+rng.Intn(2), rng)
+		if err != nil {
+			panic(err) // unreachable: n and avgDeg are in range
+		}
+		t, err := sparse.TaskTree(p, nil)
+		if err != nil {
+			panic(err) // unreachable: Etree output is well-formed
+		}
+		return t, fmt.Sprintf("etree-random n=%d", n)
+	}
+	if rng.Intn(3) == 0 {
+		// A real multifrontal shape: 3×3×3 grid under nested dissection.
+		p, err := sparse.Grid3D(3, 3, 3)
+		if err != nil {
+			panic(err)
+		}
+		t, err := sparse.TaskTree(p, sparse.NestedDissection3D(3, 3, 3, 2))
+		if err != nil {
+			panic(err)
+		}
+		return t, "etree-nd3d 3x3x3"
+	}
+	n := 15 + rng.Intn(60)
+	p, err := sparse.RandomSymmetric(n, 2+rng.Intn(3), rng)
+	if err != nil {
+		panic(err)
+	}
+	t, err := sparse.TaskTree(p, nil)
+	if err != nil {
+		panic(err)
+	}
+	return t, fmt.Sprintf("etree-random n=%d", n)
+}

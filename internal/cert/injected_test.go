@@ -1,0 +1,155 @@
+package cert
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/expand"
+	"repro/internal/tree"
+)
+
+// underReportEngine is the documented injected bug: the real engine with
+// its simulated I/O under-reported by one whenever it is positive — the
+// classic off-by-one an accounting refactor could introduce. The harness
+// must catch it (the re-simulation check, and the beats-the-optimum check
+// once the lie crosses the certified floor) and the shrinker must reduce
+// the catch to a tiny committable instance.
+func underReportEngine(t *tree.Tree, M int64, opts expand.Options) (*expand.Result, error) {
+	res, err := expand.RecExpand(t, M, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.SimulatedIO > 0 {
+		res.SimulatedIO--
+	}
+	return res, nil
+}
+
+// brokenFails reports whether the injected-bug engine fails certification
+// on inst, skip-class outcomes counting as "does not fail" so the
+// shrinker stays inside certifiable territory.
+func brokenFails(inst Instance) bool {
+	opts := testLimits()
+	opts.Engine = underReportEngine
+	_, err := Certify(context.Background(), inst, opts)
+	if err == nil || IsSkip(err) {
+		return false
+	}
+	var div *Divergence
+	return errors.As(err, &div)
+}
+
+// TestInjectedBugCaughtAndShrunk proves the wall is not vacuous: with the
+// under-reporting engine injected, the seeded sweep must produce a
+// divergence within a few seeds, the divergence must blame the
+// re-simulation (or optimality) check, and Shrink must reduce the failing
+// instance to at most a dozen nodes that still fail under the bug and
+// certify cleanly without it.
+func TestInjectedBugCaughtAndShrunk(t *testing.T) {
+	var caught *Instance
+	var caughtErr error
+	for seed := int64(0); seed < 50 && caught == nil; seed++ {
+		for _, fam := range Families {
+			inst, err := GenSmall(fam, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := testLimits()
+			opts.Engine = underReportEngine
+			if _, err := Certify(context.Background(), inst, opts); err != nil && !IsSkip(err) {
+				caught, caughtErr = &inst, err
+				break
+			}
+		}
+	}
+	if caught == nil {
+		t.Fatal("injected under-reporting engine was never caught in 50 seeds × 3 families")
+	}
+	var div *Divergence
+	if !errors.As(caughtErr, &div) {
+		t.Fatalf("catch is not a Divergence: %v", caughtErr)
+	}
+	if !strings.Contains(div.Check, "resim") && !strings.Contains(div.Check, "beats-optimum") {
+		t.Fatalf("unexpected check blamed: %s", div.Check)
+	}
+
+	shrunk := Shrink(*caught, brokenFails)
+	if n, orig := shrunk.Tree.N(), caught.Tree.N(); n > 12 || n > orig {
+		t.Fatalf("shrunk to %d nodes (from %d), want <= 12 and no growth", n, orig)
+	}
+	if !brokenFails(shrunk) {
+		t.Fatal("shrunk instance no longer catches the injected bug")
+	}
+	if _, err := Certify(context.Background(), shrunk, testLimits()); err != nil {
+		t.Fatalf("shrunk instance does not certify cleanly with the real engine: %v", err)
+	}
+}
+
+// TestInjectedBugRegressionFile replays the committed shrunk catch: the
+// production engine certifies it cleanly, and re-injecting the documented
+// bug still fails on it — the file keeps its teeth.
+func TestInjectedBugRegressionFile(t *testing.T) {
+	inst, err := ReadInstanceFile("testdata/cert/injected-underreport.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Tree.N() > 12 {
+		t.Fatalf("committed injected-bug regression has %d nodes, want <= 12", inst.Tree.N())
+	}
+	if _, err := Certify(context.Background(), inst, testLimits()); err != nil {
+		t.Fatalf("real engine fails the committed regression: %v", err)
+	}
+	if !brokenFails(inst) {
+		t.Fatal("committed regression no longer catches the injected bug")
+	}
+}
+
+// TestShrinkIOBoundPredicate: Shrink works with any predicate, not only
+// divergences — here the predicate used to mine the committed near-miss
+// corpus (unavoidable I/O: the closest certified instances get to a
+// failure, given that the heuristic has been exactly optimal on every
+// small instance certified to date).
+func TestShrinkIOBoundPredicate(t *testing.T) {
+	ioBound := func(inst Instance) bool {
+		rep, err := Certify(context.Background(), inst, testLimits())
+		return err == nil && rep.OptIO > 0
+	}
+	var found *Instance
+	for seed := int64(0); seed < 200 && found == nil; seed++ {
+		inst, err := GenSmall("adversarial", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ioBound(inst) {
+			found = &inst
+		}
+	}
+	if found == nil {
+		t.Fatal("no I/O-bound adversarial instance in 200 seeds")
+	}
+	shrunk := Shrink(*found, ioBound)
+	if shrunk.Tree.N() > found.Tree.N() {
+		t.Fatalf("shrink grew the instance: %d -> %d nodes", found.Tree.N(), shrunk.Tree.N())
+	}
+	if !ioBound(shrunk) {
+		t.Fatal("shrunk instance lost the I/O-bound property")
+	}
+	if !strings.HasPrefix(shrunk.Label, "shrunk") {
+		t.Fatalf("shrunk label not marked: %q", shrunk.Label)
+	}
+}
+
+// TestShrinkNonFailingUnchanged: an instance the predicate rejects is
+// returned untouched.
+func TestShrinkNonFailingUnchanged(t *testing.T) {
+	inst, err := GenSmall("randtree", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Shrink(inst, func(Instance) bool { return false })
+	if got.Tree != inst.Tree || got.M != inst.M || got.Label != inst.Label {
+		t.Fatal("non-failing instance was modified")
+	}
+}

@@ -1,0 +1,73 @@
+package cert
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/tree"
+)
+
+// Instance is one certification case: a task tree plus a memory bound,
+// tagged with the generator family and seed that produced it so a failure
+// report names its origin. Shrunk regressions committed under
+// testdata/cert/ are serialized Instances.
+type Instance struct {
+	// Family is the generator family name ("randtree", "adversarial",
+	// "sparse"), or "shrunk" for a minimized regression.
+	Family string `json:"family"`
+	// Seed is the generator seed that produced the instance; informative
+	// only (a shrunk instance no longer matches its seed).
+	Seed int64 `json:"seed"`
+	// Label is a free-form note ("remy n=7", "fig2c k=2", ...).
+	Label string `json:"label,omitempty"`
+	// M is the memory bound the instance is certified under.
+	M int64 `json:"m"`
+	// Tree is the task tree.
+	Tree *tree.Tree `json:"tree"`
+}
+
+// String summarizes the instance for failure messages.
+func (in Instance) String() string {
+	if in.Tree == nil {
+		return fmt.Sprintf("cert.Instance{%s seed=%d M=%d <nil tree>}", in.Family, in.Seed, in.M)
+	}
+	return fmt.Sprintf("cert.Instance{%s seed=%d %q M=%d n=%d parents=%v weights=%v}",
+		in.Family, in.Seed, in.Label, in.M, in.Tree.N(), in.Tree.Parents(), in.Tree.Weights())
+}
+
+// WriteFile serializes the instance as indented JSON to path, creating
+// parent directories as needed. This is how cmd/certify commits a shrunk
+// regression under testdata/cert/.
+func (in Instance) WriteFile(path string) error {
+	if in.Tree == nil {
+		return fmt.Errorf("cert: writing %s: nil tree", path)
+	}
+	data, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadInstanceFile loads an instance written by WriteFile. Structural
+// defects in the embedded tree are rejected by tree.New via its
+// UnmarshalJSON.
+func ReadInstanceFile(path string) (Instance, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Instance{}, err
+	}
+	var in Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return Instance{}, fmt.Errorf("cert: decoding %s: %w", path, err)
+	}
+	if in.Tree == nil {
+		return Instance{}, fmt.Errorf("cert: %s has no tree", path)
+	}
+	return in, nil
+}

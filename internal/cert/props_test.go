@@ -1,0 +1,77 @@
+package cert
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/liu"
+	"repro/internal/randtree"
+	"repro/internal/tree"
+)
+
+// recursiveWeighted reproduces the random-recursive-tree half of the
+// expand package's differential corpus: parent[i] uniform in [0, i),
+// weights uniform in [1, 12].
+func recursiveWeighted(n int, rng *rand.Rand) *tree.Tree {
+	parent := make([]int, n)
+	weight := make([]int64, n)
+	parent[0] = tree.None
+	weight[0] = 1 + rng.Int63n(12)
+	for i := 1; i < n; i++ {
+		parent[i] = rng.Intn(i)
+		weight[i] = 1 + rng.Int63n(12)
+	}
+	return tree.MustNew(parent, weight)
+}
+
+// TestProperties220Corpus runs the metamorphic suite over the exact
+// 220-instance corpus of the engine's differential tests (same seed, same
+// recipe, same I/O-bound filter), so the property wall and the
+// bit-identity wall judge the same population.
+func TestProperties220Corpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	tried := 0
+	for trial := 0; tried < 220; trial++ {
+		var tr *tree.Tree
+		if trial%3 == 0 {
+			tr = randtree.Synth(20+rng.Intn(150), rng)
+		} else {
+			tr = recursiveWeighted(2+rng.Intn(60), rng)
+		}
+		lb := tr.MaxWBar()
+		_, peak := liu.MinMem(tr)
+		if peak <= lb {
+			continue
+		}
+		M := lb + rng.Int63n(peak-lb)
+		tried++
+		inst := Instance{Family: "corpus", Seed: int64(trial), M: M, Tree: tr}
+		if err := CheckProperties(context.Background(), inst); err != nil {
+			t.Fatalf("corpus trial %d: %v", trial, err)
+		}
+	}
+	if tried < 200 {
+		t.Fatalf("only %d I/O-bound corpus instances, need >= 200", tried)
+	}
+}
+
+// TestPropertiesFreshInstances runs the metamorphic suite on 100 fresh
+// generator-drawn instances spanning all three families.
+func TestPropertiesFreshInstances(t *testing.T) {
+	checked := 0
+	for seed := int64(10_000); checked < 100; seed++ {
+		fam := Families[int(seed)%len(Families)]
+		inst, err := GenMedium(fam, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckProperties(context.Background(), inst); err != nil {
+			if IsSkip(err) {
+				continue
+			}
+			t.Fatalf("seed %d family %s: %v", seed, fam, err)
+		}
+		checked++
+	}
+}

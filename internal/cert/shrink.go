@@ -1,0 +1,140 @@
+package cert
+
+import (
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// FailFunc reports whether an instance still exhibits the failure being
+// minimized. Implementations must treat instances they cannot judge —
+// infeasible bounds, budget-exhausted enumerations (see IsSkip) — as not
+// failing, so the shrinker never walks out of certifiable territory.
+type FailFunc func(Instance) bool
+
+// Shrink greedily minimizes a failing instance while fails keeps holding:
+// it repeatedly deletes whole subtrees, shrinks node weights towards 1,
+// and lowers the memory bound towards the (recomputed) LB, to a fixpoint.
+// The result is the committable regression — typically a handful of nodes
+// — whose JSON form goes under testdata/cert/. Shrinking is deterministic:
+// the same instance and predicate always reduce to the same minimum.
+//
+// fails(inst) should be true on entry; if it is not, inst is returned
+// unchanged.
+func Shrink(inst Instance, fails FailFunc) Instance {
+	cur := inst
+	if cur.Tree == nil || !fails(cur) {
+		return inst
+	}
+	// Each pass may unlock the others (a deleted subtree lowers LB, which
+	// opens new M reductions), so loop to a fixpoint with a hard cap as a
+	// guard against a pathological predicate.
+	for round := 0; round < 64; round++ {
+		improved := false
+		// Subtree deletion, rescanning from the start after every success
+		// because node indices shift.
+		for {
+			removed := false
+			for v := 0; v < cur.Tree.N(); v++ {
+				if v == cur.Tree.Root() {
+					continue
+				}
+				cand := removeSubtree(cur, v)
+				if fails(cand) {
+					cur = cand
+					removed = true
+					improved = true
+					break
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+		// Weight shrinking: try the floor first, then halving.
+		for v := 0; v < cur.Tree.N(); v++ {
+			w := cur.Tree.Weight(v)
+			for _, nw := range []int64{1, w / 2} {
+				if nw >= w || nw < 1 {
+					continue
+				}
+				cand := withWeight(cur, v, nw)
+				if fails(cand) {
+					cur = cand
+					improved = true
+					break
+				}
+			}
+		}
+		// Memory-bound shrinking towards the current LB.
+		lb := cur.Tree.MaxWBar()
+		for _, nm := range []int64{lb, lb + (cur.M-lb)/2} {
+			if nm >= cur.M || nm < lb {
+				continue
+			}
+			cand := cur
+			cand.M = nm
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	if !strings.HasPrefix(cur.Label, "shrunk") {
+		cur.Label = strings.TrimSpace("shrunk " + cur.Label)
+	}
+	return cur
+}
+
+// removeSubtree returns a copy of inst without the subtree rooted at v
+// (which must not be the root), remapping node indices densely.
+func removeSubtree(inst Instance, v int) Instance {
+	t := inst.Tree
+	drop := make([]bool, t.N())
+	for _, u := range t.SubtreeNodes(v) {
+		drop[u] = true
+	}
+	remap := make([]int, t.N())
+	kept := 0
+	for i := 0; i < t.N(); i++ {
+		if drop[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = kept
+		kept++
+	}
+	parent := make([]int, 0, kept)
+	weight := make([]int64, 0, kept)
+	for i := 0; i < t.N(); i++ {
+		if drop[i] {
+			continue
+		}
+		if p := t.Parent(i); p == tree.None {
+			parent = append(parent, tree.None)
+		} else {
+			parent = append(parent, remap[p])
+		}
+		weight = append(weight, t.Weight(i))
+	}
+	out := inst
+	out.Tree = tree.MustNew(parent, weight)
+	return out
+}
+
+// withWeight returns a copy of inst with node v's weight replaced.
+func withWeight(inst Instance, v int, w int64) Instance {
+	ws := inst.Tree.Weights()
+	ws[v] = w
+	nt, err := inst.Tree.WithWeights(ws)
+	if err != nil {
+		panic(err) // unreachable: shape unchanged, weight non-negative
+	}
+	out := inst
+	out.Tree = nt
+	return out
+}

@@ -188,6 +188,18 @@ func (m *MutableTree) ProfileStats() liu.CacheStats {
 	return m.profiles.Stats()
 }
 
+// CheckProfileInvariants audits the attached profile cache's residency
+// accounting, pin counters and dirtiness closure
+// (liu.(*ProfileCache).CheckInvariants); it returns nil when no cache is
+// attached. The certification harness calls it after every engine run via
+// Options.VerifyCache.
+func (m *MutableTree) CheckProfileInvariants() error {
+	if m.profiles == nil {
+		return nil
+	}
+	return m.profiles.CheckInvariants()
+}
+
 // ProfileSnapshot captures a read-only view of the attached cache for
 // concurrent AdoptProfiles readers; see liu.CacheSnapshot for the pinning
 // contract. EnableProfiles must have been called.

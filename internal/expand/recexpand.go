@@ -95,6 +95,13 @@ type Options struct {
 	// Like Workers and CacheBudget, checkpointing never changes the
 	// Result.
 	Checkpoint CheckpointOptions
+	// VerifyCache makes the engine audit the profile cache's residency,
+	// pin and dirtiness invariants (liu.(*ProfileCache).CheckInvariants)
+	// after the run completes, folding any violation into the returned
+	// error. The certification harness arms it on every run; it costs one
+	// O(n) pass after the result is assembled and nothing on the hot
+	// loops.
+	VerifyCache bool
 	// ResumeFrom names a checkpoint file written by a previous run of
 	// the SAME instance (tree, M, MaxPerNode, Victim, effective
 	// GlobalCap — enforced by fingerprint, see ErrCheckpointMismatch).
@@ -235,7 +242,13 @@ func (e *Engine) RecExpand(t *tree.Tree, M int64, opts Options) (res *Result, er
 	if err != nil {
 		return nil, err
 	}
-	return e.finish(opts.Ctx, t, m, M, capHit)
+	res, err = e.finish(opts.Ctx, t, m, M, capHit)
+	if err == nil && opts.VerifyCache {
+		if verr := m.CheckProfileInvariants(); verr != nil {
+			return nil, fmt.Errorf("expand: post-run cache audit: %w", verr)
+		}
+	}
+	return res, err
 }
 
 // RecExpandStream is RecExpand for out-of-core-scale trees: instead of
@@ -267,7 +280,13 @@ func (e *Engine) RecExpandStream(t *tree.Tree, M int64, opts Options, yield func
 	if err != nil {
 		return nil, err
 	}
-	return e.finishStream(opts.Ctx, t, m, M, capHit, ck, yield)
+	res, err = e.finishStream(opts.Ctx, t, m, M, capHit, ck, yield)
+	if err == nil && opts.VerifyCache {
+		if verr := m.CheckProfileInvariants(); verr != nil {
+			return nil, fmt.Errorf("expand: post-run cache audit: %w", verr)
+		}
+	}
+	return res, err
 }
 
 // expandTree runs the expansion phase — everything up to, but not

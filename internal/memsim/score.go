@@ -1,0 +1,34 @@
+package memsim
+
+import "repro/internal/tree"
+
+// Score is the two-level (in-core + disk) evaluation of a schedule: the
+// figure of merit the paging model assigns to a traversal executed under a
+// main-memory bound with FiF eviction. It is the scoring hook of the
+// certification harness (ROADMAP item 5: score schedules by I/O volume,
+// not just peak) and the tested form of the re-simulation that
+// examples/paging walks through step by step.
+type Score struct {
+	// IO is the FiF I/O volume under the bound: the total disk traffic
+	// (in data units) of the two-level execution. Reads mirror writes and
+	// are not double-counted, exactly as in Result.IO.
+	IO int64
+	// Peak is the in-core peak demand of the schedule — the memory the
+	// traversal would need to run without any I/O. Peak <= M iff IO == 0.
+	Peak int64
+	// Bounded reports whether the schedule fits the bound without disk
+	// traffic (IO == 0).
+	Bounded bool
+}
+
+// ScoreSchedule re-simulates sched on t under memory bound M with the FiF
+// policy (Theorem-1-optimal for a fixed schedule) and returns its
+// two-level score. It errors exactly where Run does: non-topological
+// schedules and M below the instance lower bound.
+func ScoreSchedule(t *tree.Tree, M int64, sched tree.Schedule) (Score, error) {
+	res, err := Run(t, M, sched, FiF)
+	if err != nil {
+		return Score{}, err
+	}
+	return Score{IO: res.IO, Peak: res.Peak, Bounded: res.IO == 0}, nil
+}

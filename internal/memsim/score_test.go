@@ -1,0 +1,69 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestScoreScheduleKnownInstance(t *testing.T) {
+	// Figure 2(b): the chain-after-chain traversal pays exactly 3 I/Os at
+	// M = 6 and peaks at 9 without a bound.
+	tr := tree.Graft(1, tree.Chain(3, 5, 2, 6), tree.Chain(3, 5, 2, 6))
+	sched := tree.Schedule{4, 3, 2, 1, 8, 7, 6, 5, 0}
+	s, err := ScoreSchedule(tr, 6, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IO != 3 || s.Peak != 9 || s.Bounded {
+		t.Fatalf("score %+v, want IO=3 Peak=9 Bounded=false", s)
+	}
+	// At M = Peak the same schedule needs no I/O.
+	s, err = ScoreSchedule(tr, s.Peak, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IO != 0 || !s.Bounded {
+		t.Fatalf("score at M=peak %+v, want IO=0 Bounded=true", s)
+	}
+}
+
+func TestScoreScheduleMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		parent := make([]int, n)
+		weight := make([]int64, n)
+		parent[0] = tree.None
+		weight[0] = 1 + rng.Int63n(9)
+		for i := 1; i < n; i++ {
+			parent[i] = rng.Intn(i)
+			weight[i] = 1 + rng.Int63n(9)
+		}
+		tr := tree.MustNew(parent, weight)
+		M := tr.MaxWBar() + rng.Int63n(6)
+		sched := tr.NaturalPostorder()
+		s, err := ScoreSchedule(tr, M, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(tr, M, sched, FiF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.IO != res.IO || s.Peak != res.Peak || s.Bounded != (res.IO == 0) {
+			t.Fatalf("trial %d: score %+v vs run io=%d peak=%d", trial, s, res.IO, res.Peak)
+		}
+	}
+}
+
+func TestScoreScheduleErrors(t *testing.T) {
+	tr := tree.Chain(3, 5, 2)
+	if _, err := ScoreSchedule(tr, 5, tree.Schedule{0, 1, 2}); err == nil {
+		t.Fatal("non-topological schedule accepted")
+	}
+	if _, err := ScoreSchedule(tr, 1, tree.Schedule{2, 1, 0}); err == nil {
+		t.Fatal("M below LB accepted")
+	}
+}

@@ -172,6 +172,28 @@ func CatalanSplit(n int, rng *rand.Rand) *tree.Tree {
 	return tree.MustNew(par, w)
 }
 
+// Recursive samples a uniform random recursive tree with n nodes and all
+// weights 1: node 0 is the root and node i attaches to a parent drawn
+// uniformly from the i nodes created before it. Unlike the binary Remy
+// shapes, arity is unbounded — stars, brooms and deep mixed fan-outs all
+// occur — which is what the certification harness wants from a second,
+// structurally different random family. Use AssignWeights to draw weights
+// afterwards.
+func Recursive(n int, rng *rand.Rand) *tree.Tree {
+	if n < 1 {
+		panic("randtree: need n >= 1")
+	}
+	par := make([]int, n)
+	w := make([]int64, n)
+	par[0] = tree.None
+	w[0] = 1
+	for i := 1; i < n; i++ {
+		par[i] = rng.Intn(i)
+		w[i] = 1
+	}
+	return tree.MustNew(par, w)
+}
+
 // AssignWeights returns a copy of t whose weights are drawn independently
 // and uniformly from [lo, hi] (inclusive). The paper's SYNTH dataset uses
 // [1, 100].

@@ -161,3 +161,89 @@ func TestGeneratorPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestGeneratorsDeterministicPerSeed pins the reproducibility contract the
+// certification harness depends on: every generator is a pure function of
+// (n, seed), so a failing fuzz input or a shrunk regression file can be
+// replayed bit-for-bit.
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	gens := map[string]func(int, *rand.Rand) *tree.Tree{
+		"Remy":         Remy,
+		"CatalanSplit": CatalanSplit,
+		"Recursive":    Recursive,
+		"Synth":        Synth,
+	}
+	for name, gen := range gens {
+		a := gen(40, rand.New(rand.NewSource(17)))
+		b := gen(40, rand.New(rand.NewSource(17)))
+		if fmt.Sprint(a.Parents()) != fmt.Sprint(b.Parents()) || fmt.Sprint(a.Weights()) != fmt.Sprint(b.Weights()) {
+			t.Errorf("%s: same seed produced different trees", name)
+		}
+		c := gen(40, rand.New(rand.NewSource(18)))
+		if fmt.Sprint(a.Parents()) == fmt.Sprint(c.Parents()) {
+			t.Errorf("%s: different seeds produced identical shapes", name)
+		}
+	}
+}
+
+// TestGeneratorsPostorderValid checks that every generated tree admits its
+// natural postorder as a valid topological schedule — the structural
+// precondition for feeding instances to the simulators and the brute
+// oracle without a repair pass.
+func TestGeneratorsPostorderValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(40)
+		for name, tr := range map[string]*tree.Tree{
+			"Remy":      Remy(n, rng),
+			"Recursive": Recursive(n, rng),
+			"Synth":     Synth(n, rng),
+		} {
+			po := tr.NaturalPostorder()
+			if err := tree.Validate(tr, po); err != nil {
+				t.Fatalf("%s n=%d: natural postorder invalid: %v", name, n, err)
+			}
+			if !tree.IsPostorder(tr, po) {
+				t.Fatalf("%s n=%d: natural postorder not a postorder", name, n)
+			}
+		}
+	}
+}
+
+// TestShapeFamilyCoverage guards the breadth of the certified space: over
+// a modest seed sweep the samplers must actually produce the extreme
+// shape families — chains, balanced trees, and (for Recursive) stars — so
+// a generator regression cannot silently narrow certification to one
+// corner of shape space.
+func TestShapeFamilyCoverage(t *testing.T) {
+	const n = 7
+	const samples = 4000
+	rng := rand.New(rand.NewSource(31))
+	depths := map[int]int{}
+	for i := 0; i < samples; i++ {
+		depths[Remy(n, rng).Depth()]++
+	}
+	// A 7-node binary tree has depth between 2 (balanced) and 6 (chain).
+	for d := 2; d <= 6; d++ {
+		if depths[d] == 0 {
+			t.Errorf("Remy(n=%d): no tree of depth %d in %d samples (histogram %v)", n, d, samples, depths)
+		}
+	}
+	if len(depths) != 5 {
+		t.Errorf("Remy(n=%d): depth histogram has impossible entries: %v", n, depths)
+	}
+
+	starSeen, chainSeen := false, false
+	for i := 0; i < samples; i++ {
+		tr := Recursive(5, rng)
+		switch tr.Depth() {
+		case 1:
+			starSeen = true // every node hangs off the root
+		case 4:
+			chainSeen = true
+		}
+	}
+	if !starSeen || !chainSeen {
+		t.Errorf("Recursive(n=5): star=%v chain=%v over %d samples", starSeen, chainSeen, samples)
+	}
+}

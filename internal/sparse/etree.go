@@ -142,6 +142,26 @@ func denseColCounts(p *Pattern) []int64 {
 	return counts
 }
 
+// TaskTree runs the whole multifrontal front-end in one call: it permutes
+// pattern p by the elimination ordering perm (nil keeps the natural
+// order), computes the elimination tree and the factor column counts, and
+// converts the resulting forest into a task tree whose node weights are
+// the column counts. It is the generator plumbing the certification
+// harness uses to draw real elimination trees from random and nested-
+// dissection patterns.
+func TaskTree(p *Pattern, perm []int) (*tree.Tree, error) {
+	if perm != nil {
+		pp, err := p.Permute(perm)
+		if err != nil {
+			return nil, err
+		}
+		p = pp
+	}
+	parent := Etree(p)
+	counts := ColCounts(p, parent)
+	return EtreeToTaskTree(parent, counts)
+}
+
 // EtreeToTaskTree converts an elimination forest (one node per column) into
 // a task tree where node j's output size is the factor column count of j.
 // Forests are joined under a virtual unit-weight root, as is done when

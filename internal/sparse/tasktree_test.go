@@ -1,0 +1,79 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// TestTaskTreeMatchesManualPipeline pins TaskTree to the composition it
+// abbreviates: permute, etree, column counts, conversion.
+func TestTaskTreeMatchesManualPipeline(t *testing.T) {
+	p := mustGrid3D(3, 3, 3)
+	perm := NestedDissection3D(3, 3, 3, 2)
+	got, err := TaskTree(p, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := p.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := Etree(pp)
+	counts := ColCounts(pp, parent)
+	want, err := EtreeToTaskTree(parent, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Parents(), want.Parents()) || !reflect.DeepEqual(got.Weights(), want.Weights()) {
+		t.Fatal("TaskTree diverges from the manual pipeline")
+	}
+}
+
+func TestTaskTreeRandomPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(12)
+		p := mustRandomSymmetric(n, 2+rng.Intn(3), rng)
+		tr, err := TaskTree(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Connected pattern => no virtual root; either way the task tree
+		// is a valid tree whose postorder simulates.
+		if tr.N() != n && tr.N() != n+1 {
+			t.Fatalf("trial %d: %d columns became %d tasks", trial, n, tr.N())
+		}
+		if err := tree.Validate(tr, tr.NaturalPostorder()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < tr.N(); i++ {
+			if tr.Weight(i) < 1 {
+				t.Fatalf("trial %d: node %d has weight %d (column counts are >= 1)", trial, i, tr.Weight(i))
+			}
+		}
+	}
+}
+
+func TestTaskTreeDeterministic(t *testing.T) {
+	a, err := TaskTree(mustRandomSymmetric(15, 3, rand.New(rand.NewSource(6))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TaskTree(mustRandomSymmetric(15, 3, rand.New(rand.NewSource(6))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Parents(), b.Parents()) || !reflect.DeepEqual(a.Weights(), b.Weights()) {
+		t.Fatal("same seed produced different task trees")
+	}
+}
+
+func TestTaskTreeBadPerm(t *testing.T) {
+	p := mustBand(6, 1)
+	if _, err := TaskTree(p, []int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+}
