@@ -9,7 +9,7 @@ BENCH ?= RecExpand|FiFSimulator|OptMinMem3000|ScheddLoad
 # Trajectory index: bench-json writes BENCH_$(N).json at the repo root.
 N ?= 1
 
-.PHONY: test test-race test-faultinject fuzz-smoke certify certify-long build vet bench bench-json bench-smoke
+.PHONY: test test-race test-faultinject fuzz-smoke certify certify-long build vet bench bench-json bench-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,16 @@ certify:
 
 certify-long:
 	$(GO) run -race ./cmd/certify -n 5000 -props 500 -max-orders 20000000 -seed 1
+
+# The exactly-once serving surface under injected network chaos
+# (DESIGN.md §2.13), race-enabled: the seeded client↔proxy↔daemon grid
+# with drain failover, the retrying client's repair/resume suite, and the
+# idempotency journal (byte-identity, single-flight, conflict, corruption,
+# write-deadline sealing). CI runs the same steps as the chaos-smoke job.
+chaos:
+	$(GO) test -race ./internal/chaosnet ./internal/schedclient
+	$(GO) test -race -run 'Idempotent|Journal|RetryAfter|ResumeFrom|DeadlineWriter' ./internal/schedd
+	$(GO) test -race -tags faultinject -run 'WriteDeadlineSeal' ./internal/schedd
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .

@@ -32,6 +32,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaosnet"
 	"repro/internal/core"
 	"repro/internal/expand"
 	"repro/internal/experiments"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/oocexec"
 	"repro/internal/postorder"
 	"repro/internal/randtree"
+	"repro/internal/schedclient"
 	"repro/internal/schedd"
 	"repro/internal/search"
 	"repro/internal/sparse"
@@ -962,4 +964,152 @@ func BenchmarkScheddLoadQueued(b *testing.B) {
 	bodies := scheddBenchBodies(b, 4, 2000, 10_000)
 	cost := schedd.EstimateCost(2000)
 	scheddBenchRun(b, schedd.Config{Budget: 2 * cost, Engines: 4, MaxWait: 30 * time.Second}, 8, bodies)
+}
+
+// scheddChaosRun drives b.N keyed requests through client↔proxy↔daemon —
+// the retrying schedclient against an in-process schedd behind a chaosnet
+// fault proxy — and reports the recovery cost: latency percentiles of the
+// reassembled (byte-verified) requests, total retries and resumes, and the
+// goodput of verified schedule bytes. With zero fault probabilities the
+// same path measures the pure proxy+client overhead baseline.
+func scheddChaosRun(b *testing.B, resetP, truncP float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var tr *tree.Tree
+	var in *core.Instance
+	for {
+		tr = randtree.Synth(2000, rng)
+		in = core.NewInstance("bench", tr)
+		if in.NeedsIO() {
+			break
+		}
+	}
+	M := in.M(core.BoundMid)
+	var wantBuf bytes.Buffer
+	rn := core.NewRunner(0)
+	if _, err := tree.WriteSchedule(&wantBuf, func(yield func(seg []int) bool) bool {
+		_, rerr := rn.RunStream(core.RecExpand, tr, M, yield)
+		return rerr == nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	want := wantBuf.Bytes()
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := schedd.Request{Tree: raw, M: M, WaitMS: 10_000}
+
+	s, err := schedd.NewServer(schedd.Config{
+		Budget:        256 << 20,
+		Engines:       4,
+		MaxWait:       30 * time.Second,
+		CheckpointDir: b.TempDir(),
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	p, err := chaosnet.New(chaosnet.Config{
+		Target:        ts.Listener.Addr().String(),
+		Seed:          42,
+		ResetProb:     resetP,
+		TruncProb:     truncP,
+		FaultAfterMax: 32 << 10,
+		MaxFaults:     int64(b.N) * 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	cl := schedclient.New(schedclient.Config{
+		BaseURL:       "http://" + p.Addr(),
+		HTTPClient:    &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		MaxAttempts:   16,
+		BaseBackoff:   2 * time.Millisecond,
+		MaxBackoff:    50 * time.Millisecond,
+		MaxRetryAfter: 50 * time.Millisecond,
+		Seed:          42,
+	})
+
+	var idx, retries, resumes, goodBytes int64
+	var mu sync.Mutex
+	var lat []float64
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&idx, 1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				t0 := time.Now()
+				res, err := cl.Stream(context.Background(), req)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if !bytes.Equal(res.Stream, want) {
+					b.Errorf("request %d: reassembled stream diverges from ground truth", i)
+					return
+				}
+				d := time.Since(t0)
+				atomic.AddInt64(&retries, int64(res.Retries))
+				atomic.AddInt64(&resumes, int64(res.Resumes))
+				atomic.AddInt64(&goodBytes, int64(len(res.Stream)))
+				mu.Lock()
+				lat = append(lat, float64(d.Microseconds())/1e3)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	b.StopTimer()
+
+	if st := s.Broker().Stats(); st.Used != 0 || st.Leases != 0 {
+		b.Fatalf("benchmark leaked leases: %+v", st)
+	}
+	sort.Float64s(lat)
+	rank := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	b.ReportMetric(rank(0.50), "p50_ms")
+	b.ReportMetric(rank(0.99), "p99_ms")
+	b.ReportMetric(float64(retries), "retries")
+	b.ReportMetric(float64(resumes), "resumes")
+	if secs := wall.Seconds(); secs > 0 {
+		b.ReportMetric(float64(goodBytes)/secs, "goodput_bps")
+	}
+}
+
+// BenchmarkScheddLoadChaosClean is the chaos-path overhead baseline: the
+// full client↔proxy↔daemon stack with zero fault probability, so the delta
+// against BenchmarkScheddLoadServe prices the proxy hop, the per-request
+// connection, and the client's spool-and-verify pass.
+func BenchmarkScheddLoadChaosClean(b *testing.B) {
+	scheddChaosRun(b, 0, 0)
+}
+
+// BenchmarkScheddLoadChaosFaulty injects resets and truncations on half
+// the connections: the latency percentiles and goodput price what the
+// repair-and-resume loop pays to keep every stream byte-identical.
+func BenchmarkScheddLoadChaosFaulty(b *testing.B) {
+	scheddChaosRun(b, 0.25, 0.25)
 }

@@ -6,6 +6,13 @@
 // concurrent requests (admission control: 429 + Retry-After under
 // pressure, 413 for requests no budget state could ever admit).
 //
+// Requests may carry an idempotency_key: the daemon journals the key's
+// progress durably (under -checkpoint-dir) so a retry of the same key
+// with resume_from resumes the interrupted stream byte-identically
+// instead of recomputing it. With -write-timeout set, a client too slow
+// to keep up has its stream sealed with a truncation trailer — and, when
+// keyed, a checkpoint to resume from — rather than pinning an engine.
+//
 // Usage:
 //
 //	schedd -budget 1GiB
@@ -50,6 +57,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "default per-request run+stream timeout (0 = 10m)")
 	maxWait := flag.Duration("max-wait", 0, "cap on the client-requested admission wait (0 = 30s)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for per-request drain checkpoints (empty = no checkpoints)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-write deadline on the response stream; a slower client gets its stream sealed with a truncation trailer (0 = never)")
 	drainGrace := flag.Duration("drain-grace", 0, "how long a drain lets in-flight requests finish before cancelling them (0 = 5s)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "hard bound on the whole drain")
 	flag.Parse()
@@ -73,6 +81,7 @@ func run() int {
 		DefaultTimeout: *timeout,
 		MaxWait:        *maxWait,
 		CheckpointDir:  *ckptDir,
+		WriteTimeout:   *writeTimeout,
 		DrainGrace:     *drainGrace,
 		Logger:         logger,
 	})

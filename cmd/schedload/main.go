@@ -6,6 +6,8 @@
 //
 //	schedload -url http://127.0.0.1:8437 -n 200 -c 16 -nodes 2000
 //	schedload -url http://127.0.0.1:8437 -n 500 -c 32 -wait-ms 100 -o load.json
+//	schedload -url http://127.0.0.1:8437 -n 100 -c 8 -retries 8
+//	schedload -url http://127.0.0.1:8437 -n 50 -c 4 -chaos -seed 3
 //
 // It synthesizes -trees distinct I/O-bound instances, POSTs -n requests
 // (round-robin over the instances) from -c concurrent clients, verifies
@@ -14,44 +16,108 @@
 // latency of served requests. Rejections (429) are an expected outcome of
 // admission control, not an error: the exit code is 0 as long as every
 // request got a well-formed answer.
+//
+// With -retries each request goes through the resuming client
+// (internal/schedclient): keyed, retried with jittered backoff on 429/5xx,
+// and resumed from the verified prefix after a torn stream; the report
+// gains the client's recovery counters and the goodput of verified
+// schedule bytes. With -chaos a seeded in-process fault proxy
+// (internal/chaosnet) is interposed between the clients and the daemon —
+// resets, truncations, stalls, throttling — and every reassembled stream
+// is asserted byte-identical to a locally computed uninterrupted run, so
+// the run measures recovery overhead, not just survival.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/chaosnet"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/randtree"
+	"repro/internal/schedclient"
+	"repro/internal/schedd"
+	"repro/internal/tree"
 )
 
 func main() {
-	url := flag.String("url", "", "base URL of the schedd to drive (required)")
+	urlFlag := flag.String("url", "", "base URL of the schedd to drive (required)")
 	n := flag.Int("n", 100, "total requests")
 	c := flag.Int("c", 8, "concurrent clients")
 	trees := flag.Int("trees", 4, "distinct synthetic instances to cycle through")
 	nodes := flag.Int("nodes", 2000, "nodes per synthetic instance")
-	seed := flag.Int64("seed", 1, "random seed of the instance synthesis")
+	seed := flag.Int64("seed", 1, "random seed of the instance synthesis, client jitter and chaos schedule")
 	waitMS := flag.Int64("wait-ms", 0, "admission wait each request declares (0 = fail fast)")
+	retries := flag.Int("retries", 0, "route requests through the resuming retry client with this attempt budget (0 = plain single-shot POSTs)")
+	chaos := flag.Bool("chaos", false, "interpose a seeded fault-injecting TCP proxy between the clients and the daemon (implies -retries 8 when unset)")
+	chaosFaults := flag.Int64("chaos-faults", 0, "total fault budget of the chaos proxy, after which connections run clean (0 = 2 per request)")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
-	if *url == "" || *n <= 0 || *c <= 0 || *trees <= 0 {
+	if *urlFlag == "" || *n <= 0 || *c <= 0 || *trees <= 0 {
 		fmt.Fprintln(os.Stderr, "schedload: need -url, positive -n, -c and -trees")
 		os.Exit(1)
 	}
+	if *chaos && *retries == 0 {
+		*retries = 8
+	}
 
-	bodies := makeBodies(*trees, *nodes, *seed, *waitMS)
-	rep := drive(*url, *n, *c, bodies)
+	var rep *Report
+	if *retries > 0 {
+		insts := makeInstances(*trees, *nodes, *seed, *waitMS)
+		base := *urlFlag
+		var proxy *chaosnet.Proxy
+		if *chaos {
+			u, perr := url.Parse(*urlFlag)
+			if perr != nil || u.Host == "" {
+				fmt.Fprintf(os.Stderr, "schedload: -chaos needs a host in -url, got %q\n", *urlFlag)
+				os.Exit(1)
+			}
+			budget := *chaosFaults
+			if budget == 0 {
+				budget = int64(*n) * 2
+			}
+			var err error
+			proxy, err = chaosnet.New(chaosnet.Config{
+				Target:        u.Host,
+				Seed:          *seed,
+				ResetProb:     0.25,
+				TruncProb:     0.25,
+				StallProb:     0.1,
+				ThrottleProb:  0.1,
+				StallDur:      50 * time.Millisecond,
+				FaultAfterMax: 64 << 10,
+				MaxFaults:     budget,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "schedload:", err)
+				os.Exit(1)
+			}
+			defer proxy.Close()
+			base = "http://" + proxy.Addr()
+		}
+		rep = driveClient(base, *n, *c, *retries, *seed, *chaos, insts)
+		if proxy != nil {
+			st := proxy.Stats()
+			rep.Chaos = &st
+		}
+	} else {
+		bodies := makeBodies(*trees, *nodes, *seed, *waitMS)
+		rep = drive(*urlFlag, *n, *c, bodies)
+	}
 	if err := writeReport(rep, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "schedload:", err)
 		os.Exit(1)
@@ -95,11 +161,58 @@ func makeBodies(trees, nodes int, seed, waitMS int64) [][]byte {
 	return bodies
 }
 
+// instance pairs one synthesized request with the ground truth its served
+// stream must reproduce byte-for-byte: a local, uninterrupted RunStream of
+// the same instance under the same mid bound and default algorithm.
+type instance struct {
+	req  schedd.Request
+	want []byte
+}
+
+// makeInstances synthesizes the client-mode workload: the same instances
+// makeBodies would produce, plus the locally computed expected stream.
+func makeInstances(trees, nodes int, seed, waitMS int64) []instance {
+	rng := rand.New(rand.NewSource(seed))
+	insts := make([]instance, 0, trees)
+	for len(insts) < trees {
+		tr := randtree.Synth(nodes, rng)
+		in := core.NewInstance("load", tr)
+		if !in.NeedsIO() {
+			continue
+		}
+		raw, err := json.Marshal(tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedload:", err)
+			os.Exit(1)
+		}
+		var buf bytes.Buffer
+		rn := core.NewRunner(0)
+		if _, err := tree.WriteSchedule(&buf, func(yield func(seg []int) bool) bool {
+			_, rerr := rn.RunStream(core.RecExpand, tr, in.M(core.BoundMid), yield)
+			return rerr == nil
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "schedload: computing expected stream:", err)
+			os.Exit(1)
+		}
+		insts = append(insts, instance{
+			req: schedd.Request{
+				Tree:   raw,
+				Mid:    true,
+				WaitMS: waitMS,
+				Name:   fmt.Sprintf("load-%d", len(insts)),
+			},
+			want: buf.Bytes(),
+		})
+	}
+	return insts
+}
+
 // Report is the JSON output of one load run.
 type Report struct {
 	// Requests is the total issued; Served counts sealed 200 streams;
-	// Rejected counts 429 load-shed answers; Failed counts transport
-	// errors, non-2xx/429 statuses and unsealed streams.
+	// Rejected counts 429 load-shed answers (and, in client mode, requests
+	// whose retry budget ran out); Failed counts transport errors,
+	// non-2xx/429 statuses, unsealed streams and ground-truth mismatches.
 	Requests, Served, Rejected, Failed int
 	// LatencyMS holds the served-request latency percentiles.
 	LatencyMS Percentiles `json:"latency_ms"`
@@ -107,6 +220,31 @@ type Report struct {
 	// requests per second over it.
 	WallMS        float64 `json:"wall_ms"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+	// Client holds the retry client's recovery counters; set when -retries
+	// or -chaos routed the run through internal/schedclient.
+	Client *ClientStats `json:"client,omitempty"`
+	// Chaos is the fault proxy's tally; set with -chaos.
+	Chaos *chaosnet.Stats `json:"chaos,omitempty"`
+}
+
+// ClientStats aggregates the recovery work the retrying client did across
+// the run — the cost of the chaos survived, not just the fact of survival.
+type ClientStats struct {
+	// Attempts counts POSTs made; Retries those after a failed attempt;
+	// Resumes those that carried a non-zero resume_from.
+	Attempts, Retries, Resumes int
+	// Exhausted counts requests whose retry budget ran out (persistent
+	// admission pressure or chaos outlasting the attempt budget; folded
+	// into Rejected); Mismatched counts reassembled streams that diverged
+	// from the locally computed ground truth — always a bug, folded into
+	// Failed.
+	Exhausted, Mismatched int
+	// BytesDiscarded is the spooled bytes trimmed as untrusted across all
+	// requests (torn lines, truncation markers).
+	BytesDiscarded int64
+	// GoodputBPS is verified schedule bytes delivered per second of wall
+	// clock — the end-to-end rate after paying for retries and re-sends.
+	GoodputBPS float64 `json:"goodput_bps"`
 }
 
 // Percentiles summarizes a latency distribution in milliseconds.
@@ -190,6 +328,118 @@ func drive(base string, n, c int, bodies [][]byte) *Report {
 	rep.LatencyMS = percentiles(lat)
 	if wall > 0 {
 		rep.ThroughputRPS = float64(rep.Served) / wall.Seconds()
+	}
+	return rep
+}
+
+// driveClient fires n requests from c workers through one shared retrying
+// client, verifying every reassembled stream against its instance's
+// locally computed ground truth. Under -chaos each request gets a fresh
+// connection (keep-alives off) so it draws its own fault plan from the
+// proxy.
+func driveClient(base string, n, c, retries int, seed int64, chaosMode bool, insts []instance) *Report {
+	hc := http.DefaultClient
+	if chaosMode {
+		hc = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	}
+	cl := schedclient.New(schedclient.Config{
+		BaseURL:     base,
+		HTTPClient:  hc,
+		MaxAttempts: retries,
+		Seed:        seed,
+	})
+	type sample struct {
+		latency   time.Duration
+		res       *schedclient.Result
+		mismatch  bool
+		exhausted bool
+		rejected  bool
+		err       error
+	}
+	samples := make([]sample, n)
+	var idx int64
+	var mu sync.Mutex
+	next := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if idx >= int64(n) {
+			return -1
+		}
+		idx++
+		return int(idx - 1)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next()
+				if i < 0 {
+					return
+				}
+				inst := insts[i%len(insts)]
+				t0 := time.Now()
+				res, err := cl.Stream(context.Background(), inst.req)
+				switch {
+				case err == nil:
+					samples[i] = sample{
+						latency:  time.Since(t0),
+						res:      res,
+						mismatch: !bytes.Equal(res.Stream, inst.want),
+					}
+				case errors.Is(err, schedclient.ErrAttemptsExhausted):
+					samples[i] = sample{exhausted: true, err: err}
+				default:
+					var se *schedclient.StatusError
+					if errors.As(err, &se) && se.Status == http.StatusTooManyRequests {
+						samples[i] = sample{rejected: true, err: err}
+					} else {
+						samples[i] = sample{err: err}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{Requests: n, WallMS: float64(wall.Microseconds()) / 1e3, Client: &ClientStats{}}
+	var lat []float64
+	var goodBytes int64
+	for i, s := range samples {
+		if s.res != nil {
+			rep.Client.Attempts += s.res.Attempts
+			rep.Client.Retries += s.res.Retries
+			rep.Client.Resumes += s.res.Resumes
+			rep.Client.BytesDiscarded += s.res.BytesDiscarded
+		}
+		switch {
+		case s.mismatch:
+			rep.Client.Mismatched++
+			rep.Failed++
+			fmt.Fprintf(os.Stderr, "schedload: request %d: reassembled stream diverges from the local ground truth\n", i)
+		case s.res != nil:
+			rep.Served++
+			goodBytes += int64(len(s.res.Stream))
+			lat = append(lat, float64(s.latency.Microseconds())/1e3)
+		case s.exhausted:
+			rep.Client.Exhausted++
+			rep.Rejected++
+		case s.rejected:
+			rep.Rejected++
+		default:
+			rep.Failed++
+			if s.err != nil {
+				fmt.Fprintf(os.Stderr, "schedload: request %d: %v\n", i, s.err)
+			}
+		}
+	}
+	rep.LatencyMS = percentiles(lat)
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.Served) / wall.Seconds()
+		rep.Client.GoodputBPS = float64(goodBytes) / wall.Seconds()
 	}
 	return rep
 }

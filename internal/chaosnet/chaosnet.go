@@ -1,0 +1,314 @@
+// Package chaosnet is a seeded deterministic TCP fault proxy: it sits
+// between a client and a server and injects the network failures the
+// serving path must survive — connection resets (RST), clean mid-body
+// truncation (FIN), latency spikes, and throughput throttling. Each
+// accepted connection draws a fault plan from one seeded rng, so a run is
+// reproducible from its seed, and an optional fault budget guarantees the
+// chaos eventually dries up and every retried request can complete.
+//
+// Faults are injected on the server→client direction — the schedule
+// stream — which is where a byte lost or a connection torn must be
+// recovered by the client's repair-and-resume loop, not where it merely
+// fails a request before any work happened.
+package chaosnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// faultKind enumerates what a connection's plan does to it.
+type faultKind int
+
+const (
+	faultNone     faultKind = iota
+	faultReset              // RST the client mid-body (SetLinger(0) + close)
+	faultTruncate           // clean FIN mid-body
+	faultStall              // one latency spike mid-stream, then continue
+	faultThrottle           // rate-limit the rest of the stream
+)
+
+// Config carries the proxy policy. All probabilities are per-connection
+// and drawn in accept order from one rng seeded with Seed.
+type Config struct {
+	// Target is the server address proxied to (host:port). Mandatory at
+	// New; changeable later via SetTarget (drain failover).
+	Target string
+	// Seed fixes the fault schedule; 0 means 1.
+	Seed int64
+	// ResetProb, TruncProb, StallProb and ThrottleProb select each fault
+	// kind; their sum must be ≤ 1, the remainder is clean connections.
+	ResetProb, TruncProb, StallProb, ThrottleProb float64
+	// FaultAfterMax bounds how many server→client bytes pass before a
+	// reset/truncate fires (drawn uniformly from [1, FaultAfterMax]); 0
+	// means 4096. Small values tear streams early, large ones late.
+	FaultAfterMax int64
+	// StallDur is the injected latency spike; 0 means 200ms.
+	StallDur time.Duration
+	// ThrottleBytesPerSec is the throttled rate; 0 means 16KiB/s.
+	ThrottleBytesPerSec int64
+	// MaxFaults, when positive, caps the injected faults: once spent,
+	// every further connection is clean, so a bounded retry loop is
+	// guaranteed to finish. 0 means unlimited.
+	MaxFaults int64
+}
+
+// withDefaults resolves the zero-value policy knobs.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FaultAfterMax == 0 {
+		c.FaultAfterMax = 4096
+	}
+	if c.StallDur == 0 {
+		c.StallDur = 200 * time.Millisecond
+	}
+	if c.ThrottleBytesPerSec == 0 {
+		c.ThrottleBytesPerSec = 16 << 10
+	}
+	return c
+}
+
+// Stats counts the proxy's traffic and injected faults.
+type Stats struct {
+	// Conns counts accepted connections; Clean those that ran unfaulted.
+	Conns, Clean int64
+	// Resets, Truncates, Stalls and Throttles count injected faults by
+	// kind.
+	Resets, Truncates, Stalls, Throttles int64
+	// BytesDown is the server→client bytes actually forwarded.
+	BytesDown int64
+}
+
+// plan is one connection's drawn fate.
+type plan struct {
+	kind    faultKind
+	fireAt  int64 // server→client bytes before the fault fires
+	stall   time.Duration
+	bytesPS int64
+}
+
+// Proxy is a running chaos proxy. Construct with New, point clients at
+// Addr, stop with Close.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	target string
+	rng    *rand.Rand
+	spent  int64
+	stats  Stats
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port, forwarding to cfg.Target.
+func New(cfg Config) (*Proxy, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("chaosnet: Target is mandatory")
+	}
+	if s := cfg.ResetProb + cfg.TruncProb + cfg.StallProb + cfg.ThrottleProb; s > 1 {
+		return nil, fmt.Errorf("chaosnet: fault probabilities sum to %v > 1", s)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaosnet: listening: %w", err)
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		ln:     ln,
+		target: cfg.Target,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTarget repoints the proxy at a new server address; connections
+// already in flight keep their old target. This is the drain-failover
+// hook: kill server A, repoint at server B, and resumed requests must
+// pick up from A's checkpoints.
+func (p *Proxy) SetTarget(addr string) {
+	p.mu.Lock()
+	p.target = addr
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close stops accepting, tears down in-flight connections' listener side,
+// and waits for the handler goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// acceptLoop draws a plan per connection, in accept order, and hands it
+// to a handler goroutine.
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		pl, target := p.draw()
+		p.wg.Add(1)
+		go p.handle(c, pl, target)
+	}
+}
+
+// draw picks the next connection's plan and target under the lock — the
+// rng consumption order is the accept order, which is what the seed
+// reproduces.
+func (p *Proxy) draw() (plan, string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Conns++
+	pl := plan{kind: faultNone}
+	if p.cfg.MaxFaults == 0 || p.spent < p.cfg.MaxFaults {
+		r := p.rng.Float64()
+		switch {
+		case r < p.cfg.ResetProb:
+			pl.kind = faultReset
+		case r < p.cfg.ResetProb+p.cfg.TruncProb:
+			pl.kind = faultTruncate
+		case r < p.cfg.ResetProb+p.cfg.TruncProb+p.cfg.StallProb:
+			pl.kind = faultStall
+		case r < p.cfg.ResetProb+p.cfg.TruncProb+p.cfg.StallProb+p.cfg.ThrottleProb:
+			pl.kind = faultThrottle
+		}
+	}
+	switch pl.kind {
+	case faultNone:
+		p.stats.Clean++
+	case faultReset:
+		p.spent++
+		p.stats.Resets++
+		pl.fireAt = 1 + p.rng.Int63n(p.cfg.FaultAfterMax)
+	case faultTruncate:
+		p.spent++
+		p.stats.Truncates++
+		pl.fireAt = 1 + p.rng.Int63n(p.cfg.FaultAfterMax)
+	case faultStall:
+		p.spent++
+		p.stats.Stalls++
+		pl.fireAt = 1 + p.rng.Int63n(p.cfg.FaultAfterMax)
+		pl.stall = p.cfg.StallDur
+	case faultThrottle:
+		p.spent++
+		p.stats.Throttles++
+		pl.fireAt = 1 + p.rng.Int63n(p.cfg.FaultAfterMax)
+		pl.bytesPS = p.cfg.ThrottleBytesPerSec
+	}
+	return pl, p.target
+}
+
+// handle proxies one connection under its plan.
+func (p *Proxy) handle(client net.Conn, pl plan, target string) {
+	defer p.wg.Done()
+	defer client.Close()
+	server, err := net.Dial("tcp", target)
+	if err != nil {
+		// Target down (a drain window): drop the client, its retry will
+		// land on the repointed target.
+		return
+	}
+	defer server.Close()
+
+	// Upstream direction runs clean: requests are small, and faulting
+	// them only rejects work before it starts.
+	go func() {
+		_, _ = io.Copy(server, client)
+		if tc, ok := server.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+
+	p.copyDown(client, server, pl)
+}
+
+// copyDown forwards server→client, firing the plan's fault at its byte
+// offset. Small chunks keep the fault offset sharp relative to the
+// stream's framing.
+func (p *Proxy) copyDown(client, server net.Conn, pl plan) {
+	buf := make([]byte, 1024)
+	var fwd int64
+	fired := false
+	for {
+		n, rerr := server.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if !fired && pl.kind != faultNone && fwd+int64(n) >= pl.fireAt {
+				fired = true
+				switch pl.kind {
+				case faultReset:
+					// Forward the partial chunk up to the fault offset,
+					// then RST: SetLinger(0) discards the send queue and
+					// closes with a reset, which the client observes as a
+					// mid-body connection error.
+					cut := pl.fireAt - fwd
+					p.forward(client, chunk[:cut])
+					if tc, ok := client.(*net.TCPConn); ok {
+						_ = tc.SetLinger(0)
+					}
+					return
+				case faultTruncate:
+					// Clean FIN mid-body: the HTTP framing is torn, so the
+					// client sees an unexpected EOF and must repair.
+					cut := pl.fireAt - fwd
+					p.forward(client, chunk[:cut])
+					return
+				case faultStall:
+					time.Sleep(pl.stall)
+				case faultThrottle:
+					// Handled below per chunk once fired.
+				}
+			}
+			if fired && pl.kind == faultThrottle && pl.bytesPS > 0 {
+				time.Sleep(time.Duration(int64(n) * int64(time.Second) / pl.bytesPS))
+			}
+			if !p.forward(client, chunk) {
+				return
+			}
+			fwd += int64(n)
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// forward writes one chunk to the client and tallies it; false means the
+// client side is gone.
+func (p *Proxy) forward(client net.Conn, chunk []byte) bool {
+	if len(chunk) == 0 {
+		return true
+	}
+	n, err := client.Write(chunk)
+	p.mu.Lock()
+	p.stats.BytesDown += int64(n)
+	p.mu.Unlock()
+	return err == nil
+}

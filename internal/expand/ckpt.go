@@ -185,21 +185,24 @@ func (ck *ckptRunner) write() error {
 }
 
 // flushOnCancel is the drain hook of a checkpoint-armed run: when err is a
-// context cancellation (a graceful drain, a SIGTERM, a request timeout)
-// and events are pending since the last durable write, the runner's latest
-// committed state is flushed so a resume continues from the drain point
-// instead of up to Interval events earlier. The state written is always a
-// committed quiescent one — noteExp/commitLoop/commitEmit keep the
-// in-memory runner consistent between events — so the flushed checkpoint
-// is indistinguishable from a periodic one. err is returned unchanged; a
+// context cancellation (a graceful drain, a SIGTERM, a request timeout) or
+// a consumer-stopped emission (ErrEmissionStopped — a serving client that
+// went away or was sealed for reading too slowly) and events are pending
+// since the last durable write, the runner's latest committed state is
+// flushed so a resume continues from the interruption point instead of up
+// to Interval events earlier. The state written is always a committed
+// quiescent one — noteExp/commitLoop/commitEmit keep the in-memory runner
+// consistent between events — so the flushed checkpoint is
+// indistinguishable from a periodic one. err is returned unchanged; a
 // failed flush is ignored, because the previous durable checkpoint remains
 // valid and the caller is already failing with the more meaningful
-// cancellation error. Safe on a nil (disarmed) runner.
+// interruption error. Safe on a nil (disarmed) runner.
 func (ck *ckptRunner) flushOnCancel(err error) error {
 	if ck == nil || err == nil {
 		return err
 	}
-	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, ErrEmissionStopped) {
 		return err
 	}
 	if ck.pending > 0 {

@@ -535,7 +535,10 @@ func (e *Engine) finishStream(ctx context.Context, t *tree.Tree, m *MutableTree,
 	simIO, simPeak, err := e.sim.RunStreamCtx(ctx, t, t.Root(), M, emitPrimary, memsim.FiF)
 	if err != nil {
 		if stopped {
-			return nil, ErrEmissionStopped
+			// The consumer went away mid-emission: flush the committed
+			// state (emission progress included) so the interrupted run is
+			// resumable — the slow-client seal path of the serving layer.
+			return nil, ck.flushOnCancel(ErrEmissionStopped)
 		}
 		if ckErr != nil {
 			return nil, ckErr

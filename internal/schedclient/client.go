@@ -1,0 +1,280 @@
+// Package schedclient is the retrying consumer of the schedd serving API:
+// it POSTs a scheduling request, spools the streamed schedule, and — on a
+// mid-body disconnect, a truncation trailer, or a retryable status — trims
+// the spool to its trusted prefix (tree.RepairSchedule semantics) and
+// re-POSTs with the same idempotency key and resume_from set to the
+// verified id count, so the server re-emits only the missing tail and the
+// reassembled stream is byte-identical to an uninterrupted one. Backoff is
+// exponential with jitter and honors Retry-After.
+package schedclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/schedd"
+	"repro/internal/tree"
+)
+
+// ErrAttemptsExhausted is returned when every allowed attempt failed
+// retryably; the last attempt's error is attached to the message.
+var ErrAttemptsExhausted = errors.New("schedclient: attempts exhausted")
+
+// StatusError is a non-200 response from the daemon, terminal or
+// retryable per RetryableStatus.
+type StatusError struct {
+	// Status is the HTTP status code; Body the (truncated) response text.
+	Status int
+	Body   string
+}
+
+// Error formats the status and the server's explanation.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("schedclient: server returned %d: %s", e.Status, e.Body)
+}
+
+// RetryableStatus reports whether a status is worth retrying: 429 (budget
+// pressure, comes with Retry-After) and the 5xx family (overload, drain,
+// contained faults). Everything else — 400, 404, 409, 413, 422 — states a
+// property of the request itself, which no retry can change.
+func RetryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// Config carries the client policy. Zero fields take the documented
+// defaults; BaseURL is mandatory.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds POSTs per Stream call (first try included); 0
+	// means 8.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (doubled per retry,
+	// jittered to [d/2, d]); 0 means 50ms. MaxBackoff caps it; 0 means 2s.
+	BaseBackoff, MaxBackoff time.Duration
+	// MaxRetryAfter caps how long a server-sent Retry-After is honored
+	// for; 0 means 30s.
+	MaxRetryAfter time.Duration
+	// Seed fixes the jitter/key randomness for reproducible runs; 0 means 1.
+	Seed int64
+	// Logger receives one line per retry; nil means discard (retries are
+	// the expected path under chaos, not events worth default noise).
+	Logger *slog.Logger
+}
+
+// withDefaults resolves the zero-value policy knobs.
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BaseBackoff == 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.MaxRetryAfter == 0 {
+		c.MaxRetryAfter = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Client is a retrying schedd consumer. Safe for concurrent use; one
+// Client is meant to be shared by every requesting goroutine of a load
+// driver.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a Client over the given policy.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Result is one successfully reassembled schedule stream.
+type Result struct {
+	// Stream is the complete stream bytes — id lines plus the end trailer,
+	// byte-identical to an uninterrupted server emission. IDs is its id
+	// count.
+	Stream []byte
+	IDs    int64
+	// Attempts counts POSTs made; Retries those after the first; Resumes
+	// those that carried a non-zero resume_from.
+	Attempts, Retries, Resumes int
+	// BytesDiscarded is the spooled bytes trimmed as untrusted across the
+	// call (torn lines, truncation markers) — the direct cost of the
+	// faults survived.
+	BytesDiscarded int64
+}
+
+// Schedule parses the reassembled stream, demanding the completeness
+// proof (tree.ReadScheduleStrict).
+func (r *Result) Schedule() (tree.Schedule, error) {
+	return tree.ReadScheduleStrict(bytes.NewReader(r.Stream))
+}
+
+// Stream runs one scheduling request to completion through retries and
+// resumes. If req carries no IdempotencyKey one is generated, so every
+// retry of this call binds to the same server-side journal entry; the
+// caller-set ResumeFrom is ignored (the client owns the resume cursor).
+// Terminal statuses surface as *StatusError; exhausted retries as
+// ErrAttemptsExhausted.
+func (c *Client) Stream(ctx context.Context, req schedd.Request) (*Result, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = c.genKey()
+	}
+	res := &Result{}
+	var spool []byte
+	var verified int64
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		res.Attempts++
+		if attempt > 1 {
+			res.Retries++
+		}
+		if verified > 0 {
+			res.Resumes++
+		}
+		req.ResumeFrom = verified
+
+		var retryAfter time.Duration
+		done, err := c.try(ctx, &req, &spool, &verified, res, &retryAfter)
+		if done {
+			return res, nil
+		}
+		if err != nil {
+			var se *StatusError
+			if errors.As(err, &se) && !RetryableStatus(se.Status) {
+				return nil, err
+			}
+			lastErr = err
+		}
+		if attempt >= c.cfg.MaxAttempts {
+			return nil, fmt.Errorf("%w after %d attempts: %v", ErrAttemptsExhausted, res.Attempts, lastErr)
+		}
+		wait := c.backoff(attempt)
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Info("schedclient: retrying",
+				"attempt", attempt, "wait", wait, "verified_ids", verified,
+				"err", fmt.Sprint(lastErr))
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("schedclient: %w (last attempt: %v)", ctx.Err(), lastErr)
+		}
+	}
+}
+
+// try makes one POST and folds its outcome into the spool. done reports
+// success (res holds the finished stream); otherwise err says what went
+// wrong and retryAfter carries a server-requested wait, if any.
+func (c *Client) try(ctx context.Context, req *schedd.Request, spool *[]byte, verified *int64, res *Result, retryAfter *time.Duration) (done bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false, &StatusError{Status: http.StatusBadRequest, Body: err.Error()}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/schedule", bytes.NewReader(body))
+	if err != nil {
+		return false, &StatusError{Status: http.StatusBadRequest, Body: err.Error()}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(hreq)
+	if err != nil {
+		return false, fmt.Errorf("schedclient: transport: %w", err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		se := &StatusError{Status: resp.StatusCode, Body: strings.TrimSpace(string(b))}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				d := time.Duration(secs) * time.Second
+				if d > c.cfg.MaxRetryAfter {
+					d = c.cfg.MaxRetryAfter
+				}
+				*retryAfter = d
+			}
+		}
+		return false, se
+	}
+
+	// 200: spool the body. A read error here is a mid-body disconnect —
+	// whatever arrived is kept, then trimmed to its trusted prefix below.
+	data, rerr := io.ReadAll(resp.Body)
+	*spool = append(*spool, data...)
+
+	// Trim to the trusted prefix. Damage is expected input (that is the
+	// point of the repair pass); only the repaired prefix advances the
+	// resume cursor, so a lying server can cost work, never correctness.
+	ids, safeOff, complete, _ := tree.RepairSchedule(bytes.NewReader(*spool))
+	res.BytesDiscarded += int64(len(*spool)) - safeOff
+	*spool = (*spool)[:safeOff]
+	*verified = ids
+	if complete {
+		// The end trailer matched the id count: the reassembled spool IS
+		// the uninterrupted stream, whatever this attempt's transport did
+		// after sealing it.
+		res.Stream = *spool
+		res.IDs = ids
+		return true, nil
+	}
+	switch {
+	case rerr != nil:
+		return false, fmt.Errorf("schedclient: reading stream: %w", rerr)
+	case resp.Trailer.Get("X-Schedd-Error") != "":
+		return false, fmt.Errorf("schedclient: server stream error: %s: %w",
+			resp.Trailer.Get("X-Schedd-Error"), tree.ErrTruncatedSchedule)
+	default:
+		return false, fmt.Errorf("schedclient: stream ended without a trailer after %d ids: %w",
+			ids, tree.ErrTruncatedSchedule)
+	}
+}
+
+// backoff is the jittered exponential wait before retry number attempt+1:
+// uniformly drawn from [d/2, d] for d = min(Base·2^(attempt-1), Max).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d <= 0 || d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	half := d / 2
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(half) + 1))
+	c.mu.Unlock()
+	return half + j
+}
+
+// genKey mints a fresh idempotency key from the client's seeded rng.
+func (c *Client) genKey() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("sc-%016x%016x", c.rng.Uint64(), c.rng.Uint64())
+}

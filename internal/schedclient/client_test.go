@@ -1,0 +1,284 @@
+package schedclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/schedd"
+	"repro/internal/tree"
+)
+
+// flakyServer emulates the schedd serving contract — WriteScheduleAt over
+// a fixed schedule, honoring resume_from — while failing each attempt
+// according to its plan: "429", "503", "409", "cut:N" (tear the
+// connection after N body bytes), "trunc" (graceful truncation trailer
+// mid-stream), "ok". Attempts beyond the plan serve cleanly.
+type flakyServer struct {
+	sched tree.Schedule
+	plan  []string
+
+	mu       sync.Mutex
+	attempts int
+	keys     []string
+}
+
+func (f *flakyServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var req schedd.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	act := "ok"
+	if f.attempts < len(f.plan) {
+		act = f.plan[f.attempts]
+	}
+	f.attempts++
+	f.keys = append(f.keys, req.IdempotencyKey)
+	f.mu.Unlock()
+
+	switch {
+	case act == "429":
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "budget busy", http.StatusTooManyRequests)
+	case act == "503":
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case act == "409":
+		http.Error(w, "key bound to a different request", http.StatusConflict)
+	case strings.HasPrefix(act, "cut:"):
+		n, _ := strconv.Atoi(strings.TrimPrefix(act, "cut:"))
+		var buf bytes.Buffer
+		_, _ = tree.WriteScheduleAt(&buf, req.ResumeFrom, f.sched.Emit)
+		if n > buf.Len() {
+			n = buf.Len() / 2
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.Bytes()[:n])
+		panic(http.ErrAbortHandler) // mid-body connection tear
+	case act == "trunc":
+		w.Header().Set("Trailer", "X-Schedd-Error")
+		w.WriteHeader(http.StatusOK)
+		_, _ = tree.WriteScheduleAt(w, req.ResumeFrom, func(yield func(seg []int) bool) bool {
+			yield(f.sched[:len(f.sched)/2])
+			return false // graceful early stop: truncation trailer
+		})
+		w.Header().Set("X-Schedd-Error", "drained")
+	default:
+		w.WriteHeader(http.StatusOK)
+		_, _ = tree.WriteScheduleAt(w, req.ResumeFrom, f.sched.Emit)
+	}
+}
+
+// testSched is an arbitrary permutation: the client never interprets ids,
+// so a synthetic schedule exercises the full repair/resume path.
+func testSched(n int) tree.Schedule {
+	s := make(tree.Schedule, n)
+	for i := range s {
+		s[i] = (i*7 + 3) % n
+	}
+	return s
+}
+
+// wantStream renders the uninterrupted emission of s.
+func wantStream(t *testing.T, s tree.Schedule) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tree.WriteSchedule(&buf, s.Emit); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fastClient builds a client with test-speed backoff against srv.
+func fastClient(srv *httptest.Server) *Client {
+	return New(Config{
+		BaseURL:       srv.URL,
+		HTTPClient:    srv.Client(),
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    5 * time.Millisecond,
+		MaxRetryAfter: 5 * time.Millisecond,
+		Seed:          7,
+	})
+}
+
+// request is a minimal valid request body (the flaky server ignores the
+// instance fields).
+func request() schedd.Request {
+	return schedd.Request{Tree: json.RawMessage(`{}`), M: 100}
+}
+
+// TestClientCleanPath: no faults, one attempt, byte-identical stream.
+func TestClientCleanPath(t *testing.T) {
+	sched := testSched(500)
+	fs := &flakyServer{sched: sched}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	res, err := fastClient(srv).Stream(context.Background(), request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Stream, wantStream(t, sched)) {
+		t.Fatal("stream diverges")
+	}
+	if res.Attempts != 1 || res.Retries != 0 || res.Resumes != 0 {
+		t.Fatalf("counters = %+v", res)
+	}
+	if _, err := res.Schedule(); err != nil {
+		t.Fatalf("strict parse: %v", err)
+	}
+}
+
+// TestClientResumesAfterMidBodyCut: a torn connection mid-stream is
+// repaired to the trusted prefix and resumed; the reassembled stream is
+// byte-identical to the uninterrupted one, under one idempotency key.
+func TestClientResumesAfterMidBodyCut(t *testing.T) {
+	sched := testSched(5000)
+	fs := &flakyServer{sched: sched, plan: []string{"cut:10001", "cut:17"}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	res, err := fastClient(srv).Stream(context.Background(), request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Stream, wantStream(t, sched)) {
+		t.Fatal("reassembled stream diverges from the uninterrupted one")
+	}
+	if res.Attempts != 3 || res.Retries != 2 || res.Resumes == 0 {
+		t.Fatalf("counters = %+v", res)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, k := range fs.keys {
+		if k == "" || k != fs.keys[0] {
+			t.Fatalf("idempotency keys not stable across attempts: %q", fs.keys)
+		}
+	}
+}
+
+// TestClientResumesAfterTruncationTrailer: a gracefully truncated stream
+// (drain) is recognized via its marker, trimmed, and resumed.
+func TestClientResumesAfterTruncationTrailer(t *testing.T) {
+	sched := testSched(3000)
+	fs := &flakyServer{sched: sched, plan: []string{"trunc"}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	res, err := fastClient(srv).Stream(context.Background(), request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Stream, wantStream(t, sched)) {
+		t.Fatal("reassembled stream diverges")
+	}
+	if res.Resumes != 1 || res.BytesDiscarded == 0 {
+		// The truncation marker line itself must be discarded.
+		t.Fatalf("counters = %+v", res)
+	}
+}
+
+// TestClientRetriesStatuses: 429 (honoring its capped Retry-After) and
+// 503 are retried through to success.
+func TestClientRetriesStatuses(t *testing.T) {
+	sched := testSched(200)
+	fs := &flakyServer{sched: sched, plan: []string{"429", "503"}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	start := time.Now()
+	res, err := fastClient(srv).Stream(context.Background(), request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Attempts)
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Fatalf("Retry-After cap not honored, took %v", el)
+	}
+	if !bytes.Equal(res.Stream, wantStream(t, sched)) {
+		t.Fatal("stream diverges")
+	}
+}
+
+// TestClientTerminalStatus: 409 is terminal — one attempt, a StatusError.
+func TestClientTerminalStatus(t *testing.T) {
+	fs := &flakyServer{sched: testSched(50), plan: []string{"409", "ok"}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	_, err := fastClient(srv).Stream(context.Background(), request())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusConflict {
+		t.Fatalf("err = %v, want 409 StatusError", err)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.attempts != 1 {
+		t.Fatalf("terminal status retried: %d attempts", fs.attempts)
+	}
+}
+
+// TestClientExhaustsAttempts: permanent overload surfaces as
+// ErrAttemptsExhausted after exactly MaxAttempts tries.
+func TestClientExhaustsAttempts(t *testing.T) {
+	fs := &flakyServer{sched: testSched(50), plan: []string{"503", "503", "503", "503", "503", "503", "503", "503", "503", "503"}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	c := New(Config{
+		BaseURL: srv.URL, HTTPClient: srv.Client(),
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+	})
+	_, err := c.Stream(context.Background(), request())
+	if !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("err = %v, want ErrAttemptsExhausted", err)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", fs.attempts)
+	}
+}
+
+// TestClientContextCancel: a cancelled context stops the retry loop.
+func TestClientContextCancel(t *testing.T) {
+	fs := &flakyServer{sched: testSched(50), plan: []string{"503", "503", "503"}}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	c := New(Config{
+		BaseURL: srv.URL, HTTPClient: srv.Client(),
+		BaseBackoff: 50 * time.Millisecond, MaxBackoff: time.Second,
+	})
+	_, err := c.Stream(ctx, request())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestRetryableStatus pins the classification table.
+func TestRetryableStatus(t *testing.T) {
+	for _, code := range []int{429, 500, 502, 503, 504} {
+		if !RetryableStatus(code) {
+			t.Errorf("%d should be retryable", code)
+		}
+	}
+	for _, code := range []int{400, 404, 409, 413, 422} {
+		if RetryableStatus(code) {
+			t.Errorf("%d should be terminal", code)
+		}
+	}
+}

@@ -209,6 +209,10 @@ type BrokerStats struct {
 	// Leases is the number of outstanding leases; Waiting the number of
 	// blocked Acquire calls.
 	Leases, Waiting int
+	// WaitingCost is the summed lease cost of the blocked Acquire calls —
+	// with Used, the demand ahead of a new arrival, which is what the
+	// server's Retry-After estimate is derived from.
+	WaitingCost int64
 	// Granted and Rejected count admission outcomes since construction
 	// (Rejected includes oversize and timed-out waits).
 	Granted, Rejected int64
@@ -218,9 +222,15 @@ type BrokerStats struct {
 func (b *Broker) Stats() BrokerStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var wcost int64
+	for _, w := range b.waiters {
+		if w != nil && !w.granted && !w.abandoned {
+			wcost += w.cost
+		}
+	}
 	return BrokerStats{
 		Total: b.total, Used: b.used, PeakUsed: b.peakUsed,
-		Leases: b.leases, Waiting: b.waiting(),
+		Leases: b.leases, Waiting: b.waiting(), WaitingCost: wcost,
 		Granted: b.granted, Rejected: b.rejected,
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
@@ -146,5 +148,69 @@ func TestServeFaultConcurrentIsolation(t *testing.T) {
 	// Both streams are strict-readable traversals.
 	if _, err := tree.ReadScheduleStrict(bytes.NewReader(want)); err != nil {
 		t.Fatalf("stream not strict-readable: %v", err)
+	}
+}
+
+// TestWriteDeadlineSealFault is the WriterStall-armed grid row of the
+// slow-client seal path: with a per-write deadline far below the injected
+// 100ms stall, the stalled flush trips the seal — the engine is cancelled
+// at its next quiescent point, the stream ends with the truncation
+// trailer, and the keyed checkpoint is flushed — after which a re-POST of
+// the same key resumes from the client's verified prefix and the
+// reassembled stream is byte-identical to an uninterrupted one.
+func TestWriteDeadlineSealFault(t *testing.T) {
+	defer faultinject.Reset()
+	ckptDir := t.TempDir()
+	// Big enough that the stream spans several 64KiB flushes, so the
+	// armed stall lands mid-stream with emission still pending.
+	tr, M := testInstance(t, 20000, 41)
+	want := expectedStream(t, core.RecExpand, tr, M)
+	s := newTestServer(t, Config{
+		CheckpointDir: ckptDir,
+		WriteTimeout:  5 * time.Millisecond,
+	})
+	h := s.Handler()
+	const key = "seal-fault-1"
+	body := mustBody(t, Request{Tree: mustRaw(t, tr), M: M, IdempotencyKey: key})
+
+	faultinject.Reset()
+	faultinject.Arm(faultinject.WriterStall, 1)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule", bytes.NewReader(body)))
+	faultinject.Reset()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sealed run status %d", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("# truncated count=")) {
+		t.Fatal("sealed stream carries no truncation trailer")
+	}
+	if st := s.Stats(); st.Sealed != 1 {
+		t.Fatalf("sealed counter = %d, want 1", st.Sealed)
+	}
+	if _, err := os.Stat(s.Journal().CkptPathFor(key)); err != nil {
+		t.Fatalf("sealed request flushed no checkpoint: %v", err)
+	}
+
+	// Client-side repair, then resume with the same key.
+	ids, safeOff, complete, err := tree.RepairSchedule(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil || complete || ids == 0 {
+		t.Fatalf("repair: ids=%d complete=%v err=%v", ids, complete, err)
+	}
+	trusted := rec.Body.Bytes()[:safeOff]
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(mustBody(t, Request{Tree: mustRaw(t, tr), M: M, IdempotencyKey: key, ResumeFrom: ids}))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resume run status %d", rec.Code)
+	}
+	got := append(append([]byte(nil), trusted...), rec.Body.Bytes()...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("seal + resume reassembly diverges from the uninterrupted stream")
+	}
+	if st := s.Stats(); st.Resumed != 1 {
+		t.Fatalf("resumed counter = %d, want 1", st.Resumed)
+	}
+	if st := s.Broker().Stats(); st.Used != 0 || st.Leases != 0 {
+		t.Fatalf("seal leaked a lease: %+v", st)
 	}
 }

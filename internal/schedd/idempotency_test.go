@@ -1,0 +1,391 @@
+package schedd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+// keyedBody builds a JSON request body for tr with an idempotency key and
+// resume offset.
+func keyedBody(t *testing.T, tr *tree.Tree, M int64, key string, resume int64) []byte {
+	t.Helper()
+	return mustBody(t, Request{
+		Tree: mustRaw(t, tr), M: M,
+		IdempotencyKey: key, ResumeFrom: resume,
+	})
+}
+
+// TestIdempotentResumeByteIdentity is the exactly-once contract end to
+// end, without a client library: a keyed request is torn mid-stream by a
+// client disconnect, the partial body is trimmed to its trusted prefix
+// (RepairSchedule), and a re-POST with the same key and resume_from set
+// to the verified count returns exactly the missing tail — prefix +
+// continuation reassemble byte-identically to an uninterrupted stream,
+// with the second run resuming the first one's flushed checkpoint instead
+// of recomputing.
+func TestIdempotentResumeByteIdentity(t *testing.T) {
+	ckptDir := t.TempDir()
+	tr, M := testInstance(t, 20000, 43)
+	want := expectedStream(t, core.RecExpand, tr, M)
+	s := newTestServer(t, Config{CheckpointDir: ckptDir})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	const key = "resume-bytes-1"
+
+	// First attempt: read a mid-stream prefix, then vanish.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/schedule",
+		bytes.NewReader(keyedBody(t, tr, M, key, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first attempt status %d", resp.StatusCode)
+	}
+	prefix := make([]byte, 16<<10)
+	n, _ := io.ReadFull(resp.Body, prefix)
+	prefix = prefix[:n]
+	cancel()
+	resp.Body.Close()
+	if n == 0 {
+		t.Fatal("read no prefix before disconnecting")
+	}
+
+	// The abandoned attempt must settle (journal final commit, checkpoint
+	// flush) before the retry observes its state; in production the key
+	// lock serializes this, here we also want to assert on the counters.
+	waitFor(t, func() bool { st := s.Stats(); return st.InFlight == 0 })
+
+	// Trim to the trusted prefix, exactly as a retrying client would.
+	ids, safeOff, complete, err := tree.RepairSchedule(bytes.NewReader(prefix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete || ids == 0 {
+		t.Fatalf("prefix repair: ids=%d complete=%v", ids, complete)
+	}
+	trusted := prefix[:safeOff]
+
+	// Second attempt: same key, resume_from = verified ids.
+	resp2, err := http.Post(srv.URL+"/schedule", "application/json",
+		bytes.NewReader(keyedBody(t, tr, M, key, ids)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	tail2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resume attempt status %d: %s", resp2.StatusCode, tail2)
+	}
+
+	got := append(append([]byte(nil), trusted...), tail2...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("reassembled stream diverges from the uninterrupted one (got %d bytes, want %d)", len(got), len(want))
+	}
+	if _, err := tree.ReadScheduleStrict(bytes.NewReader(got)); err != nil {
+		t.Fatalf("reassembled stream fails the strict reader: %v", err)
+	}
+
+	st := s.Stats()
+	if st.Resumed == 0 {
+		t.Fatalf("no request counted as resumed: %+v", st)
+	}
+	js := s.journal.Stats()
+	if js.Begun != 2 || js.Reused != 1 {
+		t.Fatalf("journal stats = %+v, want Begun=2 Reused=1", js)
+	}
+	// The keyed checkpoint survives success so later retries stay cheap.
+	if _, err := os.Stat(s.journal.CkptPathFor(key)); err != nil {
+		t.Fatalf("keyed checkpoint missing after completion: %v", err)
+	}
+}
+
+// TestIdempotentConcurrentRace: two clients sharing one key race their
+// POSTs. The key's single-flight lock serializes them into one
+// computation chain (the second rides the first one's kept checkpoint),
+// and both receive streams byte-identical to the uninterrupted emission.
+// Run under -race, this is also the data-race check on the journal.
+func TestIdempotentConcurrentRace(t *testing.T) {
+	ckptDir := t.TempDir()
+	tr, M := testInstance(t, 5000, 47)
+	want := expectedStream(t, core.RecExpand, tr, M)
+	s := newTestServer(t, Config{CheckpointDir: ckptDir})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	const key = "race-key-1"
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, 2)
+	errs := make([]error, 2)
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/schedule", "application/json",
+				bytes.NewReader(keyedBody(t, tr, M, key, 0)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, b)
+				return
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if !bytes.Equal(bodies[i], want) {
+			t.Fatalf("client %d stream diverges from the uninterrupted one", i)
+		}
+	}
+	js := s.journal.Stats()
+	if js.Begun != 2 || js.Reused != 1 || js.Conflicts != 0 {
+		t.Fatalf("journal stats = %+v, want Begun=2 Reused=1", js)
+	}
+	// The loser of the race resumed the winner's finished checkpoint
+	// rather than redoing the expansion walk.
+	if st := s.Stats(); st.Resumed != 1 {
+		t.Fatalf("resumed = %d, want 1 (second request rides the kept checkpoint)", st.Resumed)
+	}
+}
+
+// TestIdempotentKeyConflict: reusing a key with a different memory bound
+// (a different fingerprint) is 409, and the original binding survives.
+func TestIdempotentKeyConflict(t *testing.T) {
+	tr, M := testInstance(t, 1000, 53)
+	s := newTestServer(t, Config{CheckpointDir: t.TempDir()})
+	h := s.Handler()
+	const key = "conflict-key-1"
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(keyedBody(t, tr, M, key, 0))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(keyedBody(t, tr, M+1, key, 0))))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("mismatched reuse status %d, want 409: %s", rec.Code, rec.Body.String())
+	}
+	if js := s.journal.Stats(); js.Conflicts != 1 {
+		t.Fatalf("journal stats = %+v, want Conflicts=1", js)
+	}
+	if st := s.Stats(); st.Rejected["conflict"] != 1 {
+		t.Fatalf("rejected = %+v, want conflict=1", st.Rejected)
+	}
+	// The original fingerprint still serves.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(keyedBody(t, tr, M, key, 0))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("original-fingerprint retry status %d", rec.Code)
+	}
+}
+
+// TestJournalCorruptionRecovers: a byte-flipped journal entry is detected
+// by its checksum, dropped, and the request recomputes from scratch —
+// never a panic, never a wrong stream.
+func TestJournalCorruptionRecovers(t *testing.T) {
+	ckptDir := t.TempDir()
+	tr, M := testInstance(t, 2000, 59)
+	want := expectedStream(t, core.RecExpand, tr, M)
+	s := newTestServer(t, Config{CheckpointDir: ckptDir})
+	h := s.Handler()
+	const key = "corrupt-key-1"
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(keyedBody(t, tr, M, key, 0))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request status %d", rec.Code)
+	}
+
+	// Flip one byte of the entry's JSON body on disk.
+	path := s.journal.entryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(keyedBody(t, tr, M, key, 0))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-corruption request status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatal("post-corruption stream diverges from the uninterrupted one")
+	}
+	if js := s.journal.Stats(); js.Corrupt != 1 {
+		t.Fatalf("journal stats = %+v, want Corrupt=1", js)
+	}
+	// The rewritten entry is valid again.
+	if ent, err := s.journal.load(key); err != nil || ent == nil || !ent.Complete {
+		t.Fatalf("rewritten entry = %+v, %v", ent, err)
+	}
+}
+
+// TestRetryAfterEstimate: the 429 Retry-After header is a positive
+// integer derived from live queue state, and statz carries the journal
+// and queue-depth counters the estimate is built from.
+func TestRetryAfterEstimate(t *testing.T) {
+	tr, _ := testInstance(t, 200, 61)
+	cost := EstimateCost(tr.N())
+	s := newTestServer(t, Config{Budget: cost, Engines: 1})
+	h := s.Handler()
+
+	hold := make(chan struct{})
+	arrived := make(chan struct{}, 1)
+	s.testGate = func() {
+		arrived <- struct{}{}
+		<-hold
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+			bytes.NewReader(mustBody(t, Request{Tree: mustRaw(t, tr), M: 1 << 40}))))
+	}()
+	<-arrived // the budget is now fully leased
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(mustBody(t, Request{Tree: mustRaw(t, tr), M: 1 << 40}))))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	ra := rec.Header().Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 60]", ra)
+	}
+	close(hold)
+	<-done
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/statz", nil))
+	var statz struct {
+		Broker  BrokerStats  `json:"broker"`
+		Journal JournalStats `json:"journal"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &statz); err != nil {
+		t.Fatalf("statz decode: %v", err)
+	}
+	if statz.Broker.Total != cost {
+		t.Fatalf("statz broker = %+v", statz.Broker)
+	}
+}
+
+// TestResumeFromRequiresKey: a bare resume_from is a 400, not a silent
+// partial stream.
+func TestResumeFromRequiresKey(t *testing.T) {
+	tr, M := testInstance(t, 300, 67)
+	s := newTestServer(t, Config{})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/schedule",
+		bytes.NewReader(mustBody(t, Request{Tree: mustRaw(t, tr), M: M, ResumeFrom: 5}))))
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "idempotency_key") {
+		t.Fatalf("status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+// slowTestWriter makes every Write succeed but take the given duration —
+// the trickling-reader shape the wall-clock overrun check exists for.
+type slowTestWriter struct {
+	delay  time.Duration
+	writes int
+}
+
+// Write sleeps, then accepts the bytes.
+func (sw *slowTestWriter) Write(p []byte) (int, error) {
+	time.Sleep(sw.delay)
+	sw.writes++
+	return len(p), nil
+}
+
+// TestDeadlineWriterSealsOnOverrun is the unit contract of the seal
+// sentinel: a write that succeeds but overruns the deadline trips the
+// seal exactly once, cancels the request context, and keeps forwarding
+// later writes (the truncation trailer's path out).
+func TestDeadlineWriterSealsOnOverrun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sw := &slowTestWriter{delay: 20 * time.Millisecond}
+	dw := &deadlineWriter{
+		w:       sw,
+		rc:      http.NewResponseController(httptest.NewRecorder()),
+		timeout: time.Millisecond,
+		cancel:  cancel,
+	}
+	if _, err := dw.Write([]byte("42\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !dw.sealed {
+		t.Fatal("overrun did not seal")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("seal did not cancel the request context")
+	}
+	// Post-seal writes still forward (trailer path), without re-arming.
+	if _, err := dw.Write([]byte("# truncated count=1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if sw.writes != 2 {
+		t.Fatalf("forwarded %d writes, want 2", sw.writes)
+	}
+}
+
+// TestDeadlineWriterDisabled: a zero timeout is a plain pass-through.
+func TestDeadlineWriterDisabled(t *testing.T) {
+	sw := &slowTestWriter{delay: 5 * time.Millisecond}
+	dw := &deadlineWriter{
+		w:  sw,
+		rc: http.NewResponseController(httptest.NewRecorder()),
+		cancel: func() {
+			t.Fatal("disabled deadline writer cancelled the request")
+		},
+	}
+	if _, err := dw.Write([]byte("7\n")); err != nil || dw.sealed {
+		t.Fatalf("err=%v sealed=%v", err, dw.sealed)
+	}
+}

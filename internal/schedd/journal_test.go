@@ -1,0 +1,178 @@
+package schedd
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// testFP is a fixed fingerprint for journal unit tests.
+var testFP = ReqFingerprint{TreeHash: 0xfeed, N: 10, M: 100, Algorithm: "RecExpand"}
+
+// TestJournalRoundTrip: an entry committed is the entry loaded, durable
+// across Journal instances sharing the directory (the daemon-restart and
+// drain-failover shape).
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := NewJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := j.Begin(context.Background(), "k1", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Entry != nil {
+		t.Fatalf("fresh key has entry %+v", b.Entry)
+	}
+	want := &Entry{FP: testFP, CkptPath: j.CkptPathFor("k1"), Committed: 42, Complete: false}
+	if err := b.Commit(want); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// A second journal over the same directory sees the entry — disk is
+	// the source of truth.
+	j2, err := NewJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := j2.Begin(context.Background(), "k1", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if b2.Entry == nil || b2.Entry.Committed != 42 || b2.Entry.Key != "k1" || b2.Entry.FP != testFP {
+		t.Fatalf("reloaded entry = %+v", b2.Entry)
+	}
+}
+
+// TestJournalConflict: a mismatched fingerprint is ErrKeyConflict and
+// releases the key lock (the next correct Begin does not deadlock).
+func TestJournalConflict(t *testing.T) {
+	j, err := NewJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := j.Begin(context.Background(), "k", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(&Entry{FP: testFP}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	other := testFP
+	other.M++
+	if _, err := j.Begin(context.Background(), "k", other); !errors.Is(err, ErrKeyConflict) {
+		t.Fatalf("mismatched Begin err = %v, want ErrKeyConflict", err)
+	}
+	// The lock was released on the conflict path.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	b2, err := j.Begin(ctx, "k", testFP)
+	if err != nil {
+		t.Fatalf("post-conflict Begin: %v", err)
+	}
+	b2.Close()
+	if st := j.Stats(); st.Begun != 3 || st.Conflicts != 1 || st.Reused != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestJournalSingleFlight: a second Begin on a held key blocks until the
+// holder closes, and a waiter's context expiry abandons the wait cleanly.
+func TestJournalSingleFlight(t *testing.T) {
+	j, err := NewJournal("") // memory-only: single-flight must hold there too
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := j.Begin(context.Background(), "k", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := j.Begin(ctx, "k", testFP); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Begin err = %v, want deadline exceeded", err)
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		b2, err := j.Begin(context.Background(), "k", testFP)
+		if err == nil {
+			b2.Close()
+		}
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("second Begin returned while the key was held: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Close()
+	if err := <-got; err != nil {
+		t.Fatalf("Begin after release: %v", err)
+	}
+}
+
+// TestJournalEntryCodecCorruption: every way an entry's bytes can rot —
+// flipped body byte, flipped header byte, bad magic, truncation, raw
+// garbage — decodes to ErrJournalCorrupt, never a panic or a wrong entry.
+func TestJournalEntryCodecCorruption(t *testing.T) {
+	ent := &Entry{Key: "k", FP: testFP, Committed: 7}
+	data, err := encodeEntry(ent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeEntry(data)
+	if err != nil || back.Key != "k" || back.Committed != 7 || back.FP != testFP {
+		t.Fatalf("roundtrip = %+v, %v", back, err)
+	}
+
+	mutate := map[string]func([]byte) []byte{
+		"flip body byte":   func(d []byte) []byte { d[len(d)-2] ^= 1; return d },
+		"flip header byte": func(d []byte) []byte { d[9] ^= 1; return d },
+		"bad magic":        func(d []byte) []byte { d[0] = 'X'; return d },
+		"truncated":        func(d []byte) []byte { return d[:len(d)/2] },
+		"no newline":       func(d []byte) []byte { return []byte("RXJRNL1 deadbeef") },
+		"empty":            func(d []byte) []byte { return nil },
+	}
+	for name, f := range mutate {
+		bad := f(append([]byte(nil), data...))
+		if _, err := decodeEntry(bad); !errors.Is(err, ErrJournalCorrupt) {
+			t.Errorf("%s: err = %v, want ErrJournalCorrupt", name, err)
+		}
+	}
+}
+
+// TestJournalCorruptEntryDropped: Begin over a rotted file counts it,
+// removes it, and presents the key as unbound.
+func TestJournalCorruptEntryDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := NewJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(j.entryPath("k"), []byte("not a journal entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := j.Begin(context.Background(), "k", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Entry != nil {
+		t.Fatalf("corrupt entry surfaced as %+v", b.Entry)
+	}
+	if st := j.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1", st)
+	}
+	if _, err := os.Stat(j.entryPath("k")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt file not dropped: %v", err)
+	}
+}

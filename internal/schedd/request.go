@@ -44,6 +44,18 @@ type Request struct {
 	TimeoutMS int64 `json:"timeout_ms" validate:"min=0,max=86400000"`
 	// Name is an optional label echoed in logs and checkpoints.
 	Name string `json:"name" validate:"maxlen=128"`
+	// IdempotencyKey, when non-empty, binds the request to a durable
+	// journal entry: re-POSTs with the same key resume the previous
+	// attempt's checkpoint instead of recomputing, and keys are
+	// single-flight (a concurrent duplicate waits, it does not double the
+	// work). Reusing a key for a different instance/bound/algorithm is a
+	// 409.
+	IdempotencyKey string `json:"idempotency_key" validate:"maxlen=128"`
+	// ResumeFrom is the count of schedule ids the client already holds
+	// verified (the RepairSchedule-trusted prefix): the stream starts
+	// after them, so prefix + response reassemble the uninterrupted
+	// stream byte-for-byte. Only meaningful with IdempotencyKey.
+	ResumeFrom int64 `json:"resume_from" validate:"min=0"`
 }
 
 // estimate constants of the admission cost model: a request's resident
@@ -121,6 +133,9 @@ func ParseRequest(r *http.Request, limit int64) (*Request, *tree.Tree, error) {
 	if req.M < 0 || (req.M == 0) == (!req.Mid) {
 		return nil, nil, fmt.Errorf("schedd: exactly one of m>0 or mid must be given")
 	}
+	if req.ResumeFrom > 0 && req.IdempotencyKey == "" {
+		return nil, nil, fmt.Errorf("schedd: resume_from requires idempotency_key")
+	}
 	return &req, t, nil
 }
 
@@ -147,6 +162,8 @@ func queryRequest(r *http.Request, req *Request) error {
 	req.WaitMS = geti("wait_ms")
 	req.TimeoutMS = geti("timeout_ms")
 	req.Name = q.Get("name")
+	req.IdempotencyKey = q.Get("idempotency_key")
+	req.ResumeFrom = geti("resume_from")
 	return err
 }
 
